@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Each ``test_bench_*`` file regenerates one of the paper's tables or
+figures through :mod:`repro.bench` at a reduced scale (the full scale is
+available via ``python -m repro.bench all``), plus microbenchmarks of the
+hot substrate paths.  All timing-model outputs are deterministic; what
+pytest-benchmark measures here is the *harness* cost, while the
+experiment's scientific output (MB/s, speedups) is attached to
+``benchmark.extra_info``.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def attach_rows():
+    """Stash experiment rows on the benchmark record."""
+
+    def attach(benchmark, result):
+        benchmark.extra_info["experiment"] = result.name
+        benchmark.extra_info["rows"] = [
+            [str(value) for value in row] for row in result.rows]
+        return result
+
+    return attach

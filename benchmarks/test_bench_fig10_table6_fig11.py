@@ -1,0 +1,24 @@
+"""Fig 10 + Table VI + Fig 11: end-to-end write throughput."""
+
+from repro.bench import fig10, fig11, table6
+
+
+def test_bench_fig10(benchmark, attach_rows):
+    result = benchmark.pedantic(fig10.run, kwargs={"scale": 0.1},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert all(row[2] > row[1] for row in result.rows)
+
+
+def test_bench_table6(benchmark, attach_rows):
+    result = benchmark.pedantic(table6.run, kwargs={"scale": 0.05},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert len(result.rows) == 6
+
+
+def test_bench_fig11(benchmark, attach_rows):
+    result = benchmark.pedantic(fig11.run, kwargs={"scale": 0.05},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert all(row[4] > 1.0 for row in result.rows)  # V=64 speedup

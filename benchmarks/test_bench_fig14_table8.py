@@ -1,0 +1,20 @@
+"""Fig 14 + Table VIII: large-scale sweep and PCIe share."""
+
+from repro.bench import fig14, table8
+
+
+def test_bench_fig14(benchmark, attach_rows):
+    result = benchmark.pedantic(fig14.run, kwargs={"scale": 0.05},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    speedups = result.column("speedup")
+    assert all(1.2 < s < 8 for s in speedups)
+    base = result.column("LevelDB_MBps")
+    assert base[-1] < base[0]  # throughput declines with scale
+
+
+def test_bench_table8(benchmark, attach_rows):
+    result = benchmark.pedantic(table8.run, kwargs={"scale": 0.05},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert all(0 < row[1] < 12 for row in result.rows)

@@ -1,0 +1,36 @@
+"""Fig 15 (a)-(d): sensitivity to LevelDB settings."""
+
+from repro.bench import fig15
+
+SCALE = 0.05
+
+
+def test_bench_fig15a_key_length(benchmark, attach_rows):
+    result = benchmark.pedantic(fig15.run_a, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    speedups = result.column("speedup")
+    assert speedups[-1] < speedups[0]
+
+
+def test_bench_fig15b_value_length(benchmark, attach_rows):
+    result = benchmark.pedantic(fig15.run_b, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    speedups = result.column("speedup")
+    assert speedups[-1] > speedups[0]
+
+
+def test_bench_fig15c_block_size(benchmark, attach_rows):
+    result = benchmark.pedantic(fig15.run_c, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    speedups = result.column("speedup")
+    assert max(speedups) < 1.5 * min(speedups)
+
+
+def test_bench_fig15d_leveling_ratio(benchmark, attach_rows):
+    result = benchmark.pedantic(fig15.run_d, kwargs={"scale": SCALE},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert all(s > 1.2 for s in result.column("speedup"))

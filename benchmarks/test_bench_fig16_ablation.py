@@ -1,0 +1,26 @@
+"""Fig 16 (YCSB) and the §V optimization-ladder ablation."""
+
+from repro.bench import ablation, fig16
+
+
+def test_bench_fig16(benchmark, attach_rows):
+    result = benchmark.pedantic(fig16.run, kwargs={"scale": 0.1},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    speedup = {row[0]: row[3] for row in result.rows}
+    assert abs(speedup["c"] - 1.0) < 0.02
+    # Write-dominated workloads gain most (A's interleaved writes can tie
+    # with the pure Load within noise).
+    assert speedup["load"] >= 0.95 * max(speedup.values())
+    assert speedup["load"] > speedup["b"] > 0.99
+
+
+def test_bench_ablation(benchmark, attach_rows):
+    result = benchmark.pedantic(ablation.run, kwargs={"scale": 0.2},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    by_variant = {row[0]: row[1:] for row in result.rows}
+    # Each optimization must pay for itself at long values.
+    long_values = [by_variant[v][-1] for v in
+                   ("basic", "split_blocks", "kv_separation", "full")]
+    assert long_values == sorted(long_values)

@@ -1,0 +1,20 @@
+"""Table V + Fig 9: kernel compaction speed, CPU vs 2-input FCAE."""
+
+from repro.bench import fig9, table5
+
+
+def test_bench_table5(benchmark, attach_rows):
+    result = benchmark.pedantic(table5.run, kwargs={"scale": 0.25},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    # Scientific assertions ride along with the timing.
+    for row_index in range(6):
+        assert result.cell(row_index, "V=64") > result.cell(row_index, "CPU")
+
+
+def test_bench_fig9(benchmark, attach_rows):
+    result = benchmark.pedantic(fig9.run, kwargs={"scale": 0.25},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    ratios = result.column("V=64")
+    assert ratios[-1] > ratios[0]

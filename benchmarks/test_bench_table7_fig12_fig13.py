@@ -1,0 +1,26 @@
+"""Table VII + Figs 12/13: resources and multi-input engine."""
+
+from repro.bench import fig12, fig13, table7
+
+
+def test_bench_table7(benchmark, attach_rows):
+    result = benchmark.pedantic(table7.run, rounds=3, iterations=1)
+    attach_rows(benchmark, result)
+    fits = {(row[0], row[1], row[2]): row[6] for row in result.rows}
+    assert fits[(2, 64, 16)] and fits[(9, 8, 8)]
+    assert not fits[(9, 64, 8)]
+
+
+def test_bench_fig12(benchmark, attach_rows):
+    result = benchmark.pedantic(fig12.run, kwargs={"scale": 0.25},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    ratios = result.column("9/2 ratio")
+    assert ratios == sorted(ratios)  # gap narrows monotonically
+
+
+def test_bench_fig13(benchmark, attach_rows):
+    result = benchmark.pedantic(fig13.run, kwargs={"scale": 0.25},
+                                rounds=1, iterations=1)
+    attach_rows(benchmark, result)
+    assert all(row[1] > 10 and row[2] > 10 for row in result.rows)

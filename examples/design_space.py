@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""FPGA design-space exploration: what would you synthesize?
+
+Walks the (N, W_in, V) space the paper's Table VII samples, marking each
+configuration's resource feasibility on a KCU1500 and its predicted
+kernel speed, then prints the best feasible configuration per input
+count and the optimization-ladder ablation of §V.
+
+Run:  python examples/design_space.py
+"""
+
+from dataclasses import replace
+
+from repro.fpga.config import FpgaConfig, PipelineVariant
+from repro.fpga.engine import simulate_synthetic
+from repro.fpga.resources import best_feasible_config, estimate_for
+
+KEY_LENGTH = 16
+VALUE_LENGTH = 512
+PAIRS = 1500
+
+
+def kernel_speed(config: FpgaConfig) -> float:
+    report = simulate_synthetic(
+        config, [PAIRS] * config.num_inputs, KEY_LENGTH, VALUE_LENGTH)
+    return report.speed_mbps(config)
+
+
+def main() -> None:
+    print(f"kernel speeds at {KEY_LENGTH} B keys / {VALUE_LENGTH} B values, "
+          f"200 MHz\n")
+    print(f"{'N':>3} {'W_in':>5} {'V':>4}  {'LUT%':>6} {'FF%':>5} "
+          f"{'BRAM%':>6}  {'fits':>5}  {'speed':>9}")
+    for n in (2, 4, 9):
+        for w_in in (64, 16, 8):
+            for v in (16, 8):
+                if v > w_in:
+                    continue
+                report = estimate_for(n, w_in, v)
+                if report.fits:
+                    config = FpgaConfig(num_inputs=n, value_width=v,
+                                        w_in=w_in)
+                    speed = f"{kernel_speed(config):7.1f}MB"
+                else:
+                    speed = "      --"
+                print(f"{n:>3} {w_in:>5} {v:>4}  {report.lut_pct:>6.1f} "
+                      f"{report.ff_pct:>5.1f} {report.bram_pct:>6.1f}  "
+                      f"{str(report.fits):>5}  {speed:>9}")
+
+    print("\nbest feasible configuration per input count:")
+    for n in (2, 4, 9, 16):
+        config = best_feasible_config(n)
+        print(f"  N={n:>2}: W_in={config.w_in:>2}, V={config.value_width:>2} "
+              f"-> {kernel_speed(config):7.1f} MB/s")
+
+    print("\n§V optimization ladder (N=2, V=16):")
+    base = FpgaConfig(num_inputs=2, value_width=16, w_in=64, w_out=64)
+    previous = None
+    for variant in (PipelineVariant.BASIC, PipelineVariant.SPLIT_BLOCKS,
+                    PipelineVariant.KV_SEPARATION, PipelineVariant.FULL):
+        speed = kernel_speed(replace(base, variant=variant))
+        gain = ("" if previous is None
+                else f"  ({speed / previous - 1:+.0%})")
+        print(f"  {variant.value:>14}: {speed:7.1f} MB/s{gain}")
+        previous = speed
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""End-to-end write-throughput study (the paper's Figs 10/14 in miniature).
+
+Runs db_bench fillrandom through the discrete-event system simulator for
+LevelDB and LevelDB-FCAE across a sweep of dataset sizes, printing
+throughput, speedup, write amplification, and where each system spends
+its time.
+
+Run:  python examples/write_throughput.py
+"""
+
+from repro.bench.common import N9_CONFIG
+from repro.lsm.options import Options
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+GB = 1 << 30
+SIZES_GB = (0.25, 0.5, 1, 2, 8)
+
+
+def main() -> None:
+    options = Options(value_length=512)
+    print(f"db_bench fillrandom, {options.key_length} B keys + "
+          f"{options.value_length} B values, multi-input FCAE "
+          f"(N={N9_CONFIG.num_inputs})\n")
+    header = (f"{'data':>6}  {'LevelDB':>9}  {'FCAE':>9}  {'speedup':>7}  "
+              f"{'WA':>5}  {'PCIe%':>6}")
+    print(header)
+    print("-" * len(header))
+    for gigabytes in SIZES_GB:
+        nbytes = int(gigabytes * GB)
+        base = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=options, data_size_bytes=nbytes))
+        fcae = simulate_fillrandom(SystemConfig(
+            mode="fcae", options=options, fpga=N9_CONFIG,
+            data_size_bytes=nbytes))
+        print(f"{gigabytes:>5}G  {base.throughput_mbps:>7.2f}MB"
+              f"  {fcae.throughput_mbps:>7.2f}MB"
+              f"  {fcae.throughput_mbps / base.throughput_mbps:>6.2f}x"
+              f"  {fcae.write_amplification:>5.1f}"
+              f"  {fcae.pcie_fraction * 100:>5.1f}%")
+
+    # Show the time budget of the largest pair of runs.
+    nbytes = int(SIZES_GB[-1] * GB)
+    base = simulate_fillrandom(SystemConfig(
+        mode="leveldb", options=options, data_size_bytes=nbytes))
+    fcae = simulate_fillrandom(SystemConfig(
+        mode="fcae", options=options, fpga=N9_CONFIG,
+        data_size_bytes=nbytes))
+    print(f"\ntime budget at {SIZES_GB[-1]} GB:")
+    print(f"  LevelDB     : {base.elapsed_seconds:8.1f}s wall | "
+          f"software merge {base.sw_compaction_seconds:8.1f}s | "
+          f"writer stalls {base.stall_seconds:8.1f}s")
+    print(f"  LevelDB-FCAE: {fcae.elapsed_seconds:8.1f}s wall | "
+          f"FPGA kernel    {fcae.kernel_seconds:8.1f}s | "
+          f"writer stalls {fcae.stall_seconds:8.1f}s | "
+          f"PCIe {fcae.pcie_seconds:6.1f}s")
+    print("\nthe baseline's background core is merge-bound; the FCAE "
+          "system's bottleneck moves to disk and flush work — the same "
+          "story the paper tells in §VII-B2a and §VII-C2.")
+
+
+if __name__ == "__main__":
+    main()

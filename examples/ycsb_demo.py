@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""YCSB in two gears: functional (real database) and simulated (paper
+scale).
+
+Gear 1 loads a small record set into a real :class:`LsmDB` with the FPGA
+compaction executor and runs each core workload's operation mix against
+it — demonstrating the public API under realistic access patterns.
+
+Gear 2 reruns the paper's Fig 16 point (20 M records x 1 KB, 20 M ops)
+through the system simulator and prints the LevelDB vs LevelDB-FCAE
+throughput comparison.
+
+Run:  python examples/ycsb_demo.py
+"""
+
+from repro.bench.common import N9_CONFIG
+from repro.fpga.config import CONFIG_9_INPUT
+from repro.host import CompactionScheduler, FcaeDevice
+from repro.lsm import LsmDB, Options
+from repro.lsm.env import MemEnv
+from repro.sim.system import SystemConfig, simulate_ycsb
+from repro.workloads import YCSB_WORKLOADS, YcsbWorkloadRunner
+
+FUNCTIONAL_RECORDS = 800
+FUNCTIONAL_OPS = 1200
+SIM_RECORDS = 20_000_000
+SIM_OPS = 20_000_000
+
+
+def functional_gear() -> None:
+    print("== functional: real database, real operations ==")
+    options = Options(write_buffer_size=64 * 1024, sstable_size=32 * 1024,
+                      compression="none", value_length=128,
+                      bloom_bits_per_key=10)
+    device = FcaeDevice(CONFIG_9_INPUT, options)
+    scheduler = CompactionScheduler(device, options)
+    db = LsmDB("ycsb-demo", options, env=MemEnv(),
+               compaction_executor=scheduler)
+
+    loader = YcsbWorkloadRunner(YCSB_WORKLOADS["load"], FUNCTIONAL_RECORDS,
+                                value_length=128)
+    loader.load(db)
+    print(f"loaded {FUNCTIONAL_RECORDS} records "
+          f"({scheduler.stats.fpga_tasks} compactions on the FPGA)")
+
+    for name in ("a", "b", "c", "d", "e", "f"):
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS[name],
+                                    FUNCTIONAL_RECORDS, value_length=128,
+                                    seed=hash(name) % 1000)
+        counters = runner.run(db, FUNCTIONAL_OPS)
+        mix = ", ".join(f"{op}={count}" for op, count in counters.items()
+                        if count and op != "not_found")
+        print(f"  workload {name.upper()}: {mix}")
+    db.close()
+
+
+def simulated_gear() -> None:
+    print("\n== simulated: the paper's Fig 16 configuration ==")
+    options = Options(value_length=1024)
+    print(f"{SIM_RECORDS // 10**6}M records x 1 KB, "
+          f"{SIM_OPS // 10**6}M ops per workload\n")
+    print(f"{'workload':>8}  {'LevelDB':>10}  {'FCAE':>10}  {'speedup':>7}")
+    for name in ("load", "a", "b", "c", "d", "e", "f"):
+        workload = YCSB_WORKLOADS[name]
+        base = simulate_ycsb(
+            SystemConfig(mode="leveldb", options=options),
+            workload, SIM_RECORDS, SIM_OPS)
+        fcae = simulate_ycsb(
+            SystemConfig(mode="fcae", options=options, fpga=N9_CONFIG),
+            workload, SIM_RECORDS, SIM_OPS)
+        print(f"{name:>8}  {base.ops_per_second / 1e3:>8.1f}k"
+              f"  {fcae.ops_per_second / 1e3:>8.1f}k"
+              f"  {fcae.ops_per_second / base.ops_per_second:>6.2f}x")
+    print("\nread-only C is untouched (same storage format, same read "
+          "path); the speedup grows with the write ratio, as in Fig 16.")
+
+
+def main() -> None:
+    functional_gear()
+    simulated_gear()
+
+
+if __name__ == "__main__":
+    main()

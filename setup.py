@@ -1,0 +1,11 @@
+from setuptools import setup
+
+# Metadata lives in pyproject.toml; this shim exists because the build
+# environment has no `wheel` package for PEP 660 editable installs.
+setup(
+    entry_points={
+        "console_scripts": [
+            "fcae-bench = repro.bench.cli:main",
+        ],
+    },
+)

@@ -1,0 +1,29 @@
+"""Benchmark harness: one module per table/figure of the paper's §VII.
+
+Every module exposes ``run(scale=1.0) -> ExperimentResult`` returning the
+same rows/series the paper reports.  ``python -m repro.bench <name>``
+prints one experiment; ``python -m repro.bench all`` regenerates the full
+evaluation and the EXPERIMENTS.md comparison tables.
+
+=========  ==========================================================
+target     reproduces
+=========  ==========================================================
+table5     compaction speed, CPU vs 2-input FCAE, L_value x V
+fig9       acceleration ratios of Table V
+fig10      write throughput vs data size (0.2-2 GB)
+table6     write throughput, L_value x V
+fig11      acceleration ratios of Table VI
+table7     FPGA resource utilization per (N, W_in, V)
+fig12      compaction speed, 2-input vs 9-input
+fig13      acceleration ratios of Fig 12
+fig14      write throughput vs data size (0.2-1024 GB), 9-input
+table8     PCIe transfer share of system time
+fig15a-d   sensitivity: key length, value length, block size, ratio
+fig16      YCSB workloads
+ablation   (extra) pipeline-variant ladder: §V's optimizations
+=========  ==========================================================
+"""
+
+from repro.bench.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

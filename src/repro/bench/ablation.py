@@ -1,0 +1,57 @@
+"""Ablation (extra, not in the paper's tables): the §V optimization
+ladder.
+
+Measures kernel compaction speed as each optimization is stacked:
+
+1. BASIC           — Fig 2: single read pointer, fused key-value streams
+2. SPLIT_BLOCKS    — Fig 3: index/data block decoder & encoder separation
+3. KV_SEPARATION   — Fig 4: values bypass the Comparer
+4. FULL            — Fig 5: V-wide value paths, W_in/W_out AXI streaming
+
+This quantifies what each of the paper's design decisions buys, which the
+paper motivates qualitatively but never isolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.bench.common import ExperimentResult
+from repro.fpga.config import FpgaConfig, PipelineVariant
+from repro.fpga.engine import simulate_synthetic
+
+KEY_LENGTH = 16
+VALUE_LENGTHS = (64, 512, 2048)
+DEFAULT_PAIRS = 3000
+
+LADDER = (
+    PipelineVariant.BASIC,
+    PipelineVariant.SPLIT_BLOCKS,
+    PipelineVariant.KV_SEPARATION,
+    PipelineVariant.FULL,
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    pairs = max(150, int(DEFAULT_PAIRS * scale))
+    result = ExperimentResult(
+        name="Ablation",
+        title="Kernel speed (MB/s) as §V optimizations stack "
+              "(2-input, V=16)",
+        columns=["variant"] + [f"L={v}" for v in VALUE_LENGTHS],
+    )
+    base_config = FpgaConfig(num_inputs=2, value_width=16, w_in=64,
+                             w_out=64)
+    for variant in LADDER:
+        config = replace(base_config, variant=variant)
+        speeds = []
+        for value_length in VALUE_LENGTHS:
+            report = simulate_synthetic(config, [pairs, pairs], KEY_LENGTH,
+                                        value_length)
+            speeds.append(report.speed_mbps(config))
+        result.add_row(variant.value, *speeds)
+    # Sanity context for readers: each rung should not be slower than the
+    # previous at long values, where the optimizations bite hardest.
+    result.notes.append(
+        "each row adds one optimization of §V on top of the previous")
+    return result

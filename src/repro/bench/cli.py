@@ -1,0 +1,102 @@
+"""``python -m repro.bench`` / ``fcae-bench`` — regenerate the paper's
+evaluation.
+
+Usage::
+
+    fcae-bench table5            # one experiment
+    fcae-bench fig15a            # one sub-figure
+    fcae-bench all               # everything, prints every table
+    fcae-bench all --markdown results.md
+    fcae-bench fig14 --scale 0.1 # smaller workloads for a quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import (
+    ablation,
+    near_storage,
+    tiered,
+    write_pause,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.bench.common import ExperimentResult
+
+EXPERIMENTS = {
+    "table5": table5.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "table6": table6.run,
+    "fig11": fig11.run,
+    "table7": table7.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "table8": table8.run,
+    "fig15": fig15.run,
+    "fig15a": fig15.run_a,
+    "fig15b": fig15.run_b,
+    "fig15c": fig15.run_c,
+    "fig15d": fig15.run_d,
+    "fig16": fig16.run,
+    "ablation": ablation.run,
+    "near_storage": near_storage.run,
+    "tiered": tiered.run,
+    "write_pause": write_pause.run,
+}
+
+#: `all` skips the fig15 summary (its four parts run individually).
+ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
+             "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
+             "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
+             "write_pause")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fcae-bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload scale factor (default 1.0)")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write results as markdown")
+    args = parser.parse_args(argv)
+
+    names = ALL_ORDER if args.experiment == "all" else (args.experiment,)
+    results: list[ExperimentResult] = []
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.time() - started
+        results.append(result)
+        print(result.format())
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            for result in results:
+                handle.write(result.to_markdown())
+                handle.write("\n\n")
+        print(f"markdown written to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

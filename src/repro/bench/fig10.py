@@ -1,0 +1,38 @@
+"""Fig 10 — write throughput vs data size (0.2-2 GB), 2-input FCAE.
+
+db_bench fillrandom through the system simulator with the paper's fixed
+factors: L_value = 512, V = 16.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import ExperimentResult, scale_bytes, two_input_config
+from repro.lsm.options import Options
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+DATA_SIZES_GB = (0.2, 0.5, 1.0, 1.5, 2.0)
+VALUE_LENGTH = 512
+VALUE_WIDTH = 16
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    options = Options(value_length=VALUE_LENGTH)
+    fpga = two_input_config(VALUE_WIDTH)
+    result = ExperimentResult(
+        name="Fig 10",
+        title="Write throughput vs data size (L_value=512, V=16)",
+        columns=["data_GB", "LevelDB_MBps", "FCAE_MBps", "speedup"],
+    )
+    for gigabytes in DATA_SIZES_GB:
+        nbytes = scale_bytes(int(gigabytes * (1 << 30)), scale)
+        base = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=options, data_size_bytes=nbytes))
+        fcae = simulate_fillrandom(SystemConfig(
+            mode="fcae", options=options, fpga=fpga,
+            data_size_bytes=nbytes))
+        result.add_row(gigabytes, base.throughput_mbps, fcae.throughput_mbps,
+                       fcae.throughput_mbps / base.throughput_mbps)
+    result.notes.append(
+        "paper shape: LevelDB decreases dramatically with data size while "
+        "LevelDB-FCAE degrades gently")
+    return result

@@ -1,0 +1,27 @@
+"""Fig 11 — acceleration ratio of LevelDB-FCAE throughput (from Table VI)."""
+
+from __future__ import annotations
+
+from repro.bench import table6
+from repro.bench.common import VALUE_LENGTHS, VALUE_WIDTHS, ExperimentResult
+
+PAPER_MAX = 6.4  # the paper's headline write-throughput speedup
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    grid = table6.run(scale)
+    result = ExperimentResult(
+        name="Fig 11",
+        title="LevelDB-FCAE throughput acceleration over LevelDB",
+        columns=["L_value", "V=8", "V=16", "V=32", "V=64", "paper_V=64"],
+    )
+    for row_index, value_length in enumerate(VALUE_LENGTHS):
+        base = grid.cell(row_index, "LevelDB")
+        ratios = [grid.cell(row_index, f"V={v}") / base for v in VALUE_WIDTHS]
+        paper = table6.PAPER[value_length]
+        result.add_row(value_length, *ratios, paper[4] / paper[0])
+    best = max(max(row[1:5]) for row in result.rows)
+    result.notes.append(
+        f"max measured speedup {best:.1f}x (paper: up to {PAPER_MAX}x); "
+        "the ratio grows with value length in both")
+    return result

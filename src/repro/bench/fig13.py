@@ -1,0 +1,33 @@
+"""Fig 13 — acceleration ratio vs the CPU baseline: 2-input vs 9-input.
+
+The 9-input CPU baseline is a 9-way software merge (deeper heap), so the
+hardware's parallel compare tree earns a *larger* ratio even though its
+absolute speed is lower than the 2-input engine's (§VII-C1).
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig12
+from repro.bench.common import VALUE_LENGTHS, ExperimentResult
+from repro.sim.cpu import CpuCostModel
+
+KEY_LENGTH = 16
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    grid = fig12.run(scale)
+    cpu = CpuCostModel()
+    result = ExperimentResult(
+        name="Fig 13",
+        title="Acceleration ratio vs CPU: 2-input vs 9-input",
+        columns=["L_value", "2-input ratio", "9-input ratio"],
+    )
+    for row_index, value_length in enumerate(VALUE_LENGTHS):
+        cpu2 = cpu.compaction_speed_mbps(KEY_LENGTH, value_length,
+                                         num_inputs=2)
+        cpu9 = cpu.compaction_speed_mbps(KEY_LENGTH, value_length,
+                                         num_inputs=9)
+        ratio2 = grid.cell(row_index, "2-input") / cpu2
+        ratio9 = grid.cell(row_index, "9-input") / cpu9
+        result.add_row(value_length, ratio2, ratio9)
+    return result

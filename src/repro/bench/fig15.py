@@ -1,0 +1,98 @@
+"""Fig 15 — sensitivity of LevelDB-FCAE to LevelDB settings.
+
+Four sweeps over the paper's Table IV ranges, one parameter at a time
+with the others at defaults (multi-input FCAE, 1 GB fillrandom):
+
+* (a) key length 16-256 B — speedup decreases as keys grow (every
+  FPGA module's period scales with L_key);
+* (b) value length 64-2048 B — speedup increases (same as Fig 11);
+* (c) data block size 2 KB-1 MB — both systems flat, ratio steady;
+* (d) leveling ratio 4-16 — speedup decreases (larger ratios compact
+  less often, so the FPGA gets less chance to help).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import ExperimentResult, N9_CONFIG, scale_bytes
+from repro.lsm.options import Options
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+DATA_SIZE = 1 << 30
+
+KEY_LENGTHS = (16, 32, 64, 128, 256)
+VALUE_LENGTHS = (64, 128, 256, 512, 1024, 2048)
+BLOCK_SIZES_KB = (2, 4, 16, 64, 256, 1024)
+LEVELING_RATIOS = (4, 6, 8, 10, 12, 14, 16)
+
+
+def _point(options: Options, scale: float) -> tuple[float, float]:
+    nbytes = scale_bytes(DATA_SIZE, scale)
+    base = simulate_fillrandom(SystemConfig(
+        mode="leveldb", options=options, data_size_bytes=nbytes))
+    fcae = simulate_fillrandom(SystemConfig(
+        mode="fcae", options=options, fpga=N9_CONFIG,
+        data_size_bytes=nbytes))
+    return base.throughput_mbps, fcae.throughput_mbps
+
+
+def _sweep(name: str, title: str, column: str, values, make_options,
+           scale: float) -> ExperimentResult:
+    result = ExperimentResult(
+        name=name, title=title,
+        columns=[column, "LevelDB_MBps", "FCAE_MBps", "speedup"])
+    for value in values:
+        base, fcae = _point(make_options(value), scale)
+        result.add_row(value, base, fcae, fcae / base)
+    return result
+
+
+def run_a(scale: float = 1.0) -> ExperimentResult:
+    return _sweep(
+        "Fig 15(a)", "Speedup vs key length (value=128)", "key_B",
+        KEY_LENGTHS, lambda k: Options(key_length=k, value_length=128),
+        scale)
+
+
+def run_b(scale: float = 1.0) -> ExperimentResult:
+    return _sweep(
+        "Fig 15(b)", "Speedup vs value length", "value_B",
+        VALUE_LENGTHS, lambda v: Options(value_length=v), scale)
+
+
+def run_c(scale: float = 1.0) -> ExperimentResult:
+    return _sweep(
+        "Fig 15(c)", "Throughput vs data block size", "block_KB",
+        BLOCK_SIZES_KB,
+        lambda kb: Options(block_size=kb * 1024,
+                           sstable_size=max(2 * 1024 * 1024, kb * 1024 * 2)),
+        scale)
+
+
+def run_d(scale: float = 1.0) -> ExperimentResult:
+    return _sweep(
+        "Fig 15(d)", "Speedup vs leveling ratio", "ratio",
+        LEVELING_RATIOS, lambda r: Options(leveling_ratio=r), scale)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Condensed view: one row per sub-figure with its trend."""
+    parts = [run_a(scale), run_b(scale), run_c(scale), run_d(scale)]
+    result = ExperimentResult(
+        name="Fig 15",
+        title="LevelDB settings sensitivity (speedup at sweep endpoints)",
+        columns=["sweep", "first_point", "first_speedup", "last_point",
+                 "last_speedup", "trend"],
+    )
+    for part in parts:
+        speedups = part.column("speedup")
+        first, last = speedups[0], speedups[-1]
+        if abs(last - first) < 0.15 * max(first, last):
+            trend = "flat"
+        else:
+            trend = "decreasing" if last < first else "increasing"
+        result.add_row(part.name, part.rows[0][0], first,
+                       part.rows[-1][0], last, trend)
+    result.notes.append(
+        "paper trends: (a) decreasing, (b) increasing, (c) flat ~2.4x, "
+        "(d) decreasing")
+    return result

@@ -1,0 +1,31 @@
+"""Fig 9 — acceleration ratio of 2-input FCAE over the CPU baseline.
+
+Derived from the Table V grid: ratio(L_value, V) = FCAE / CPU.
+"""
+
+from __future__ import annotations
+
+from repro.bench import table5
+from repro.bench.common import VALUE_LENGTHS, VALUE_WIDTHS, ExperimentResult
+
+PAPER_MAX_RATIO = 92.0  # the paper's headline (L=2048, V=64, vs 13.3 CPU)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    grid = table5.run(scale)
+    result = ExperimentResult(
+        name="Fig 9",
+        title="FCAE acceleration ratio over CPU (2-input)",
+        columns=["L_value", "V=8", "V=16", "V=32", "V=64", "paper_V=64"],
+    )
+    for row_index, value_length in enumerate(VALUE_LENGTHS):
+        cpu_speed = grid.cell(row_index, "CPU")
+        ratios = [grid.cell(row_index, f"V={v}") / cpu_speed
+                  for v in VALUE_WIDTHS]
+        paper = table5.PAPER[value_length]
+        result.add_row(value_length, *ratios, paper[4] / paper[0])
+    best = max(max(row[1:5]) for row in result.rows)
+    result.notes.append(
+        f"max measured ratio {best:.1f}x (paper reports up to "
+        f"{PAPER_MAX_RATIO:.1f}x)")
+    return result

@@ -1,0 +1,78 @@
+"""Extension bench: PCIe-attached vs near-storage engine placement.
+
+The paper's §VII-E names near-storage computing as the next step.  This
+target runs identical compaction tasks through both placements and
+reports the per-phase latency plus the end-to-end offload time, across
+value lengths.  The engine and its kernel time are the same; only the
+data-movement architecture differs — the comparison isolates what moving
+the engine into the drive buys.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench.common import ExperimentResult
+from repro.fpga.config import CONFIG_2_INPUT
+from repro.host.device import FcaeDevice
+from repro.host.near_storage import NearStorageDevice
+from repro.lsm.compaction import _BufferFile
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder, TableReader
+from repro.util.comparator import BytewiseComparator
+
+VALUE_LENGTHS = (128, 512, 2048)
+PAIRS_PER_RUN = 1500
+
+
+def _run_images(value_length: int, options, icmp):
+    readers = []
+    for seed in (1, 2):
+        rng = random.Random(seed)
+        keys = sorted(rng.sample(range(10 ** 9), PAIRS_PER_RUN))
+        dest = _BufferFile()
+        builder = TableBuilder(options, dest, icmp)
+        for i, raw in enumerate(keys):
+            user = f"{raw:016d}".encode()
+            value = (f"v{raw}".encode() * 64)[:value_length]
+            builder.add(encode_internal_key(user, seed * 10 ** 6 + i,
+                                            TYPE_VALUE), value)
+        builder.finish()
+        readers.append([TableReader(bytes(dest.data), icmp, options)])
+    return readers
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    del scale  # task sizes are fixed; the model is cheap
+    result = ExperimentResult(
+        name="Near-storage",
+        title="Offload time (ms): PCIe-attached card vs in-SSD engine",
+        columns=["L_value", "pcie_total_ms", "pcie_dma_ms",
+                 "near_total_ms", "near_move_ms", "near/pcie"],
+    )
+    icmp = InternalKeyComparator(BytewiseComparator())
+    for value_length in VALUE_LENGTHS:
+        options = Options(compression="none", bloom_bits_per_key=0,
+                          value_length=value_length)
+        pcie_device = FcaeDevice(CONFIG_2_INPUT, options)
+        near_device = NearStorageDevice(CONFIG_2_INPUT, options)
+        readers = _run_images(value_length, options, icmp)
+        pcie = pcie_device.compact(readers)
+        near = near_device.compact(readers)
+        result.add_row(
+            value_length,
+            pcie.total_seconds * 1e3,
+            pcie.pcie_seconds * 1e3,
+            near.total_seconds * 1e3,
+            (near.internal_read_seconds + near.internal_write_seconds) * 1e3,
+            near.total_seconds / pcie.total_seconds,
+        )
+    result.notes.append(
+        "same kernel both sides; near-storage removes PCIe DMA and host "
+        "staging, so its advantage is the card's data-movement share")
+    return result

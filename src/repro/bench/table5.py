@@ -1,0 +1,60 @@
+"""Table V — compaction speed (MB/s) of CPU vs 2-input FCAE.
+
+Sweeps value length 64..2048 bytes and value-path width V in
+{8, 16, 32, 64}; keys are 16 bytes (24 with mark fields), W_in = W_out =
+64.  FCAE speeds come from the behavioral pipeline model replaying a
+two-run synthetic merge; CPU speeds come from the harness-calibrated CPU
+cost model.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    VALUE_LENGTHS,
+    VALUE_WIDTHS,
+    ExperimentResult,
+    two_input_config,
+)
+from repro.fpga.engine import simulate_synthetic
+from repro.sim.cpu import CpuCostModel
+
+PAPER = {
+    64: (5.3, 178.5, 164.5, 181.8, 175.8),
+    128: (6.9, 260.1, 312.1, 311.8, 291.7),
+    256: (9.0, 343.9, 451.6, 510.7, 524.9),
+    512: (12.2, 446.9, 627.9, 672.8, 745.4),
+    1024: (14.8, 448.5, 739.5, 896.7, 1026.3),
+    2048: (13.3, 506.3, 709.0, 1077.4, 1205.6),
+}
+
+KEY_LENGTH = 16
+DEFAULT_PAIRS_PER_INPUT = 4000
+
+
+def fcae_speed(value_width: int, value_length: int,
+               pairs_per_input: int = DEFAULT_PAIRS_PER_INPUT) -> float:
+    config = two_input_config(value_width)
+    report = simulate_synthetic(
+        config, [pairs_per_input, pairs_per_input], KEY_LENGTH, value_length)
+    return report.speed_mbps(config)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    pairs = max(200, int(DEFAULT_PAIRS_PER_INPUT * scale))
+    cpu = CpuCostModel()
+    result = ExperimentResult(
+        name="Table V",
+        title="Compaction speed (MB/s), CPU vs 2-input FCAE",
+        columns=["L_value", "CPU", "V=8", "V=16", "V=32", "V=64",
+                 "paper_CPU", "paper_V=64"],
+    )
+    for value_length in VALUE_LENGTHS:
+        cpu_speed = cpu.compaction_speed_mbps(KEY_LENGTH, value_length)
+        speeds = [fcae_speed(v, value_length, pairs) for v in VALUE_WIDTHS]
+        paper = PAPER[value_length]
+        result.add_row(value_length, cpu_speed, *speeds,
+                       paper[0], paper[4])
+    result.notes.append(
+        "FCAE speeds from the behavioral pipeline simulator at 200 MHz; "
+        "CPU from the Table-V-calibrated harness model.")
+    return result

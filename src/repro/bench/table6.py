@@ -1,0 +1,53 @@
+"""Table VI — end-to-end write throughput (MB/s), L_value x V grid.
+
+db_bench fillrandom over 1 GB through the system simulator; 2-input FCAE
+with W_in = W_out = 64 (§VII-B2b).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    VALUE_LENGTHS,
+    VALUE_WIDTHS,
+    ExperimentResult,
+    scale_bytes,
+    two_input_config,
+)
+from repro.lsm.options import Options
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+PAPER = {
+    64: (2.4, 5.6, 5.4, 5.6, 5.4),
+    128: (2.9, 6.5, 7.7, 7.6, 7.6),
+    256: (2.5, 5.8, 7.1, 7.2, 7.2),
+    512: (2.8, 6.0, 9.1, 9.6, 9.3),
+    1024: (2.3, 6.7, 9.8, 11.0, 11.6),
+    2048: (2.3, 10.9, 12.3, 14.1, 14.4),
+}
+
+DATA_SIZE = 1 << 30
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    nbytes = scale_bytes(DATA_SIZE, scale)
+    result = ExperimentResult(
+        name="Table VI",
+        title="Write throughput (MB/s) with different value length and V",
+        columns=["L_value", "LevelDB", "V=8", "V=16", "V=32", "V=64",
+                 "paper_LevelDB", "paper_V=64"],
+    )
+    for value_length in VALUE_LENGTHS:
+        options = Options(value_length=value_length)
+        base = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=options, data_size_bytes=nbytes))
+        speeds = []
+        for value_width in VALUE_WIDTHS:
+            fcae = simulate_fillrandom(SystemConfig(
+                mode="fcae", options=options,
+                fpga=two_input_config(value_width),
+                data_size_bytes=nbytes))
+            speeds.append(fcae.throughput_mbps)
+        paper = PAPER[value_length]
+        result.add_row(value_length, base.throughput_mbps, *speeds,
+                       paper[0], paper[4])
+    return result

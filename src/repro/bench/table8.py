@@ -1,0 +1,31 @@
+"""Table VIII — PCIe transfer share of whole-system execution time.
+
+Computed over the Fig 14 sweep: the DMA seconds each FCAE run
+accumulates against its total wall time.  The paper reports 9% at 0.2 GB
+falling below 1% at terabyte scale.
+"""
+
+from __future__ import annotations
+
+from repro.bench import fig14
+from repro.bench.common import ExperimentResult
+
+PAPER = {0.2: 9, 0.5: 7, 1: 8, 2: 8, 4: 6, 8: 6, 16: 3, 32: 2, 64: 1,
+         256: 0.9, 1024: 0.9}
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table VIII",
+        title="PCIe transfer percentage of system execution time",
+        columns=["data_GB", "pcie_pct", "paper_pct"],
+    )
+    sizes = (fig14.DATA_SIZES_GB if scale >= 1.0
+             else fig14.DATA_SIZES_GB[:6])
+    for gigabytes in sizes:
+        _, fcae = fig14.run_point(gigabytes, scale)
+        paper = PAPER.get(gigabytes, float("nan"))
+        result.add_row(gigabytes, fcae.pcie_fraction * 100.0, paper)
+    result.notes.append(
+        "paper shape: single-digit percentages, negligible at scale")
+    return result

@@ -1,0 +1,11 @@
+"""Compression codecs.
+
+The paper's SSTables are Snappy-compressed; the FPGA Decoder/Encoder pair
+decompresses and recompresses blocks in flight.  :mod:`repro.compress.snappy`
+implements the Snappy block format (varint preamble, literal and copy
+elements) in pure Python, wire-compatible with Google's implementation.
+"""
+
+from repro.compress.snappy import compress, decompress, max_compressed_length
+
+__all__ = ["compress", "decompress", "max_compressed_length"]

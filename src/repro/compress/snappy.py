@@ -1,0 +1,213 @@
+"""Pure-Python Snappy block-format codec.
+
+The format (https://github.com/google/snappy/blob/main/format_description.txt)
+is a varint32 *uncompressed length* preamble followed by a sequence of
+elements.  Each element starts with a tag byte whose low two bits select:
+
+====  ======================  =========================================
+tag   element                 layout
+====  ======================  =========================================
+0b00  literal                 length-1 in tag bits 2..7 if < 60, else
+                              tag value 60..63 selects a 1..4 byte
+                              little-endian length-1 that follows
+0b01  copy, 1-byte offset     length-4 in tag bits 2..4 (4..11 bytes),
+                              offset = tag bits 5..7 << 8 | next byte
+0b10  copy, 2-byte offset     length-1 in tag bits 2..7 (1..64 bytes),
+                              16-bit little-endian offset follows
+0b11  copy, 4-byte offset     as 0b10 with a 32-bit offset
+====  ======================  =========================================
+
+The compressor is a greedy hash-table matcher in the spirit of the
+reference implementation: it scans 4-byte windows, emits pending bytes as a
+literal when a back-reference of at least :data:`MIN_MATCH` bytes is found,
+and splits long matches into <= 64-byte copy elements.  Output is readable
+by any conforming Snappy decoder.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_varint32, encode_varint32
+
+#: Shortest back-reference worth emitting.
+MIN_MATCH = 4
+
+#: Snappy compresses input in independent fragments of this size; offsets
+#: never reach across a fragment boundary.
+_FRAGMENT_SIZE = 65536
+
+_HASH_BITS = 14
+_HASH_SIZE = 1 << _HASH_BITS
+
+_TAG_LITERAL = 0b00
+_TAG_COPY1 = 0b01
+_TAG_COPY2 = 0b10
+_TAG_COPY4 = 0b11
+
+
+def max_compressed_length(source_len: int) -> int:
+    """Worst-case compressed size for ``source_len`` input bytes.
+
+    Matches the bound used by the reference implementation.
+    """
+    return 32 + source_len + source_len // 6
+
+
+def compress(data: bytes) -> bytes:
+    """Compress ``data`` into Snappy block format."""
+    out = bytearray(encode_varint32(len(data)))
+    for start in range(0, len(data), _FRAGMENT_SIZE):
+        _compress_fragment(data, start, min(start + _FRAGMENT_SIZE, len(data)), out)
+    if not data:
+        # A zero-length input is just its preamble.
+        pass
+    return bytes(out)
+
+
+def _hash(word: int) -> int:
+    return (word * 0x1E35A7BD) >> (32 - _HASH_BITS) & (_HASH_SIZE - 1)
+
+
+def _load32(data: bytes, pos: int) -> int:
+    return int.from_bytes(data[pos:pos + 4], "little")
+
+
+def _compress_fragment(data: bytes, start: int, end: int, out: bytearray) -> None:
+    length = end - start
+    if length < MIN_MATCH + 1:
+        _emit_literal(data, start, end, out)
+        return
+
+    table: dict[int, int] = {}
+    pos = start
+    literal_start = start
+    # Leave room so 4-byte loads below never run past the fragment.
+    limit = end - MIN_MATCH
+    while pos <= limit:
+        word = _load32(data, pos)
+        slot = _hash(word)
+        candidate = table.get(slot, -1)
+        table[slot] = pos
+        if candidate >= start and _load32(data, candidate) == word:
+            # Extend the match forward.
+            match_len = MIN_MATCH
+            while (pos + match_len < end
+                   and data[candidate + match_len] == data[pos + match_len]):
+                match_len += 1
+            if literal_start < pos:
+                _emit_literal(data, literal_start, pos, out)
+            _emit_copy(pos - candidate, match_len, out)
+            pos += match_len
+            literal_start = pos
+        else:
+            pos += 1
+    if literal_start < end:
+        _emit_literal(data, literal_start, end, out)
+
+
+def _emit_literal(data: bytes, start: int, end: int, out: bytearray) -> None:
+    length = end - start
+    if length <= 0:
+        return
+    n = length - 1
+    if n < 60:
+        out.append(_TAG_LITERAL | (n << 2))
+    elif n < (1 << 8):
+        out.append(_TAG_LITERAL | (60 << 2))
+        out.append(n)
+    elif n < (1 << 16):
+        out.append(_TAG_LITERAL | (61 << 2))
+        out += n.to_bytes(2, "little")
+    elif n < (1 << 24):
+        out.append(_TAG_LITERAL | (62 << 2))
+        out += n.to_bytes(3, "little")
+    else:
+        out.append(_TAG_LITERAL | (63 << 2))
+        out += n.to_bytes(4, "little")
+    out += data[start:end]
+
+
+def _emit_copy(offset: int, length: int, out: bytearray) -> None:
+    # Long matches become a run of <=64-byte copies.  Keep the tail >= 4
+    # bytes so the final element is always encodable.
+    while length >= 68:
+        _emit_copy_upto64(offset, 64, out)
+        length -= 64
+    if length > 64:
+        _emit_copy_upto64(offset, 60, out)
+        length -= 60
+    _emit_copy_upto64(offset, length, out)
+
+
+def _emit_copy_upto64(offset: int, length: int, out: bytearray) -> None:
+    if 4 <= length <= 11 and offset < (1 << 11):
+        out.append(_TAG_COPY1 | ((length - 4) << 2) | ((offset >> 8) << 5))
+        out.append(offset & 0xFF)
+    elif offset < (1 << 16):
+        out.append(_TAG_COPY2 | ((length - 1) << 2))
+        out += offset.to_bytes(2, "little")
+    else:
+        out.append(_TAG_COPY4 | ((length - 1) << 2))
+        out += offset.to_bytes(4, "little")
+
+
+def decompress(data: bytes) -> bytes:
+    """Decompress a Snappy block-format byte string.
+
+    Raises :class:`CorruptionError` on malformed input or when the output
+    does not match the preamble length.
+    """
+    expected, pos = decode_varint32(data, 0)
+    out = bytearray()
+    n = len(data)
+    while pos < n:
+        tag = data[pos]
+        kind = tag & 0b11
+        pos += 1
+        if kind == _TAG_LITERAL:
+            length_code = tag >> 2
+            if length_code < 60:
+                length = length_code + 1
+            else:
+                extra = length_code - 59
+                if pos + extra > n:
+                    raise CorruptionError("truncated literal length")
+                length = int.from_bytes(data[pos:pos + extra], "little") + 1
+                pos += extra
+            if pos + length > n:
+                raise CorruptionError("literal overruns input")
+            out += data[pos:pos + length]
+            pos += length
+            continue
+        if kind == _TAG_COPY1:
+            length = ((tag >> 2) & 0x7) + 4
+            if pos >= n:
+                raise CorruptionError("truncated copy-1 offset")
+            offset = ((tag >> 5) << 8) | data[pos]
+            pos += 1
+        elif kind == _TAG_COPY2:
+            length = (tag >> 2) + 1
+            if pos + 2 > n:
+                raise CorruptionError("truncated copy-2 offset")
+            offset = int.from_bytes(data[pos:pos + 2], "little")
+            pos += 2
+        else:
+            length = (tag >> 2) + 1
+            if pos + 4 > n:
+                raise CorruptionError("truncated copy-4 offset")
+            offset = int.from_bytes(data[pos:pos + 4], "little")
+            pos += 4
+        if offset == 0 or offset > len(out):
+            raise CorruptionError("copy offset out of range")
+        # Copies may overlap their own output (offset < length): byte-wise.
+        src = len(out) - offset
+        if offset >= length:
+            out += out[src:src + length]
+        else:
+            for _ in range(length):
+                out.append(out[src])
+                src += 1
+    if len(out) != expected:
+        raise CorruptionError(
+            f"decompressed length {len(out)} != preamble {expected}")
+    return bytes(out)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the FCAE reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  The subtypes mirror the major
+subsystems: storage-format corruption, database state misuse, FPGA device
+constraints, and simulation configuration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` library."""
+
+
+class CorruptionError(ReproError):
+    """A stored byte stream failed validation (bad CRC, truncated block,
+    malformed varint, out-of-order keys, ...)."""
+
+
+class NotFoundError(ReproError):
+    """A requested key or file does not exist."""
+
+
+class InvalidArgumentError(ReproError):
+    """A caller-supplied argument is outside the accepted domain."""
+
+
+class DBStateError(ReproError):
+    """The database is in a state that forbids the requested operation
+    (e.g. writing to a closed database)."""
+
+
+class FpgaResourceError(ReproError):
+    """An FPGA configuration does not fit on the device (would exceed
+    100% of a LUT/FF/BRAM budget)."""
+
+
+class FpgaProtocolError(ReproError):
+    """The host/device memory interface contract was violated (bad MetaIn
+    layout, misaligned data block memory, output overrun, ...)."""
+
+
+class SimulationError(ReproError):
+    """A discrete-event simulation reached an inconsistent state."""

@@ -1,0 +1,123 @@
+"""FPGA engine configuration.
+
+The paper's tunables: ``N`` (number of inputs the Comparer can merge),
+``V`` (value data-path width, bytes/cycle), ``W_in``/``W_out`` (AXI
+read/write widths, max 64 bytes = 512 bits), and the 200 MHz clock.
+
+``PipelineVariant`` selects how much of the paper's optimization ladder is
+applied; the basic variant exists so the ablation benchmarks can show what
+each optimization buys (paper §V-B/C/D).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import InvalidArgumentError
+
+#: AXI allows at most 512-bit (64-byte) beats (paper §V-D2).
+MAX_AXI_WIDTH = 64
+
+
+class PipelineVariant(enum.Enum):
+    """Which optimizations of §V are active."""
+
+    #: Fig 2 — single read pointer; index decode stalls the pipeline;
+    #: values travel with keys through the compare path.
+    BASIC = "basic"
+    #: Fig 3 — index/data block decoders and encoders separated.
+    SPLIT_BLOCKS = "split_blocks"
+    #: Fig 4 — plus key-value separation (values skip the Comparer).
+    KV_SEPARATION = "kv_separation"
+    #: Fig 5 — plus V-wide value paths and W_in/W_out AXI streaming.
+    FULL = "full"
+
+
+@dataclass(frozen=True)
+class FpgaConfig:
+    """One engine instantiation.
+
+    Attributes
+    ----------
+    num_inputs:
+        ``N`` — parallel Decoder chains / Comparer fan-in.
+    value_width:
+        ``V`` — bytes of value moved per cycle on the value data path.
+    w_in / w_out:
+        AXI read/write widths in bytes per cycle (``<= 64``).
+    clock_mhz:
+        Engine clock; the KCU1500 design runs at 200 MHz.
+    dram_read_latency:
+        Cycles from DRAM read request to first data (paper: 7-8).
+    onchip_read_latency:
+        Cycles to read on-chip FIFO/BRAM (paper: 1).
+    kv_fifo_depth:
+        Key-value buffer capacity per input, in pairs.  The default of 1
+        ("an element in FIFO can be used only once", §V-C) makes the
+        decoder lockstep with consumption, which is the behaviour the
+        Table V calibration assumes; deeper FIFOs let decoders run ahead.
+    output_buffer_width:
+        Bytes/cycle at which a selected value drains into the output
+        buffer before the Stream Upsizer.  This single-buffered 8-byte
+        port is the calibration constant fitted to the paper's Table V
+        (see DESIGN.md); with it the model reproduces the measured
+        compaction speeds within ~15% across the whole table.
+    variant:
+        Optimization level (see :class:`PipelineVariant`).
+    """
+
+    num_inputs: int = 2
+    value_width: int = 16
+    w_in: int = 64
+    w_out: int = 64
+    clock_mhz: float = 200.0
+    dram_read_latency: int = 8
+    onchip_read_latency: int = 1
+    kv_fifo_depth: int = 1
+    output_buffer_width: int = 8
+    variant: PipelineVariant = PipelineVariant.FULL
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 2:
+            raise InvalidArgumentError("num_inputs must be >= 2")
+        if not 1 <= self.value_width <= MAX_AXI_WIDTH:
+            raise InvalidArgumentError(
+                f"value_width must be in [1, {MAX_AXI_WIDTH}]")
+        if not 1 <= self.w_in <= MAX_AXI_WIDTH:
+            raise InvalidArgumentError(f"w_in must be in [1, {MAX_AXI_WIDTH}]")
+        if not 1 <= self.w_out <= MAX_AXI_WIDTH:
+            raise InvalidArgumentError(f"w_out must be in [1, {MAX_AXI_WIDTH}]")
+        if self.value_width > self.w_in:
+            raise InvalidArgumentError(
+                "value_width (V) cannot exceed the AXI read width (W_in)")
+        if self.clock_mhz <= 0:
+            raise InvalidArgumentError("clock_mhz must be positive")
+        if self.kv_fifo_depth < 1:
+            raise InvalidArgumentError("kv_fifo_depth must be >= 1")
+        if self.output_buffer_width < 1:
+            raise InvalidArgumentError("output_buffer_width must be >= 1")
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    def comparer_fanin_depth(self) -> int:
+        """``ceil(log2 N)`` — depth of the compare tree."""
+        n = self.num_inputs
+        depth = 0
+        while (1 << depth) < n:
+            depth += 1
+        return depth
+
+
+#: The paper's 2-input configuration (§VII-B): resources are plentiful, so
+#: both AXI widths are maxed and V defaults to 16.
+CONFIG_2_INPUT = FpgaConfig(num_inputs=2, value_width=16, w_in=64, w_out=64)
+
+#: The paper's 9-input configuration (§VII-C1): the added Decoders and
+#: Stream Downsizers exhaust LUTs, so W_in and V shrink to 8.
+CONFIG_9_INPUT = FpgaConfig(num_inputs=9, value_width=8, w_in=8, w_out=64)

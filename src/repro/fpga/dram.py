@@ -1,0 +1,78 @@
+"""Off-chip DRAM model for the FPGA card.
+
+The KCU1500 carries 16 GB of DDR4.  What matters for the engine's timing
+(paper §V-B1) is that a DRAM read costs 7-8 cycles of request latency
+versus 1 cycle for on-chip memory, so the design issues *few large* reads
+(whole data blocks) streamed at the AXI width rather than many small ones.
+This model provides a flat byte-addressable space with read/write request
+accounting; the pipeline simulator turns the counters into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FpgaProtocolError
+
+
+@dataclass
+class DramStats:
+    """Traffic counters."""
+
+    read_requests: int = 0
+    read_bytes: int = 0
+    write_requests: int = 0
+    write_bytes: int = 0
+
+
+class Dram:
+    """Byte-addressable device memory with bounds checking."""
+
+    def __init__(self, size: int = 16 * 1024 * 1024 * 1024,
+                 materialize: bool = False):
+        # A sparse region map avoids allocating 16 GB; `materialize`
+        # forces a flat bytearray for small test memories.
+        self.size = size
+        self.stats = DramStats()
+        self._flat: bytearray | None = bytearray(size) if materialize else None
+        self._regions: dict[int, bytearray] = {}
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise FpgaProtocolError(
+                f"DRAM access [{offset}, {offset + length}) outside "
+                f"device memory of {self.size} bytes")
+
+    def write(self, offset: int, data: bytes) -> None:
+        """DMA or engine write of ``data`` at ``offset``."""
+        self._check(offset, len(data))
+        self.stats.write_requests += 1
+        self.stats.write_bytes += len(data)
+        if self._flat is not None:
+            self._flat[offset:offset + len(data)] = data
+        else:
+            self._regions[offset] = bytearray(data)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Engine or DMA read; returns exactly ``length`` bytes."""
+        self._check(offset, length)
+        self.stats.read_requests += 1
+        self.stats.read_bytes += length
+        if self._flat is not None:
+            return bytes(self._flat[offset:offset + length])
+        return self._read_sparse(offset, length)
+
+    def _read_sparse(self, offset: int, length: int) -> bytes:
+        out = bytearray(length)
+        end = offset + length
+        for region_start, region in self._regions.items():
+            region_end = region_start + len(region)
+            lo = max(offset, region_start)
+            hi = min(end, region_end)
+            if lo < hi:
+                out[lo - offset:hi - offset] = region[lo - region_start:
+                                                      hi - region_start]
+        return bytes(out)
+
+    def reset_stats(self) -> None:
+        self.stats = DramStats()

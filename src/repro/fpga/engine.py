@@ -1,0 +1,266 @@
+"""The assembled FPGA compaction engine (FCAE).
+
+:class:`CompactionEngine` wires N Decoder chains, the Comparer, the
+Key-Value Transfer and the Encoders together.  A run is simultaneously
+
+* **functional** — it consumes real SSTable images from device DRAM and
+  produces real SSTable images, byte-compatible with the CPU compaction
+  path (tests assert equality against :mod:`repro.lsm.compaction`), and
+* **timed** — every event advances the :class:`PipelineTimer`, yielding
+  the kernel cycle count that the paper's "compaction speed" metric
+  (input bytes / kernel time) is computed from.
+
+For parameter sweeps where materializing gigabytes of real input would
+waste time, :func:`simulate_synthetic` replays a synthetic merge schedule
+through the same :class:`PipelineTimer`, guaranteeing the benchmarks and
+the functional engine share one timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FpgaResourceError
+from repro.fpga.comparer import Comparer
+from repro.fpga.config import FpgaConfig
+from repro.fpga.decoder import DecoderChain, SSTableLayout
+from repro.fpga.dram import Dram
+from repro.fpga.encoder import Encoder
+from repro.fpga.pipeline_sim import PipelineTimer, TimingReport
+from repro.fpga.resources import estimate_resources
+from repro.fpga.transfer import KeyValueTransfer
+from repro.lsm.compaction import OutputTable
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableReader
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one kernel invocation."""
+
+    outputs: list[OutputTable]
+    timing: TimingReport
+    config: FpgaConfig
+    smallest_keys: list[bytes]
+    largest_keys: list[bytes]
+
+    @property
+    def kernel_seconds(self) -> float:
+        return self.timing.kernel_seconds(self.config)
+
+    @property
+    def compaction_speed_mbps(self) -> float:
+        return self.timing.speed_mbps(self.config)
+
+
+class _HeadCursor:
+    """Functional lookahead of one decoded pair per input — the KV FIFO
+    head the Comparer sees."""
+
+    __slots__ = ("iterator", "head", "input_no")
+
+    def __init__(self, iterator, input_no: int):
+        self.iterator = iterator
+        self.input_no = input_no
+        self.head = None
+        self.advance()
+
+    def advance(self) -> None:
+        try:
+            self.head = next(self.iterator)
+        except StopIteration:
+            self.head = None
+
+
+class CompactionEngine:
+    """One instantiation of the hardware engine.
+
+    Raises :class:`FpgaResourceError` at construction when the
+    configuration does not fit the device (paper Table VII), unless
+    ``check_resources=False``.
+    """
+
+    def __init__(self, config: FpgaConfig, options: Options | None = None,
+                 check_resources: bool = True):
+        self.config = config
+        self.options = options or Options()
+        self.comparator = InternalKeyComparator(self.options.comparator)
+        if check_resources:
+            report = estimate_resources(config)
+            if not report.fits:
+                raise FpgaResourceError(
+                    f"configuration N={config.num_inputs}, "
+                    f"W_in={config.w_in}, V={config.value_width} needs "
+                    f"{report.lut_pct}% LUT / {report.ff_pct}% FF / "
+                    f"{report.bram_pct}% BRAM")
+
+    # ------------------------------------------------------------------
+    # Functional + timed execution
+    # ------------------------------------------------------------------
+
+    def run(self, dram: Dram, inputs: list[list[SSTableLayout]],
+            drop_deletions: bool = False) -> EngineResult:
+        """Execute one compaction over device memory.
+
+        ``inputs[i]`` lists input *i*'s SSTables in key order (a sorted
+        level's files concatenate into one input, per §IV step 2).
+        """
+        if len(inputs) > self.config.num_inputs:
+            raise FpgaResourceError(
+                f"{len(inputs)} inputs exceed the engine's "
+                f"N={self.config.num_inputs}")
+        timer = PipelineTimer(self.config)
+        comparer = Comparer(self.comparator, drop_deletions)
+        transfer = KeyValueTransfer(self.config)
+        encoder = Encoder(self.options, self.comparator, self.config)
+
+        input_bytes = sum(t.index_size + t.data_size
+                          for tables in inputs for t in tables)
+
+        def timed_chain(chain: DecoderChain, input_no: int):
+            for pair in chain:
+                timer.decode_pair(
+                    input_no,
+                    key_len=len(pair.internal_key),
+                    value_len=len(pair.value),
+                    new_block=pair.new_block,
+                    block_compressed_size=pair.block_compressed_size,
+                )
+                yield pair
+
+        cursors = []
+        for input_no, tables in enumerate(inputs):
+            chain = DecoderChain(dram, tables, self.config, self.comparator)
+            cursors.append(_HeadCursor(timed_chain(chain, input_no),
+                                       input_no))
+
+        live = [c for c in cursors if c.head is not None]
+        while live:
+            heads = {c.input_no: c.head.internal_key for c in live}
+            selection = comparer.round(heads)
+            winner = next(c for c in live if c.input_no == selection.input_no)
+            pair = winner.head
+            slot_free = timer.comparer_round(
+                live_inputs=list(heads),
+                winner=selection.input_no,
+                drop=selection.drop,
+                key_len=len(pair.internal_key),
+                value_len=len(pair.value),
+            )
+            del slot_free  # timing side effect only
+            if selection.drop:
+                transfer.pairs_dropped += 1
+            else:
+                transfer.pairs_forwarded += 1
+                transfer.value_bytes_forwarded += len(pair.value)
+                events = encoder.add(pair.internal_key, pair.value)
+                if events["block_flushed"]:
+                    timer.block_flush(events["block_bytes"])
+            winner.advance()
+            if winner.head is None:
+                live = [c for c in live if c.input_no != winner.input_no]
+
+        outputs = encoder.finish()
+        timing = timer.finalize(input_bytes)
+        return EngineResult(
+            outputs=outputs,
+            timing=timing,
+            config=self.config,
+            smallest_keys=[o.smallest for o in outputs],
+            largest_keys=[o.largest for o in outputs],
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers
+    # ------------------------------------------------------------------
+
+    def run_on_images(self, input_images: list[list[bytes]],
+                      drop_deletions: bool = False) -> EngineResult:
+        """Load raw SSTable images into a fresh DRAM and run.
+
+        This splits each image into its index region and data region the
+        way the host marshaller does (Fig 7), so tests can drive the
+        engine without the full host layer.
+        """
+        dram = Dram(size=max(64 * 1024 * 1024, sum(
+            len(img) for imgs in input_images for img in imgs) * 2 + 1024))
+        offset = 0
+        layouts: list[list[SSTableLayout]] = []
+        for images in input_images:
+            table_layouts = []
+            for image in images:
+                reader = TableReader(image, self.comparator, self.options)
+                index_image = _extract_index_image(image, reader)
+                dram.write(offset, image)
+                data_offset = offset
+                index_offset = offset + len(image)
+                dram.write(index_offset, index_image)
+                table_layouts.append(SSTableLayout(
+                    index_offset=index_offset,
+                    index_size=len(index_image),
+                    data_offset=data_offset,
+                    data_size=len(image),
+                ))
+                offset = index_offset + len(index_image)
+                offset += (-offset) % self.config.w_in  # alignment
+            layouts.append(table_layouts)
+        return self.run(dram, layouts, drop_deletions)
+
+
+def _extract_index_image(image: bytes, reader: TableReader) -> bytes:
+    """Rebuild a standalone index block image from a table's index."""
+    from repro.lsm.block import BlockBuilder
+
+    builder = BlockBuilder(1)
+    for key, handle in reader.index_entries():
+        builder.add(key, handle.encode())
+    return builder.finish()
+
+
+def simulate_synthetic(config: FpgaConfig, pairs_per_input: list[int],
+                       user_key_length: int, value_length: int,
+                       block_size: int = 4096, drop_fraction: float = 0.0,
+                       seed: int = 7) -> TimingReport:
+    """Replay a synthetic merge through the shared timing model.
+
+    Inputs are disjoint sorted runs of ``pairs_per_input[i]`` pairs with
+    ``user_key_length``-byte keys (+8 mark bytes) and ``value_length``-
+    byte values; winners interleave randomly (uniform key space) and a
+    ``drop_fraction`` of selections are validity-Drop'd.  Used by the
+    Table V / Figs 9, 12, 13 benchmarks for wide parameter sweeps.
+    """
+    import random
+
+    rng = random.Random(seed)
+    key_len = user_key_length + 8
+    pair_file_bytes = key_len + value_length + 4  # varint/restart overhead
+    pairs_per_block = max(1, block_size // pair_file_bytes)
+
+    timer = PipelineTimer(config)
+    remaining = list(pairs_per_input)
+    decoded = [0] * len(remaining)
+
+    def feed(input_no: int) -> None:
+        if decoded[input_no] < pairs_per_input[input_no]:
+            new_block = decoded[input_no] % pairs_per_block == 0
+            timer.decode_pair(input_no, key_len, value_length,
+                              new_block=new_block,
+                              block_compressed_size=block_size)
+            decoded[input_no] += 1
+
+    for input_no in range(len(remaining)):
+        feed(input_no)
+
+    live = [i for i, n in enumerate(remaining) if n > 0]
+    while live:
+        winner = rng.choice(live)
+        drop = rng.random() < drop_fraction
+        timer.comparer_round(live, winner, drop, key_len, value_length)
+        remaining[winner] -= 1
+        feed(winner)
+        if remaining[winner] == 0:
+            live.remove(winner)
+
+    input_bytes = sum(pairs_per_input) * pair_file_bytes
+    return timer.finalize(input_bytes)

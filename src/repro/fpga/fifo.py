@@ -1,0 +1,67 @@
+"""Bounded FIFO — the synchronization primitive of the engine.
+
+The paper stores decoded key and value streams in FIFOs rather than BRAM
+because "FIFO is easier to be synchronized" and an element "can be used
+only once" (§V-C) — hence the separate *copy* of the key stream feeding
+the Key-Value Transfer module.  This class models both the functional
+queue and its occupancy bookkeeping; timing interaction (backpressure) is
+handled by the pipeline simulator, which consults ``is_full``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Fixed-capacity single-reader queue with high-water statistics."""
+
+    def __init__(self, capacity: int, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[T] = deque()
+        self.total_pushed = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def push(self, item: T) -> None:
+        if self.is_full:
+            raise OverflowError(f"push to full FIFO {self.name!r}")
+        self._items.append(item)
+        self.total_pushed += 1
+        self.high_water = max(self.high_water, len(self._items))
+
+    def peek(self) -> T:
+        if not self._items:
+            raise IndexError(f"peek on empty FIFO {self.name!r}")
+        return self._items[0]
+
+    def pop(self) -> T:
+        if not self._items:
+            raise IndexError(f"pop on empty FIFO {self.name!r}")
+        return self._items.popleft()
+
+    def try_peek(self) -> Optional[T]:
+        return self._items[0] if self._items else None
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.push(item)
+
+    def clear(self) -> None:
+        self._items.clear()

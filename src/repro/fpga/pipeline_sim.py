@@ -1,0 +1,237 @@
+"""Item-granularity pipeline timing simulator.
+
+The engine's modules run concurrently in hardware; this simulator
+composes their per-pair service times (from :mod:`repro.fpga.cost_model`
+and the module classes) into a kernel cycle count, honoring the
+synchronization the paper describes:
+
+* each input's Decoder runs ahead of the Comparer only as far as its
+  key/value FIFO depth allows (a FIFO element is usable once, §V-C);
+* a Comparer round needs the head key of *every* non-exhausted input;
+* the value path is single-buffered: the winner's value moves through
+  the Key-Value Transfer at ``V`` bytes/cycle and drains into the output
+  buffer at ``output_buffer_width`` bytes/cycle before the next value may
+  follow;
+* the Data Block Encoder's key work runs parallel to the value drain;
+* block flushes occupy the AXI writer at ``W_out`` bytes/cycle.
+
+With the default ``output_buffer_width = 8`` this model reproduces the
+paper's measured Table V within roughly -25%..+5% (EXPERIMENTS.md keeps
+the per-cell comparison).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.fpga.config import FpgaConfig, PipelineVariant
+from repro.fpga.cost_model import comparer_period
+
+
+@dataclass
+class _PairSpec:
+    key_len: int
+    value_len: int
+    new_block: bool
+    block_compressed_size: int
+
+
+@dataclass
+class TimingReport:
+    """Cycle totals for one kernel run."""
+
+    total_cycles: float = 0.0
+    comparer_rounds: int = 0
+    pairs_transferred: int = 0
+    pairs_dropped: int = 0
+    decoder_stall_cycles: float = 0.0   # comparer waiting on decoders
+    value_bus_busy_cycles: float = 0.0
+    writer_busy_cycles: float = 0.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    def kernel_seconds(self, config: FpgaConfig) -> float:
+        return config.cycles_to_seconds(self.total_cycles)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction of each shared resource over the kernel run —
+        a coarse occupancy profile of the pipeline."""
+        if self.total_cycles <= 0:
+            return {"value_bus": 0.0, "writer": 0.0, "decoder_stall": 0.0}
+        return {
+            "value_bus": self.value_bus_busy_cycles / self.total_cycles,
+            "writer": self.writer_busy_cycles / self.total_cycles,
+            "decoder_stall": self.decoder_stall_cycles / self.total_cycles,
+        }
+
+    def speed_mbps(self, config: FpgaConfig) -> float:
+        """The paper's metric: input SSTable bytes / kernel time."""
+        seconds = self.kernel_seconds(config)
+        if seconds <= 0:
+            return 0.0
+        return self.input_bytes / seconds / 1e6
+
+
+class _InputTimingState:
+    """Decoder-side clock and FIFO occupancy for one input."""
+
+    __slots__ = ("decoder_clock", "pending", "free_slots")
+
+    def __init__(self, fifo_depth: int) -> None:
+        self.decoder_clock = 0.0
+        #: ready times of decoded pairs sitting in the KV FIFO
+        self.pending: deque[float] = deque()
+        #: times at which FIFO slots became free; a decode consumes the
+        #: earliest-freed slot, so a pair can never finish decoding into a
+        #: slot before that slot was vacated.
+        self.free_slots: deque[float] = deque([0.0] * fifo_depth)
+
+
+class PipelineTimer:
+    """Drives the timing model; the engine (or a synthetic workload
+    generator) feeds it decode and selection events in merge order."""
+
+    def __init__(self, config: FpgaConfig):
+        self.config = config
+        self._inputs = [_InputTimingState(config.kv_fifo_depth)
+                        for _ in range(config.num_inputs)]
+        self._t_comparer = 0.0
+        self._t_value_bus = 0.0
+        self._t_encoder = 0.0
+        self._t_writer = 0.0
+        self.report = TimingReport()
+
+    # ------------------------------------------------------------------
+    # Decoder side
+    # ------------------------------------------------------------------
+
+    def _decode_service(self, spec: _PairSpec) -> float:
+        config = self.config
+        if config.variant is PipelineVariant.FULL:
+            cycles = spec.key_len + spec.value_len / config.value_width
+        else:
+            cycles = float(spec.key_len + spec.value_len)
+        if spec.new_block:
+            cycles += config.dram_read_latency
+            if config.variant is PipelineVariant.BASIC:
+                # Single read pointer: detour through the index block.
+                cycles += 2 * config.dram_read_latency + 24
+            stream_width = (config.w_in
+                            if config.variant is PipelineVariant.FULL else 1)
+            cycles += min(spec.block_compressed_size, 64) / stream_width
+        return cycles
+
+    def decode_pair(self, input_no: int, key_len: int, value_len: int,
+                    new_block: bool = False,
+                    block_compressed_size: int = 4096) -> None:
+        """The functional decoder produced one pair for ``input_no``.
+
+        Callers decode at most ``kv_fifo_depth`` pairs ahead of the pops
+        (the engine advances one pair per consumed head), so a free slot
+        is always available here.
+        """
+        state = self._inputs[input_no]
+        spec = _PairSpec(key_len, value_len, new_block, block_compressed_size)
+        if not state.free_slots:
+            raise SimulationError(
+                f"decoder for input {input_no} ran more than "
+                f"{self.config.kv_fifo_depth} pairs ahead of the Comparer")
+        slot_available = state.free_slots.popleft()
+        start = max(state.decoder_clock, slot_available)
+        end = start + self._decode_service(spec)
+        state.decoder_clock = end
+        state.pending.append(end)
+
+    # ------------------------------------------------------------------
+    # Comparer / transfer / encoder side
+    # ------------------------------------------------------------------
+
+    def head_ready_time(self, input_no: int) -> float:
+        state = self._inputs[input_no]
+        if not state.pending:
+            raise SimulationError(
+                f"input {input_no} has no decoded head pair")
+        return state.pending[0]
+
+    def comparer_round(self, live_inputs: list[int], winner: int,
+                       drop: bool, key_len: int, value_len: int) -> float:
+        """Run one selection round; returns the time the winner's pair
+        left the pipeline (its FIFO slot free time)."""
+        heads_ready = max(self.head_ready_time(i) for i in live_inputs)
+        round_start = max(self._t_comparer, heads_ready)
+        self.report.decoder_stall_cycles += max(
+            0.0, heads_ready - self._t_comparer)
+        if self.config.variant in (PipelineVariant.BASIC,
+                                   PipelineVariant.SPLIT_BLOCKS):
+            # Before key-value separation the Comparer reads the fused
+            # entry — the value rides through the compare path (§V-C's
+            # motivation); the tree and existence check still work on
+            # keys alone.
+            fanin = self.config.comparer_fanin_depth()
+            round_cycles = (key_len + value_len) + (1 + fanin) * key_len
+        else:
+            round_cycles = comparer_period(key_len, self.config.num_inputs)
+        round_end = round_start + round_cycles
+        self._t_comparer = round_end
+        self.report.comparer_rounds += 1
+
+        if drop:
+            self.report.pairs_dropped += 1
+            slot_free = round_end
+        else:
+            slot_free = self._run_value_path(round_end, key_len, value_len)
+            self.report.pairs_transferred += 1
+        self._pop_and_refill(winner, slot_free)
+        return slot_free
+
+    def _run_value_path(self, ready: float, key_len: int,
+                        value_len: int) -> float:
+        config = self.config
+        start = max(ready, self._t_value_bus)
+        if config.variant is PipelineVariant.FULL:
+            transfer = max(key_len, value_len / config.value_width)
+            staging = value_len / config.output_buffer_width
+        elif config.variant is PipelineVariant.KV_SEPARATION:
+            transfer = float(max(key_len, value_len))
+            staging = value_len / config.output_buffer_width
+        else:
+            # Fused key-value stream: one serial move, no separate staging.
+            transfer = float(key_len + value_len)
+            staging = 0.0
+        end = start + transfer + staging
+        self.report.value_bus_busy_cycles += transfer + staging
+        self._t_value_bus = end
+        # Encoder key work overlaps the value drain on its own resource.
+        self._t_encoder = max(self._t_encoder, start) + key_len
+        return end
+
+    def block_flush(self, block_bytes: int) -> None:
+        """A data block (plus its index entry) streams out over AXI."""
+        width = (self.config.w_out
+                 if self.config.variant is PipelineVariant.FULL else 8)
+        busy = block_bytes / width
+        self._t_writer = max(self._t_writer,
+                             max(self._t_value_bus, self._t_encoder)) + busy
+        self.report.writer_busy_cycles += busy
+        self.report.output_bytes += block_bytes
+
+    def _pop_and_refill(self, input_no: int, slot_free: float) -> None:
+        state = self._inputs[input_no]
+        if not state.pending:
+            raise SimulationError(f"pop on empty FIFO for input {input_no}")
+        state.pending.popleft()
+        state.free_slots.append(slot_free)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def finalize(self, input_bytes: int) -> TimingReport:
+        """Drain the pipeline and close the report."""
+        self.report.input_bytes = input_bytes
+        self.report.total_cycles = max(
+            self._t_comparer, self._t_value_bus, self._t_encoder,
+            self._t_writer)
+        return self.report

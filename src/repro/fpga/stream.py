@@ -1,0 +1,51 @@
+"""Stream width adapters (paper §V-D2).
+
+The AXI port moves ``W_in`` (or ``W_out``) bytes per cycle while the
+value data path inside the engine is ``V`` bytes wide.  The **Stream
+Downsizer** narrows the inbound block stream from ``W_in`` to ``V``; the
+**Stream Upsizer** widens the output buffer's drain to ``W_out``.  These
+are pure rate adapters: functionally they pass bytes through unchanged,
+and for timing they expose the cycles needed to move a payload at their
+output rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamDownsizer:
+    """W_in-byte/cycle AXI beats → V-byte/cycle element stream."""
+
+    input_width: int
+    output_width: int
+
+    def __post_init__(self) -> None:
+        if self.output_width > self.input_width:
+            raise ValueError("downsizer output must be narrower than input")
+
+    def cycles_to_emit(self, nbytes: int) -> int:
+        """Cycles to present ``nbytes`` on the narrow side."""
+        return math.ceil(nbytes / self.output_width) if nbytes else 0
+
+    def cycles_to_ingest(self, nbytes: int) -> int:
+        """Cycles the wide side needs to deliver ``nbytes``."""
+        return math.ceil(nbytes / self.input_width) if nbytes else 0
+
+
+@dataclass(frozen=True)
+class StreamUpsizer:
+    """Narrow output-buffer drain → W_out-byte/cycle AXI write beats."""
+
+    input_width: int
+    output_width: int
+
+    def __post_init__(self) -> None:
+        if self.input_width > self.output_width:
+            raise ValueError("upsizer input must be narrower than output")
+
+    def cycles_to_write(self, nbytes: int) -> int:
+        """Cycles of AXI write traffic for ``nbytes``."""
+        return math.ceil(nbytes / self.output_width) if nbytes else 0

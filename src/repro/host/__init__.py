@@ -1,0 +1,32 @@
+"""Software integration with the hardware compaction engine (paper §VI).
+
+* :mod:`repro.host.memory` — the unified Input/Output memory interface:
+  MetaIn/MetaOut blocks, Index Block Memory and W_in/W_out-aligned Data
+  Block Memory (Figs 7 and 8).
+* :mod:`repro.host.pcie` — PCIe gen3 x16 DMA transfer model.
+* :mod:`repro.host.device` — :class:`FcaeDevice`: marshal -> DMA ->
+  kernel -> DMA -> install, with a per-phase timing breakdown.
+* :mod:`repro.host.scheduler` — the compaction-thread workflow of Fig 6:
+  offload merge compactions whose input count fits the engine's ``N``,
+  fall back to software otherwise, and account for the flush/kernel
+  overlap the co-design enables.
+"""
+
+from repro.host.device import DeviceResult, FcaeDevice
+from repro.host.near_storage import NearStorageDevice, NearStorageResult
+from repro.host.pcie import PcieModel
+from repro.host.scheduler import CompactionScheduler, SchedulerStats
+from repro.host.splice import SplitTable, combine_regions, split_table_image
+
+__all__ = [
+    "CompactionScheduler",
+    "DeviceResult",
+    "FcaeDevice",
+    "NearStorageDevice",
+    "NearStorageResult",
+    "PcieModel",
+    "SchedulerStats",
+    "SplitTable",
+    "combine_regions",
+    "split_table_image",
+]

@@ -1,0 +1,111 @@
+"""FcaeDevice — the host's handle on the FPGA card.
+
+One ``compact`` call performs the paper's §IV workflow steps 3-7:
+
+3. read input SSTables into host memory (the caller supplies
+   :class:`TableReader`\\ s whose images are already resident),
+4. DMA the input memory image (MetaIn + index + data regions) to card
+   DRAM,
+5-6. run the hardware engine, which streams results back to card DRAM,
+7. DMA the Output Memory (tables + MetaOut) back to the host.
+
+The result carries the functional outputs *and* a per-phase timing
+breakdown, so callers (the scheduler, the system simulator, Table VIII)
+can attribute time to marshalling, PCIe and kernel separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.config import FpgaConfig
+from repro.fpga.dram import Dram
+from repro.fpga.engine import CompactionEngine, EngineResult
+from repro.host.memory import (
+    MetaOutEntry,
+    decode_meta_out,
+    marshal_inputs,
+    write_outputs,
+)
+from repro.host.pcie import PcieModel
+from repro.lsm.compaction import OutputTable
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableReader
+from repro.sim.cpu import CpuCostModel
+
+
+@dataclass
+class DeviceResult:
+    """Functional outputs plus the phase timing of one offload."""
+
+    outputs: list[OutputTable]
+    meta_out: list[MetaOutEntry]
+    engine_result: EngineResult
+    host_marshal_seconds: float
+    pcie_in_seconds: float
+    kernel_seconds: float
+    pcie_out_seconds: float
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.host_marshal_seconds + self.pcie_in_seconds
+                + self.kernel_seconds + self.pcie_out_seconds)
+
+    @property
+    def pcie_seconds(self) -> float:
+        return self.pcie_in_seconds + self.pcie_out_seconds
+
+    @property
+    def pcie_fraction(self) -> float:
+        """Share of offload time spent on DMA (Table VIII's numerator is
+        this against whole-system time; the scheduler aggregates it)."""
+        total = self.total_seconds
+        return self.pcie_seconds / total if total > 0 else 0.0
+
+
+class FcaeDevice:
+    """One FPGA card: engine instance + DRAM + PCIe link."""
+
+    def __init__(self, config: FpgaConfig, options: Options | None = None,
+                 pcie: PcieModel | None = None,
+                 cpu_model: CpuCostModel | None = None,
+                 dram_size: int = 16 * 1024 * 1024 * 1024):
+        self.config = config
+        self.options = options or Options()
+        self.engine = CompactionEngine(config, self.options)
+        self.pcie = pcie or PcieModel()
+        self.cpu_model = cpu_model or CpuCostModel()
+        self.dram_size = dram_size
+
+    def compact(self, inputs: list[list[TableReader]],
+                drop_deletions: bool = False) -> DeviceResult:
+        """Offload one merge compaction.
+
+        ``inputs[i]`` is input *i*'s SSTables in key order.
+        """
+        dram = Dram(size=self.dram_size)
+        image = marshal_inputs(dram, self.config, inputs)
+        input_bytes = image.total_bytes
+        marshal_seconds = self.cpu_model.offload_seconds(input_bytes)
+        pcie_in = self.pcie.transfer_seconds(input_bytes)
+
+        engine_result = self.engine.run(dram, image.layouts, drop_deletions)
+
+        output_base = self.dram_size // 2
+        meta_out_image, output_bytes = write_outputs(
+            dram, self.config, engine_result.outputs, output_base)
+        pcie_out = self.pcie.transfer_seconds(output_bytes)
+
+        return DeviceResult(
+            outputs=engine_result.outputs,
+            meta_out=decode_meta_out(meta_out_image),
+            engine_result=engine_result,
+            host_marshal_seconds=marshal_seconds,
+            pcie_in_seconds=pcie_in,
+            kernel_seconds=engine_result.kernel_seconds,
+            pcie_out_seconds=pcie_out,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+        )

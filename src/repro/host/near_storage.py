@@ -1,0 +1,130 @@
+"""Near-storage compaction — the paper's §VII-E future-work direction.
+
+The PCIe-attached architecture moves every compacted byte across the
+host: disk → host DRAM → PCIe → card DRAM → kernel → card DRAM → PCIe →
+host DRAM → disk.  §VII-E sketches the alternative the authors name as
+their next step: place the engine *inside* the SSD ("as an embedded
+controller", à la SmartSSD/BlueDBM), so compaction reads and writes ride
+the drive's internal bandwidth and never cross the host interface.
+
+:class:`NearStorageDevice` reuses the exact same behavioral engine and
+models that placement:
+
+* no PCIe DMA for bulk data — only a small command/completion exchange;
+* input/output streaming at the SSD's *internal* aggregate bandwidth
+  (the sum over NAND channels, typically 2-4x the external interface);
+* no host-memory staging: the host only sends the compaction descriptor
+  (the MetaIn picture) and receives MetaOut.
+
+The ``near_storage`` benchmark target compares the two placements on
+identical tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.config import FpgaConfig
+from repro.fpga.dram import Dram
+from repro.fpga.engine import CompactionEngine, EngineResult
+from repro.host.memory import (
+    MetaOutEntry,
+    decode_meta_out,
+    marshal_inputs,
+    write_outputs,
+)
+from repro.lsm.compaction import OutputTable
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableReader
+from repro.sim.cpu import CpuCostModel
+
+
+@dataclass(frozen=True)
+class SsdModel:
+    """Internal geometry of the smart SSD hosting the engine."""
+
+    #: Aggregate internal NAND bandwidth available to the engine.
+    internal_bandwidth: float = 3.2e9
+    #: Host-visible command/completion latency (NVMe round trip).
+    command_latency: float = 15e-6
+    #: Bytes of descriptor traffic per command (MetaIn/MetaOut scale).
+    descriptor_bytes: int = 4096
+
+    def stream_seconds(self, nbytes: int) -> float:
+        """Move ``nbytes`` over the internal channels."""
+        if nbytes < 0:
+            raise ValueError("negative transfer size")
+        return nbytes / self.internal_bandwidth
+
+
+@dataclass
+class NearStorageResult:
+    """Outcome of one in-storage compaction."""
+
+    outputs: list[OutputTable]
+    meta_out: list[MetaOutEntry]
+    engine_result: EngineResult
+    command_seconds: float
+    internal_read_seconds: float
+    kernel_seconds: float
+    internal_write_seconds: float
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.command_seconds + self.internal_read_seconds
+                + self.kernel_seconds + self.internal_write_seconds)
+
+    @property
+    def data_movement_fraction(self) -> float:
+        """Share of time moving bytes rather than merging them."""
+        total = self.total_seconds
+        moving = self.internal_read_seconds + self.internal_write_seconds
+        return moving / total if total > 0 else 0.0
+
+
+class NearStorageDevice:
+    """The engine embedded in the SSD controller."""
+
+    def __init__(self, config: FpgaConfig, options: Options | None = None,
+                 ssd: SsdModel | None = None,
+                 cpu_model: CpuCostModel | None = None,
+                 dram_size: int = 16 * 1024 * 1024 * 1024):
+        self.config = config
+        self.options = options or Options()
+        self.engine = CompactionEngine(config, self.options)
+        self.ssd = ssd or SsdModel()
+        self.cpu_model = cpu_model or CpuCostModel()
+        self.dram_size = dram_size
+
+    def compact(self, inputs: list[list[TableReader]],
+                drop_deletions: bool = False) -> NearStorageResult:
+        """Run one compaction entirely inside the drive.
+
+        Functionally identical to :class:`repro.host.FcaeDevice.compact`;
+        only the timing attribution differs: internal streaming replaces
+        PCIe + host staging.
+        """
+        dram = Dram(size=self.dram_size)
+        image = marshal_inputs(dram, self.config, inputs)
+        input_bytes = image.total_bytes
+
+        engine_result = self.engine.run(dram, image.layouts, drop_deletions)
+
+        output_base = self.dram_size // 2
+        meta_out_image, output_bytes = write_outputs(
+            dram, self.config, engine_result.outputs, output_base)
+
+        command = 2 * self.ssd.command_latency  # submit + completion
+        return NearStorageResult(
+            outputs=engine_result.outputs,
+            meta_out=decode_meta_out(meta_out_image),
+            engine_result=engine_result,
+            command_seconds=command,
+            internal_read_seconds=self.ssd.stream_seconds(input_bytes),
+            kernel_seconds=engine_result.kernel_seconds,
+            internal_write_seconds=self.ssd.stream_seconds(output_bytes),
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+        )

@@ -1,0 +1,143 @@
+"""Compaction-thread workflow (paper Fig 6).
+
+The scheduler is an :class:`LsmDB`-compatible compaction executor that
+routes each merge compaction:
+
+* to the **FPGA** when the compaction's input-stream count fits the
+  engine (``fpga_input_count() <= N``) — for level >= 1 that count is at
+  most 2 (the sorted level concatenates into one input); for level 0 it
+  is the number of overlapping L0 files plus one;
+* to **software** otherwise ("when S_0 > N - 1, the compaction task will
+  be processed completely by the software").
+
+It verifies every FPGA result against the storage contract (sorted,
+disjoint output ranges) and accumulates the statistics the experiments
+report: task/byte routing, per-phase time, and the PCIe share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FpgaProtocolError
+from repro.host.device import FcaeDevice
+from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.options import Options
+from repro.lsm.version import CompactionSpec
+from repro.sim.cpu import CpuCostModel
+
+
+@dataclass
+class SchedulerStats:
+    """Routing and timing accumulators over a database run."""
+
+    fpga_tasks: int = 0
+    software_tasks: int = 0
+    fpga_input_bytes: int = 0
+    software_input_bytes: int = 0
+    fpga_kernel_seconds: float = 0.0
+    fpga_pcie_seconds: float = 0.0
+    fpga_marshal_seconds: float = 0.0
+    software_seconds: float = 0.0
+
+    @property
+    def total_offload_seconds(self) -> float:
+        return (self.fpga_kernel_seconds + self.fpga_pcie_seconds
+                + self.fpga_marshal_seconds)
+
+    @property
+    def pcie_fraction_of_offload(self) -> float:
+        total = self.total_offload_seconds
+        return self.fpga_pcie_seconds / total if total > 0 else 0.0
+
+
+class CompactionScheduler:
+    """Pluggable executor for :class:`repro.lsm.db.LsmDB`.
+
+    Pass an instance as ``LsmDB(compaction_executor=scheduler)``; it then
+    receives every merge compaction the database picks.
+    """
+
+    def __init__(self, device: FcaeDevice, options: Options | None = None,
+                 cpu_model: CpuCostModel | None = None,
+                 verify_outputs: bool = True):
+        self.device = device
+        self.options = options or device.options
+        self.comparator = InternalKeyComparator(self.options.comparator)
+        self.cpu_model = cpu_model or device.cpu_model
+        self.verify_outputs = verify_outputs
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def should_offload(self, spec: CompactionSpec) -> bool:
+        """Fig 6's branch: FPGA iff the input-stream count fits N."""
+        return spec.fpga_input_count() <= self.device.config.num_inputs
+
+    def __call__(self, spec: CompactionSpec, input_tables: list,
+                 parent_tables: list,
+                 drop_deletions: bool) -> list[OutputTable]:
+        if self.should_offload(spec):
+            return self._run_fpga(spec, input_tables, parent_tables,
+                                  drop_deletions)
+        return self._run_software(spec, input_tables, parent_tables,
+                                  drop_deletions)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def _run_fpga(self, spec: CompactionSpec, input_tables: list,
+                  parent_tables: list,
+                  drop_deletions: bool) -> list[OutputTable]:
+        if spec.level == 0:
+            streams = [[t] for t in input_tables]
+        else:
+            streams = [input_tables] if input_tables else []
+        if parent_tables:
+            streams.append(parent_tables)
+        result = self.device.compact(streams, drop_deletions)
+        self.stats.fpga_tasks += 1
+        self.stats.fpga_input_bytes += result.input_bytes
+        self.stats.fpga_kernel_seconds += result.kernel_seconds
+        self.stats.fpga_pcie_seconds += result.pcie_seconds
+        self.stats.fpga_marshal_seconds += result.host_marshal_seconds
+        if self.verify_outputs:
+            self._verify(result.outputs)
+        return result.outputs
+
+    def _run_software(self, spec: CompactionSpec, input_tables: list,
+                      parent_tables: list,
+                      drop_deletions: bool) -> list[OutputTable]:
+        sources = make_compaction_sources(spec.level, input_tables,
+                                          parent_tables)
+        stats = compact(sources, self.options, self.comparator,
+                        drop_deletions)
+        self.stats.software_tasks += 1
+        self.stats.software_input_bytes += spec.total_input_bytes
+        self.stats.software_seconds += self.cpu_model.compaction_seconds(
+            spec.total_input_bytes,
+            self.options.key_length,
+            self.options.value_length,
+            num_inputs=max(2, spec.fpga_input_count()),
+        )
+        return stats.outputs
+
+    # ------------------------------------------------------------------
+    # Contract checks
+    # ------------------------------------------------------------------
+
+    def _verify(self, outputs: list[OutputTable]) -> None:
+        """The FPGA result must honor the storage format's invariants:
+        per-table sorted ranges and cross-table disjointness."""
+        for prev, cur in zip(outputs, outputs[1:]):
+            if self.comparator.compare(prev.largest, cur.smallest) >= 0:
+                raise FpgaProtocolError(
+                    "FPGA produced overlapping output tables")
+        for output in outputs:
+            if self.comparator.compare(output.smallest, output.largest) > 0:
+                raise FpgaProtocolError(
+                    "FPGA produced an inverted table key range")

@@ -1,0 +1,142 @@
+"""Host-side table splicing (paper §V-B1/B2).
+
+With Decoder/Encoder Separation the card consumes and produces *split*
+tables: a data region (the data blocks, streamed at ``W_out``) and an
+index region (the index entries, emitted per flushed block).  "The host
+is in charge of combining data blocks with index blocks into new
+formatted SSTables."
+
+These helpers perform both directions over standard table images:
+
+* :func:`split_table_image` — tear a standard SSTable into its data
+  region and decoded index entries (what the host uploads into the
+  separated Index/Data Block Memory of Fig 7);
+* :func:`combine_regions` — rebuild a standard SSTable from a data
+  region + index entries (the host's post-kernel combining step).
+
+``combine_regions(split_table_image(x)) == x`` holds bit-exactly for any
+table this library produces, which is the property that guarantees the
+offload never perturbs the storage format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CorruptionError
+from repro.lsm.block import BlockBuilder
+from repro.lsm.sstable import (
+    BLOCK_TRAILER_SIZE,
+    BlockHandle,
+    COMPRESSION_NONE,
+    FOOTER_SIZE,
+    TABLE_MAGIC,
+    _read_block,
+)
+from repro.util.coding import encode_fixed32
+from repro.util.crc32c import crc32c, mask_crc
+from repro.util.varint import decode_varint64
+
+
+@dataclass(frozen=True)
+class SplitTable:
+    """A standard SSTable torn into the device's two memory regions."""
+
+    #: Data blocks exactly as stored (payload + type + CRC trailers),
+    #: ending where the first meta block begins.
+    data_region: bytes
+    #: Decoded index entries: (separator key, handle into data_region).
+    index_entries: tuple[tuple[bytes, BlockHandle], ...]
+    #: The filter block image, if the table carries one.
+    filter_block: bytes | None
+    filter_name: bytes | None
+
+
+def split_table_image(image: bytes) -> SplitTable:
+    """Tear a standard table image into data region + index entries."""
+    if len(image) < FOOTER_SIZE:
+        raise CorruptionError("table too short to split")
+    footer = image[-FOOTER_SIZE:]
+    if int.from_bytes(footer[-8:], "little") != TABLE_MAGIC:
+        raise CorruptionError("bad table magic")
+    metaindex_handle, pos = BlockHandle.decode(footer, 0)
+    index_handle, _ = BlockHandle.decode(footer, pos)
+
+    from repro.lsm.block import Block
+    index_entries = []
+    index_image = _read_block(image, index_handle, verify=True)
+    data_end = 0
+    for key, handle_bytes in Block(index_image):
+        handle, _ = BlockHandle.decode(handle_bytes, 0)
+        index_entries.append((key, handle))
+        data_end = max(data_end,
+                       handle.offset + handle.size + BLOCK_TRAILER_SIZE)
+
+    filter_block = filter_name = None
+    metaindex = Block(_read_block(image, metaindex_handle, verify=True))
+    for key, handle_bytes in metaindex:
+        if key.startswith(b"filter."):
+            handle, _ = BlockHandle.decode(handle_bytes, 0)
+            filter_block = _read_block(image, handle, verify=True)
+            filter_name = key
+    return SplitTable(
+        data_region=image[:data_end],
+        index_entries=tuple(index_entries),
+        filter_block=filter_block,
+        filter_name=filter_name,
+    )
+
+
+def _append_block(out: bytearray, contents: bytes,
+                  compression: str) -> BlockHandle:
+    """Store one meta block with TableBuilder's exact policy: snappy when
+    it saves at least 12.5%, raw otherwise."""
+    block_type = COMPRESSION_NONE
+    payload = contents
+    if compression == "snappy":
+        from repro.compress import snappy
+        from repro.lsm.sstable import COMPRESSION_SNAPPY
+
+        compressed = snappy.compress(contents)
+        if len(compressed) < len(contents) - len(contents) // 8:
+            payload, block_type = compressed, COMPRESSION_SNAPPY
+    handle = BlockHandle(len(out), len(payload))
+    crc = mask_crc(crc32c(payload + bytes([block_type])))
+    out += payload
+    out.append(block_type)
+    out += encode_fixed32(crc)
+    return handle
+
+
+def combine_regions(split: SplitTable,
+                    compression: str = "snappy") -> bytes:
+    """Rebuild the standard table image from its split regions.
+
+    The data region is used verbatim (it still carries per-block
+    compression trailers); the index, metaindex and footer are
+    re-encoded around it.  ``compression`` must match the
+    ``Options.compression`` the table was built with for the round trip
+    to be bit-exact.
+    """
+    out = bytearray(split.data_region)
+
+    metaindex_builder = BlockBuilder(1)
+    if split.filter_block is not None:
+        filter_handle = _append_block(out, split.filter_block, compression)
+        metaindex_builder.add(split.filter_name or b"filter.unknown",
+                              filter_handle.encode())
+    metaindex_handle = _append_block(out, metaindex_builder.finish(),
+                                     compression)
+
+    index_builder = BlockBuilder(1)
+    for key, handle in split.index_entries:
+        index_builder.add(key, handle.encode())
+    index_handle = _append_block(out, index_builder.finish(), compression)
+
+    footer = bytearray()
+    footer += metaindex_handle.encode()
+    footer += index_handle.encode()
+    footer += b"\x00" * (FOOTER_SIZE - 8 - len(footer))
+    footer += TABLE_MAGIC.to_bytes(8, "little")
+    out += footer
+    return bytes(out)

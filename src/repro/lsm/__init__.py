@@ -1,0 +1,21 @@
+"""A LevelDB-workalike LSM-tree key-value store.
+
+This package is the substrate the paper accelerates: a leveled LSM-tree
+with a skiplist memtable, write-ahead log, Snappy-compressed SSTables
+(4 KB prefix-compressed data blocks + index block + footer), bloom
+filters, an LRU block cache, and leveled compaction.  The on-disk SSTable
+format produced here is exactly what the FPGA compaction engine in
+:mod:`repro.fpga` consumes and emits.
+
+Public entry points:
+
+* :class:`repro.lsm.db.LsmDB` — open/put/get/delete/iterate.
+* :class:`repro.lsm.options.Options` — tuning knobs (the paper's Table IV).
+* :class:`repro.lsm.batch.WriteBatch` — atomic multi-key writes.
+"""
+
+from repro.lsm.batch import WriteBatch
+from repro.lsm.db import LsmDB
+from repro.lsm.options import Options
+
+__all__ = ["LsmDB", "Options", "WriteBatch"]

@@ -1,0 +1,7 @@
+"""``python -m repro.lsm`` entry point."""
+
+import sys
+
+from repro.lsm.cli import main
+
+sys.exit(main())

@@ -1,0 +1,100 @@
+"""Atomic write batches, serialized in LevelDB's WriteBatch format.
+
+Wire layout::
+
+    fixed64 sequence | fixed32 count | records...
+    record := TYPE_VALUE    varstring key varstring value
+            | TYPE_DELETION varstring key
+
+A batch is both the unit the WAL persists and the unit applied to the
+memtable, so a crash either keeps all of a batch or none of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.lsm.internal import TYPE_DELETION, TYPE_VALUE
+from repro.lsm.memtable import MemTable
+from repro.util.coding import (
+    decode_fixed32,
+    decode_fixed64,
+    encode_fixed32,
+    encode_fixed64,
+    get_length_prefixed_slice,
+    put_length_prefixed_slice,
+)
+
+_HEADER_SIZE = 12
+
+
+class WriteBatch:
+    """Collects puts/deletes for one atomic commit."""
+
+    def __init__(self) -> None:
+        self._records: list[tuple[int, bytes, bytes]] = []
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._records.append((TYPE_VALUE, key, value))
+
+    def delete(self, key: bytes) -> None:
+        self._records.append((TYPE_DELETION, key, b""))
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def byte_size(self) -> int:
+        """Approximate payload bytes (keys + values)."""
+        return sum(len(k) + len(v) for _, k, v in self._records)
+
+    def __iter__(self) -> Iterator[tuple[int, bytes, bytes]]:
+        return iter(self._records)
+
+    def serialize(self, sequence: int) -> bytes:
+        """Encode with a starting ``sequence`` for WAL storage."""
+        out = bytearray()
+        out += encode_fixed64(sequence)
+        out += encode_fixed32(len(self._records))
+        for value_type, key, value in self._records:
+            out.append(value_type)
+            put_length_prefixed_slice(out, key)
+            if value_type == TYPE_VALUE:
+                put_length_prefixed_slice(out, value)
+        return bytes(out)
+
+    @staticmethod
+    def deserialize(data: bytes) -> tuple[int, "WriteBatch"]:
+        """Decode a serialized batch; returns (sequence, batch)."""
+        if len(data) < _HEADER_SIZE:
+            raise CorruptionError("write batch header truncated")
+        sequence = decode_fixed64(data, 0)
+        count = decode_fixed32(data, 8)
+        batch = WriteBatch()
+        pos = _HEADER_SIZE
+        for _ in range(count):
+            if pos >= len(data):
+                raise CorruptionError("write batch record truncated")
+            value_type = data[pos]
+            pos += 1
+            key, pos = get_length_prefixed_slice(data, pos)
+            if value_type == TYPE_VALUE:
+                value, pos = get_length_prefixed_slice(data, pos)
+                batch.put(key, value)
+            elif value_type == TYPE_DELETION:
+                batch.delete(key)
+            else:
+                raise CorruptionError(f"bad batch record type {value_type}")
+        if pos != len(data):
+            raise CorruptionError("trailing bytes after write batch")
+        return sequence, batch
+
+    def apply_to_memtable(self, memtable: MemTable, sequence: int) -> int:
+        """Insert every record; returns the next unused sequence number."""
+        for value_type, key, value in self._records:
+            memtable.add(sequence, value_type, key, value)
+            sequence += 1
+        return sequence

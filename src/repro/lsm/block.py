@@ -1,0 +1,159 @@
+"""Data/index block format with restart-point prefix compression.
+
+A block is a run of entries
+
+    varint32 shared_key_len | varint32 unshared_key_len | varint32 value_len
+    | key_delta | value
+
+followed by an array of fixed32 restart offsets and a fixed32 restart
+count.  Every ``restart_interval``-th key is stored in full (shared = 0) so
+a reader can binary-search the restart points and scan at most one
+interval.  This is LevelDB's exact layout — both SSTable data blocks and
+index blocks use it, and it is what the FPGA Data/Index Block Decoders
+parse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.util.coding import decode_fixed32, encode_fixed32
+from repro.util.comparator import Comparator
+from repro.util.varint import decode_varint32, encode_varint32
+
+
+class BlockBuilder:
+    """Accumulates sorted key/value entries into a block image."""
+
+    def __init__(self, restart_interval: int = 16):
+        if restart_interval < 1:
+            raise ValueError("restart_interval must be >= 1")
+        self._restart_interval = restart_interval
+        self._buffer = bytearray()
+        self._restarts = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._finished = False
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._buffer
+
+    def current_size_estimate(self) -> int:
+        """Bytes the finished block would occupy."""
+        return len(self._buffer) + 4 * len(self._restarts) + 4
+
+    def add(self, key: bytes, value: bytes) -> None:
+        """Append an entry; keys must arrive in strictly increasing order
+        relative to previous ``add`` calls (enforced by the table builder)."""
+        if self._finished:
+            raise ValueError("add after finish")
+        shared = 0
+        if self._counter < self._restart_interval:
+            min_len = min(len(self._last_key), len(key))
+            while shared < min_len and self._last_key[shared] == key[shared]:
+                shared += 1
+        else:
+            self._restarts.append(len(self._buffer))
+            self._counter = 0
+        non_shared = len(key) - shared
+        self._buffer += encode_varint32(shared)
+        self._buffer += encode_varint32(non_shared)
+        self._buffer += encode_varint32(len(value))
+        self._buffer += key[shared:]
+        self._buffer += value
+        self._last_key = key
+        self._counter += 1
+
+    def finish(self) -> bytes:
+        """Seal the block and return its image."""
+        if self._finished:
+            raise ValueError("finish called twice")
+        self._finished = True
+        out = bytearray(self._buffer)
+        for restart in self._restarts:
+            out += encode_fixed32(restart)
+        out += encode_fixed32(len(self._restarts))
+        return bytes(out)
+
+    def reset(self) -> None:
+        self._buffer.clear()
+        self._restarts = [0]
+        self._counter = 0
+        self._last_key = b""
+        self._finished = False
+
+
+class Block:
+    """Read-side view of a block image."""
+
+    def __init__(self, contents: bytes):
+        if len(contents) < 4:
+            raise CorruptionError("block too small for restart count")
+        self._data = contents
+        self._num_restarts = decode_fixed32(contents, len(contents) - 4)
+        self._restarts_offset = len(contents) - 4 - 4 * self._num_restarts
+        if self._restarts_offset < 0 or self._num_restarts == 0:
+            raise CorruptionError("bad restart array")
+
+    def _restart_point(self, index: int) -> int:
+        return decode_fixed32(self._data, self._restarts_offset + 4 * index)
+
+    def _parse_entry(self, offset: int) -> tuple[int, int, int, int]:
+        """Return (shared, non_shared, value_len, key_delta_offset)."""
+        shared, pos = decode_varint32(self._data, offset)
+        non_shared, pos = decode_varint32(self._data, pos)
+        value_len, pos = decode_varint32(self._data, pos)
+        if pos + non_shared + value_len > self._restarts_offset:
+            raise CorruptionError("block entry overruns restart array")
+        return shared, non_shared, value_len, pos
+
+    def _iter_from_offset(self, offset: int,
+                          last_key: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
+        key = bytearray(last_key)
+        while offset < self._restarts_offset:
+            shared, non_shared, value_len, pos = self._parse_entry(offset)
+            if shared > len(key):
+                raise CorruptionError("shared prefix longer than previous key")
+            del key[shared:]
+            key += self._data[pos:pos + non_shared]
+            value_start = pos + non_shared
+            value = self._data[value_start:value_start + value_len]
+            yield bytes(key), bytes(value)
+            offset = value_start + value_len
+
+    def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
+        """Yield ``(key, value)`` in stored order."""
+        if self._restarts_offset == 0:
+            return
+        yield from self._iter_from_offset(0)
+
+    def _key_at_restart(self, index: int) -> bytes:
+        offset = self._restart_point(index)
+        shared, non_shared, _, pos = self._parse_entry(offset)
+        if shared != 0:
+            raise CorruptionError("restart entry has shared bytes")
+        return bytes(self._data[pos:pos + non_shared])
+
+    def seek(self, target: bytes,
+             comparator: Comparator) -> Optional[tuple[bytes, bytes]]:
+        """First entry with key >= ``target`` under ``comparator``."""
+        for key, value in self.iter_from(target, comparator):
+            return key, value
+        return None
+
+    def iter_from(self, target: bytes,
+                  comparator: Comparator) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with key >= ``target``."""
+        # Binary search restart points for the last one with key < target.
+        lo, hi = 0, self._num_restarts - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if comparator.compare(self._key_at_restart(mid), target) < 0:
+                lo = mid
+            else:
+                hi = mid - 1
+        for key, value in self._iter_from_offset(self._restart_point(lo)):
+            if comparator.compare(key, target) >= 0:
+                yield key, value

@@ -1,0 +1,62 @@
+"""LRU block cache.
+
+Caches decompressed data blocks keyed by ``(file_number, block_offset)``.
+Capacity is accounted in bytes of cached payload.  Eviction is strict LRU,
+implemented over an ordered dict; hit/miss counters are exposed because
+the read-path experiments report them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+
+class LRUCache:
+    """Byte-capacity-bounded LRU map."""
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
+        self._usage = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def usage(self) -> int:
+        """Bytes currently cached."""
+        return self._usage
+
+    def get(self, key: Hashable) -> Optional[bytes]:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: bytes) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._usage -= len(self._entries.pop(key))
+        self._entries[key] = value
+        self._usage += len(value)
+        while self._usage > self.capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._usage -= len(evicted)
+
+    def erase(self, key: Hashable) -> None:
+        value = self._entries.pop(key, None)
+        if value is not None:
+            self._usage -= len(value)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._usage = 0

@@ -1,0 +1,188 @@
+"""``python -m repro.lsm`` — a small command-line client for the store.
+
+Operates on a real directory (``OsEnv``), so state persists between
+invocations::
+
+    python -m repro.lsm put   /tmp/db greeting "hello world"
+    python -m repro.lsm get   /tmp/db greeting
+    python -m repro.lsm scan  /tmp/db --limit 10
+    python -m repro.lsm fill  /tmp/db --entries 10000 --value-size 128
+    python -m repro.lsm compact /tmp/db --fpga 9
+    python -m repro.lsm stats /tmp/db
+    python -m repro.lsm delete /tmp/db greeting
+
+``--fpga N`` routes merge compactions through an N-input FCAE device
+instead of the CPU path — functionally identical files, offload
+statistics printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import NotFoundError, ReproError
+from repro.lsm.db import LsmDB
+from repro.lsm.env import OsEnv
+from repro.lsm.options import Options
+
+
+def _open_db(args) -> LsmDB:
+    executor = None
+    scheduler = None
+    if getattr(args, "fpga", 0):
+        from repro.fpga.resources import best_feasible_config
+        from repro.host.device import FcaeDevice
+        from repro.host.scheduler import CompactionScheduler
+
+        options = Options()
+        config = best_feasible_config(args.fpga)
+        device = FcaeDevice(config, options)
+        scheduler = CompactionScheduler(device, options)
+        executor = scheduler
+    db = LsmDB(args.db, Options(), env=OsEnv(),
+               compaction_executor=executor)
+    db._cli_scheduler = scheduler
+    return db
+
+
+def cmd_put(args) -> int:
+    with _open_db(args) as db:
+        db.put(args.key.encode(), args.value.encode())
+    print("OK")
+    return 0
+
+
+def cmd_get(args) -> int:
+    with _open_db(args) as db:
+        try:
+            value = db.get(args.key.encode())
+        except NotFoundError:
+            print(f"(not found: {args.key})", file=sys.stderr)
+            return 1
+    sys.stdout.write(value.decode(errors="replace") + "\n")
+    return 0
+
+
+def cmd_delete(args) -> int:
+    with _open_db(args) as db:
+        db.delete(args.key.encode())
+    print("OK")
+    return 0
+
+
+def cmd_scan(args) -> int:
+    with _open_db(args) as db:
+        start = args.start.encode() if args.start else None
+        end = args.end.encode() if args.end else None
+        count = 0
+        for key, value in db.scan(start=start, end=end):
+            print(f"{key.decode(errors='replace')}\t"
+                  f"{value.decode(errors='replace')}")
+            count += 1
+            if args.limit and count >= args.limit:
+                break
+    print(f"({count} entries)", file=sys.stderr)
+    return 0
+
+
+def cmd_fill(args) -> int:
+    from repro.workloads.dbbench import DbBench, FillMode
+
+    with _open_db(args) as db:
+        bench = DbBench(args.entries, value_length=args.value_size)
+        mode = FillMode.SEQUENTIAL if args.sequential else FillMode.RANDOM
+        written = bench.run_fill(db, mode)
+        db.flush()
+        print(f"wrote {args.entries} entries ({written / 1e6:.1f} MB), "
+              f"levels: {db.level_file_counts()}")
+        _print_offload_stats(db)
+    return 0
+
+
+def cmd_compact(args) -> int:
+    with _open_db(args) as db:
+        db.compact_range()
+        print(f"levels after compaction: {db.level_file_counts()}")
+        _print_offload_stats(db)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    with _open_db(args) as db:
+        stats = db.stats
+        sizes = db.level_sizes()
+        counts = db.level_file_counts()
+        print(f"path:         {args.db}")
+        print(f"sequence:     {db.versions.last_sequence}")
+        for level, (count, size) in enumerate(zip(counts, sizes)):
+            if count:
+                print(f"level {level}:      {count} files, "
+                      f"{size / 1e6:.2f} MB")
+        print(f"writes:       {stats.writes} ({stats.write_bytes} bytes)")
+        print(f"flushes:      {stats.flushes}")
+        print(f"compactions:  {stats.compactions}")
+        if db.block_cache is not None:
+            total = db.block_cache.hits + db.block_cache.misses
+            rate = db.block_cache.hits / total if total else 0.0
+            print(f"cache:        {db.block_cache.usage} bytes, "
+                  f"{rate:.1%} hit rate")
+    return 0
+
+
+def _print_offload_stats(db: LsmDB) -> None:
+    scheduler = getattr(db, "_cli_scheduler", None)
+    if scheduler is None:
+        return
+    stats = scheduler.stats
+    print(f"offload: {stats.fpga_tasks} on FPGA "
+          f"({stats.fpga_kernel_seconds * 1e3:.1f} ms kernel, "
+          f"{stats.fpga_pcie_seconds * 1e3:.2f} ms PCIe), "
+          f"{stats.software_tasks} in software")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lsm",
+        description="Command-line client for the FCAE LSM store.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name, func, **arguments):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("db", help="database directory")
+        for arg_name, kwargs in arguments.items():
+            cmd.add_argument(arg_name.replace("_", "-")
+                             if arg_name.startswith("--") else arg_name,
+                             **kwargs)
+        cmd.add_argument("--fpga", type=int, default=0, metavar="N",
+                         help="offload compactions to an N-input engine")
+        cmd.set_defaults(func=func)
+        return cmd
+
+    add("put", cmd_put, key={}, value={})
+    add("get", cmd_get, key={})
+    add("delete", cmd_delete, key={})
+    scan = add("scan", cmd_scan)
+    scan.add_argument("--start")
+    scan.add_argument("--end")
+    scan.add_argument("--limit", type=int, default=0)
+    fill = add("fill", cmd_fill)
+    fill.add_argument("--entries", type=int, default=10_000)
+    fill.add_argument("--value-size", type=int, default=128)
+    fill.add_argument("--sequential", action="store_true")
+    add("compact", cmd_compact)
+    add("stats", cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

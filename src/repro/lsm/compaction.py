@@ -1,0 +1,197 @@
+"""CPU reference compaction — the software merge path.
+
+This is the baseline the paper measures FCAE against, and the functional
+oracle the FPGA engine's output is compared to in tests.  Given N input
+streams of (internal key, value) pairs sorted newest-source-first, it:
+
+1. merges them (Comparer's *Key Compare* role),
+2. drops entries shadowed by a newer version of the same user key and —
+   when compacting into the bottommost level — deletion tombstones
+   (Comparer's *Validity Check* role),
+3. re-encodes survivors into standard SSTables, cutting a new data block
+   at ``Options.block_size`` and a new table at ``Options.sstable_size``
+   (the Encoder's role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    extract_user_key,
+    parse_internal_key,
+)
+from repro.lsm.iterator import KVPair, merging_iterator
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder, TableStats
+
+
+class _BufferFile:
+    """Minimal in-memory WritableFile for building table images."""
+
+    def __init__(self) -> None:
+        self.data = bytearray()
+
+    def append(self, data: bytes) -> None:
+        self.data += data
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class OutputTable:
+    """One SSTable produced by a compaction."""
+
+    data: bytes
+    smallest: bytes
+    largest: bytes
+    stats: TableStats
+
+
+@dataclass
+class CompactionStats:
+    """Counters shared by the CPU and FPGA compaction paths."""
+
+    input_pairs: int = 0
+    output_pairs: int = 0
+    dropped_shadowed: int = 0
+    dropped_tombstones: int = 0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    outputs: list[OutputTable] = field(default_factory=list)
+
+
+def merge_entries(sources: Iterable[Iterator[KVPair]],
+                  comparator: InternalKeyComparator,
+                  drop_deletions: bool,
+                  stats: CompactionStats | None = None) -> Iterator[KVPair]:
+    """Merge + validity-check: yields surviving (internal key, value).
+
+    Sources must be ordered so that for equal internal-key *user* parts the
+    newer entry (higher sequence) is met first — the internal-key order
+    guarantees this within and across sorted runs.
+    """
+    last_user_key: bytes | None = None
+    user_cmp = comparator.user_comparator.compare
+    for internal_key, value in merging_iterator(sources, comparator.compare):
+        if stats is not None:
+            stats.input_pairs += 1
+            stats.input_bytes += len(internal_key) + len(value)
+        user_key = extract_user_key(internal_key)
+        if last_user_key is not None and user_cmp(user_key, last_user_key) == 0:
+            # Older version of a user key already emitted (or dropped).
+            if stats is not None:
+                stats.dropped_shadowed += 1
+            continue
+        last_user_key = user_key
+        parsed = parse_internal_key(internal_key)
+        if parsed.is_deletion and drop_deletions:
+            if stats is not None:
+                stats.dropped_tombstones += 1
+            continue
+        if stats is not None:
+            stats.output_pairs += 1
+            stats.output_bytes += len(internal_key) + len(value)
+        yield internal_key, value
+
+
+def build_output_tables(entries: Iterator[KVPair], options: Options,
+                        comparator: InternalKeyComparator) -> list[OutputTable]:
+    """Encode merged entries into >= 0 SSTable images, rolling over at
+    ``Options.sstable_size``."""
+    outputs: list[OutputTable] = []
+    dest: _BufferFile | None = None
+    builder: TableBuilder | None = None
+
+    def finish_current() -> None:
+        nonlocal dest, builder
+        if builder is None or builder.smallest_key is None:
+            dest, builder = None, None
+            return
+        table_stats = builder.finish()
+        outputs.append(OutputTable(
+            data=bytes(dest.data),
+            smallest=builder.smallest_key,
+            largest=builder.largest_key,
+            stats=table_stats,
+        ))
+        dest, builder = None, None
+
+    for internal_key, value in entries:
+        if builder is None:
+            dest = _BufferFile()
+            builder = TableBuilder(options, dest, comparator)
+        builder.add(internal_key, value)
+        if builder.file_size >= options.sstable_size:
+            finish_current()
+    finish_current()
+    return outputs
+
+
+def compact(sources: Iterable[Iterator[KVPair]], options: Options,
+            comparator: InternalKeyComparator,
+            drop_deletions: bool = False) -> CompactionStats:
+    """Run a full software compaction over ``sources``.
+
+    Returns statistics whose ``outputs`` list holds the new table images
+    with their key ranges — the same payload the FPGA's MetaOut memory
+    reports back to the host.
+    """
+    stats = CompactionStats()
+    survivors = merge_entries(sources, comparator, drop_deletions, stats)
+    stats.outputs = build_output_tables(survivors, options, comparator)
+    return stats
+
+
+def table_sources(tables: Iterable, newest_first: bool = True
+                  ) -> list[Iterator[KVPair]]:
+    """Adapt TableReader-like iterables into merge sources.
+
+    ``tables`` arrive newest-first by convention (L0 ordering); since the
+    internal-key comparator already breaks user-key ties by sequence, the
+    source order only matters for the merging iterator's tie rule, which
+    equal internal keys never reach.
+    """
+    sources = [iter(t) for t in tables]
+    if not newest_first:
+        sources.reverse()
+    return sources
+
+
+def concatenating_iterator(tables: Iterable) -> Iterator[KVPair]:
+    """Chain sorted, non-overlapping tables into one sorted stream.
+
+    This is the paper's §IV step 2: a sorted level's files "can be
+    concatenated as a big SSTable, and the number of input is one".
+    """
+    for table in tables:
+        yield from table
+
+
+def make_compaction_sources(
+        level: int,
+        input_tables: list,
+        parent_tables: list) -> list[Iterator[KVPair]]:
+    """Build merge sources for a CompactionSpec's tables.
+
+    Level-0 inputs each become their own source (their ranges overlap);
+    inputs from sorted levels are concatenated, as are the parents.
+    """
+    sources: list[Iterator[KVPair]] = []
+    if level == 0:
+        sources.extend(iter(t) for t in input_tables)
+    elif input_tables:
+        sources.append(concatenating_iterator(input_tables))
+    if parent_tables:
+        sources.append(concatenating_iterator(parent_tables))
+    return sources

@@ -1,0 +1,203 @@
+"""Storage environment abstraction.
+
+The database performs all file I/O through an :class:`Env`, in the style of
+LevelDB's ``Env``.  Two implementations are provided:
+
+* :class:`MemEnv` — an in-memory filesystem, used by tests and by the FPGA
+  offload examples so runs are hermetic and fast;
+* :class:`OsEnv` — thin wrapper over the real filesystem.
+
+Both expose whole-file and append-style handles sufficient for SSTables,
+WAL segments and MANIFEST files.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from repro.errors import NotFoundError
+
+
+class WritableFile(ABC):
+    """Append-only file handle."""
+
+    @abstractmethod
+    def append(self, data: bytes) -> None: ...
+
+    @abstractmethod
+    def flush(self) -> None: ...
+
+    @abstractmethod
+    def close(self) -> None: ...
+
+    @property
+    @abstractmethod
+    def size(self) -> int: ...
+
+
+class Env(ABC):
+    """Filesystem facade used by the database."""
+
+    @abstractmethod
+    def new_writable_file(self, name: str) -> WritableFile: ...
+
+    @abstractmethod
+    def read_file(self, name: str) -> bytes: ...
+
+    @abstractmethod
+    def file_exists(self, name: str) -> bool: ...
+
+    @abstractmethod
+    def file_size(self, name: str) -> int: ...
+
+    @abstractmethod
+    def delete_file(self, name: str) -> None: ...
+
+    @abstractmethod
+    def rename_file(self, src: str, dst: str) -> None: ...
+
+    @abstractmethod
+    def list_dir(self, path: str) -> Iterable[str]: ...
+
+    @abstractmethod
+    def create_dir(self, path: str) -> None: ...
+
+
+class _MemWritableFile(WritableFile):
+    def __init__(self, store: dict[str, bytearray], name: str):
+        self._store = store
+        self._name = name
+        self._store[name] = bytearray()
+        self._closed = False
+
+    def append(self, data: bytes) -> None:
+        if self._closed:
+            raise ValueError(f"append to closed file {self._name}")
+        self._store[self._name] += data
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        self._closed = True
+
+    @property
+    def size(self) -> int:
+        return len(self._store[self._name])
+
+
+class MemEnv(Env):
+    """In-memory filesystem keyed by normalized path strings."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, bytearray] = {}
+        self._dirs: set[str] = set()
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return os.path.normpath(name)
+
+    def new_writable_file(self, name: str) -> WritableFile:
+        return _MemWritableFile(self._files, self._norm(name))
+
+    def read_file(self, name: str) -> bytes:
+        name = self._norm(name)
+        if name not in self._files:
+            raise NotFoundError(name)
+        return bytes(self._files[name])
+
+    def file_exists(self, name: str) -> bool:
+        return self._norm(name) in self._files
+
+    def file_size(self, name: str) -> int:
+        name = self._norm(name)
+        if name not in self._files:
+            raise NotFoundError(name)
+        return len(self._files[name])
+
+    def delete_file(self, name: str) -> None:
+        name = self._norm(name)
+        if name not in self._files:
+            raise NotFoundError(name)
+        del self._files[name]
+
+    def rename_file(self, src: str, dst: str) -> None:
+        src, dst = self._norm(src), self._norm(dst)
+        if src not in self._files:
+            raise NotFoundError(src)
+        self._files[dst] = self._files.pop(src)
+
+    def list_dir(self, path: str) -> list[str]:
+        prefix = self._norm(path) + os.sep
+        seen = set()
+        for name in self._files:
+            if name.startswith(prefix):
+                rest = name[len(prefix):]
+                seen.add(rest.split(os.sep, 1)[0])
+        return sorted(seen)
+
+    def create_dir(self, path: str) -> None:
+        self._dirs.add(self._norm(path))
+
+
+class _OsWritableFile(WritableFile):
+    def __init__(self, name: str):
+        self._file = open(name, "wb")
+        self._size = 0
+
+    def append(self, data: bytes) -> None:
+        self._file.write(data)
+        self._size += len(data)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+
+class OsEnv(Env):
+    """Real-filesystem environment."""
+
+    def new_writable_file(self, name: str) -> WritableFile:
+        return _OsWritableFile(name)
+
+    def read_file(self, name: str) -> bytes:
+        try:
+            with open(name, "rb") as handle:
+                return handle.read()
+        except FileNotFoundError as exc:
+            raise NotFoundError(name) from exc
+
+    def file_exists(self, name: str) -> bool:
+        return os.path.exists(name)
+
+    def file_size(self, name: str) -> int:
+        try:
+            return os.path.getsize(name)
+        except FileNotFoundError as exc:
+            raise NotFoundError(name) from exc
+
+    def delete_file(self, name: str) -> None:
+        try:
+            os.remove(name)
+        except FileNotFoundError as exc:
+            raise NotFoundError(name) from exc
+
+    def rename_file(self, src: str, dst: str) -> None:
+        try:
+            os.replace(src, dst)
+        except FileNotFoundError as exc:
+            raise NotFoundError(src) from exc
+
+    def list_dir(self, path: str) -> list[str]:
+        return sorted(os.listdir(path))
+
+    def create_dir(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)

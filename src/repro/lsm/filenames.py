@@ -1,0 +1,45 @@
+"""Database file naming, LevelDB-style.
+
+``NNNNNN.ldb`` SSTables, ``NNNNNN.log`` WAL segments, ``MANIFEST-NNNNNN``
+version logs and a ``CURRENT`` pointer file.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+_TABLE_RE = re.compile(r"^(\d{6})\.ldb$")
+_LOG_RE = re.compile(r"^(\d{6})\.log$")
+_MANIFEST_RE = re.compile(r"^MANIFEST-(\d{6})$")
+
+
+def table_file_name(dbname: str, number: int) -> str:
+    return os.path.join(dbname, f"{number:06d}.ldb")
+
+
+def log_file_name(dbname: str, number: int) -> str:
+    return os.path.join(dbname, f"{number:06d}.log")
+
+
+def manifest_file_name(dbname: str, number: int) -> str:
+    return os.path.join(dbname, f"MANIFEST-{number:06d}")
+
+
+def current_file_name(dbname: str) -> str:
+    return os.path.join(dbname, "CURRENT")
+
+
+def parse_table_number(name: str) -> int | None:
+    match = _TABLE_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def parse_log_number(name: str) -> int | None:
+    match = _LOG_RE.match(name)
+    return int(match.group(1)) if match else None
+
+
+def parse_manifest_number(name: str) -> int | None:
+    match = _MANIFEST_RE.match(name)
+    return int(match.group(1)) if match else None

@@ -1,0 +1,122 @@
+"""Probabilistic skiplist, the memtable's ordered index.
+
+Same structure LevelDB uses (and the paper's Fig 1 shows for the
+MemTable): a multi-level linked list where each node's tower height is
+geometric with branching factor 4.  Insertion and search are O(log n)
+expected.  The implementation is deterministic given the seed, which keeps
+tests and the simulators reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional
+
+MAX_HEIGHT = 12
+_BRANCHING = 4
+
+
+class _Node:
+    __slots__ = ("key", "next")
+
+    def __init__(self, key: Optional[bytes], height: int):
+        self.key = key
+        self.next: list[Optional[_Node]] = [None] * height
+
+
+class SkipList:
+    """Ordered set of byte-string keys.
+
+    ``compare(a, b)`` must return <0/0/>0.  Duplicate inserts raise
+    ``ValueError`` — the memtable guarantees uniqueness by embedding the
+    sequence number in each key.
+    """
+
+    def __init__(self, compare: Callable[[bytes, bytes], int], seed: int = 0xDECAF):
+        self._compare = compare
+        self._head = _Node(None, MAX_HEIGHT)
+        self._max_height = 1
+        self._random = random.Random(seed)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _random_height(self) -> int:
+        height = 1
+        while height < MAX_HEIGHT and self._random.randrange(_BRANCHING) == 0:
+            height += 1
+        return height
+
+    def _key_is_after_node(self, key: bytes, node: Optional[_Node]) -> bool:
+        return node is not None and self._compare(node.key, key) < 0
+
+    def _find_greater_or_equal(
+            self, key: bytes, prev: Optional[list[_Node]] = None) -> Optional[_Node]:
+        node = self._head
+        level = self._max_height - 1
+        while True:
+            nxt = node.next[level]
+            if self._key_is_after_node(key, nxt):
+                node = nxt
+            else:
+                if prev is not None:
+                    prev[level] = node
+                if level == 0:
+                    return nxt
+                level -= 1
+
+    def insert(self, key: bytes) -> None:
+        """Insert ``key``; raises ``ValueError`` if it is already present."""
+        prev: list[_Node] = [self._head] * MAX_HEIGHT
+        node = self._find_greater_or_equal(key, prev)
+        if node is not None and self._compare(node.key, key) == 0:
+            raise ValueError("duplicate key inserted into skiplist")
+        height = self._random_height()
+        if height > self._max_height:
+            for level in range(self._max_height, height):
+                prev[level] = self._head
+            self._max_height = height
+        new_node = _Node(key, height)
+        for level in range(height):
+            new_node.next[level] = prev[level].next[level]
+            prev[level].next[level] = new_node
+        self._size += 1
+
+    def contains(self, key: bytes) -> bool:
+        node = self._find_greater_or_equal(key)
+        return node is not None and self._compare(node.key, key) == 0
+
+    def seek(self, key: bytes) -> Optional[bytes]:
+        """Smallest stored key >= ``key``, or ``None``."""
+        node = self._find_greater_or_equal(key)
+        return node.key if node is not None else None
+
+    def __iter__(self) -> Iterator[bytes]:
+        node = self._head.next[0]
+        while node is not None:
+            yield node.key
+            node = node.next[0]
+
+    def iter_from(self, key: bytes) -> Iterator[bytes]:
+        """Iterate keys >= ``key`` in order."""
+        node = self._find_greater_or_equal(key)
+        while node is not None:
+            yield node.key
+            node = node.next[0]
+
+    def first(self) -> Optional[bytes]:
+        node = self._head.next[0]
+        return node.key if node is not None else None
+
+    def last(self) -> Optional[bytes]:
+        node = self._head
+        level = self._max_height - 1
+        while True:
+            nxt = node.next[level]
+            if nxt is not None:
+                node = nxt
+            elif level == 0:
+                return node.key if node is not self._head else None
+            else:
+                level -= 1

@@ -1,0 +1,293 @@
+"""Leveled-version bookkeeping: which SSTables live in which level.
+
+A :class:`Version` is an immutable snapshot of the level structure; the
+:class:`VersionSet` owns the current version, applies
+:class:`VersionEdit`\\ s produced by flushes and compactions, assigns file
+numbers, and picks the next compaction the way LevelDB v1.1 does:
+
+* level 0 compacts when it holds ``L0_COMPACTION_TRIGGER`` files (key
+  ranges there may overlap, so *all* overlapping L0 files join);
+* level i >= 1 compacts when its byte size exceeds
+  ``Options.max_bytes_for_level``; one file is chosen round-robin by a
+  per-level compaction pointer, plus every overlapping level-(i+1) file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidArgumentError
+from repro.lsm.internal import InternalKeyComparator, extract_user_key
+from repro.lsm.options import (
+    L0_COMPACTION_TRIGGER,
+    NUM_LEVELS,
+    Options,
+)
+
+
+@dataclass(frozen=True)
+class FileMetaData:
+    """One on-disk SSTable."""
+
+    number: int
+    file_size: int
+    smallest: bytes  # internal key
+    largest: bytes   # internal key
+
+    def user_range(self) -> tuple[bytes, bytes]:
+        return extract_user_key(self.smallest), extract_user_key(self.largest)
+
+
+@dataclass
+class VersionEdit:
+    """Delta between two versions."""
+
+    added: list[tuple[int, FileMetaData]] = field(default_factory=list)
+    deleted: list[tuple[int, int]] = field(default_factory=list)  # (level, number)
+
+    def add_file(self, level: int, meta: FileMetaData) -> None:
+        self.added.append((level, meta))
+
+    def delete_file(self, level: int, number: int) -> None:
+        self.deleted.append((level, number))
+
+
+class Version:
+    """Immutable snapshot of the level structure."""
+
+    def __init__(self, comparator: InternalKeyComparator,
+                 files: Optional[list[list[FileMetaData]]] = None):
+        self.comparator = comparator
+        self.files: list[list[FileMetaData]] = (
+            files if files is not None else [[] for _ in range(NUM_LEVELS)])
+
+    def num_files(self, level: int) -> int:
+        return len(self.files[level])
+
+    def level_bytes(self, level: int) -> int:
+        return sum(f.file_size for f in self.files[level])
+
+    def total_bytes(self) -> int:
+        return sum(self.level_bytes(level) for level in range(NUM_LEVELS))
+
+    def overlapping_files(self, level: int, smallest_user: Optional[bytes],
+                          largest_user: Optional[bytes]) -> list[FileMetaData]:
+        """Files in ``level`` whose user-key range intersects
+        ``[smallest_user, largest_user]`` (``None`` = unbounded).
+
+        For level 0 the search is *transitive*, like LevelDB: overlapping a
+        file widens the range, because L0 files may overlap one another.
+        """
+        user_cmp = self.comparator.user_comparator
+        result: list[FileMetaData] = []
+        files = list(self.files[level])
+        i = 0
+        while i < len(files):
+            meta = files[i]
+            i += 1
+            file_small, file_large = meta.user_range()
+            if largest_user is not None and user_cmp.compare(
+                    file_small, largest_user) > 0:
+                continue
+            if smallest_user is not None and user_cmp.compare(
+                    file_large, smallest_user) < 0:
+                continue
+            result.append(meta)
+            if level == 0:
+                expanded = False
+                if (smallest_user is not None
+                        and user_cmp.compare(file_small, smallest_user) < 0):
+                    smallest_user = file_small
+                    expanded = True
+                if (largest_user is not None
+                        and user_cmp.compare(file_large, largest_user) > 0):
+                    largest_user = file_large
+                    expanded = True
+                if expanded:
+                    # Restart: the widened range may pull in earlier files.
+                    result = []
+                    i = 0
+        return result
+
+    def files_for_key(self, user_key: bytes) -> list[tuple[int, FileMetaData]]:
+        """(level, file) pairs possibly containing ``user_key``, in
+        newest-first search order: L0 newest→oldest, then deeper levels."""
+        user_cmp = self.comparator.user_comparator
+        result: list[tuple[int, FileMetaData]] = []
+        level0 = [f for f in self.files[0]
+                  if user_cmp.compare(f.user_range()[0], user_key) <= 0
+                  and user_cmp.compare(user_key, f.user_range()[1]) <= 0]
+        # Newer L0 files have larger file numbers.
+        level0.sort(key=lambda f: f.number, reverse=True)
+        result.extend((0, f) for f in level0)
+        for level in range(1, NUM_LEVELS):
+            for meta in self.files[level]:
+                small, large = meta.user_range()
+                if (user_cmp.compare(small, user_key) <= 0
+                        and user_cmp.compare(user_key, large) <= 0):
+                    result.append((level, meta))
+                    break  # levels >= 1 are disjoint: at most one file
+        return result
+
+
+class VersionSet:
+    """Owns the current :class:`Version` and drives compaction picking."""
+
+    def __init__(self, options: Options, comparator: InternalKeyComparator):
+        self.options = options
+        self.comparator = comparator
+        self.current = Version(comparator)
+        self._next_file_number = 1
+        self.compact_pointer: list[bytes] = [b""] * NUM_LEVELS
+        self.last_sequence = 0
+
+    def new_file_number(self) -> int:
+        number = self._next_file_number
+        self._next_file_number += 1
+        return number
+
+    @property
+    def next_file_number(self) -> int:
+        return self._next_file_number
+
+    def reuse_file_number(self, number: int) -> None:
+        """Advance the counter past externally recovered numbers."""
+        self._next_file_number = max(self._next_file_number, number + 1)
+
+    def apply(self, edit: VersionEdit) -> Version:
+        """Produce and install a new current version."""
+        deleted = set(edit.deleted)
+        new_files: list[list[FileMetaData]] = []
+        for level in range(NUM_LEVELS):
+            keep = [f for f in self.current.files[level]
+                    if (level, f.number) not in deleted]
+            new_files.append(keep)
+        for level, meta in edit.added:
+            if not 0 <= level < NUM_LEVELS:
+                raise InvalidArgumentError(f"bad level {level}")
+            new_files[level].append(meta)
+        for level in range(1, NUM_LEVELS):
+            new_files[level].sort(
+                key=lambda f: (f.smallest, f.number))
+            self._check_disjoint(new_files[level], level)
+        new_files[0].sort(key=lambda f: f.number)
+        version = Version(self.comparator, new_files)
+        self.current = version
+        return version
+
+    def _check_disjoint(self, files: list[FileMetaData], level: int) -> None:
+        user_cmp = self.comparator.user_comparator
+        for prev, cur in zip(files, files[1:]):
+            if user_cmp.compare(prev.user_range()[1], cur.user_range()[0]) >= 0:
+                raise InvalidArgumentError(
+                    f"overlapping files in level {level}: "
+                    f"#{prev.number} and #{cur.number}")
+
+    # ------------------------------------------------------------------
+    # Compaction picking
+    # ------------------------------------------------------------------
+
+    def compaction_score(self) -> tuple[float, int]:
+        """(score, level) of the most urgent compaction; score >= 1 means
+        a compaction is due."""
+        best_score = (self.current.num_files(0)
+                      / float(L0_COMPACTION_TRIGGER))
+        best_level = 0
+        for level in range(1, NUM_LEVELS - 1):
+            score = (self.current.level_bytes(level)
+                     / float(self.options.max_bytes_for_level(level)))
+            if score > best_score:
+                best_score = score
+                best_level = level
+        return best_score, best_level
+
+    def needs_compaction(self) -> bool:
+        score, _ = self.compaction_score()
+        return score >= 1.0
+
+    def pick_compaction(self) -> Optional["CompactionSpec"]:
+        """Choose inputs for the next merge compaction, or ``None``."""
+        score, level = self.compaction_score()
+        if score < 1.0:
+            return None
+        version = self.current
+        if level == 0:
+            base = list(version.files[0])
+        else:
+            base = self._pick_round_robin(level)
+        if not base:
+            return None
+        # Widen within the level so the chosen set covers a closed range.
+        smallest, largest = self._key_range(base)
+        base = version.overlapping_files(
+            level, extract_user_key(smallest), extract_user_key(largest))
+        smallest, largest = self._key_range(base)
+        parents = version.overlapping_files(
+            level + 1, extract_user_key(smallest), extract_user_key(largest))
+        self.compact_pointer[level] = largest
+        return CompactionSpec(level=level, inputs=base, parents=parents)
+
+    def _pick_round_robin(self, level: int) -> list[FileMetaData]:
+        pointer = self.compact_pointer[level]
+        for meta in self.current.files[level]:
+            if not pointer or self.comparator.compare(meta.largest, pointer) > 0:
+                return [meta]
+        files = self.current.files[level]
+        return [files[0]] if files else []
+
+    def _key_range(self, files: list[FileMetaData]) -> tuple[bytes, bytes]:
+        smallest = files[0].smallest
+        largest = files[0].largest
+        for meta in files[1:]:
+            if self.comparator.compare(meta.smallest, smallest) < 0:
+                smallest = meta.smallest
+            if self.comparator.compare(meta.largest, largest) > 0:
+                largest = meta.largest
+        return smallest, largest
+
+    def is_bottommost_level_for(self, spec: "CompactionSpec") -> bool:
+        """True when no level below the output can contain the compacted
+        key range — tombstones may then be dropped."""
+        version = self.current
+        smallest, largest = self._key_range(spec.inputs + spec.parents
+                                            if spec.parents else spec.inputs)
+        small_user = extract_user_key(smallest)
+        large_user = extract_user_key(largest)
+        for level in range(spec.level + 2, NUM_LEVELS):
+            if version.overlapping_files(level, small_user, large_user):
+                return False
+        return True
+
+
+@dataclass
+class CompactionSpec:
+    """Inputs of one merge compaction: ``inputs`` from ``level`` and
+    ``parents`` from ``level + 1``; outputs land in ``level + 1``."""
+
+    level: int
+    inputs: list[FileMetaData]
+    parents: list[FileMetaData]
+
+    @property
+    def output_level(self) -> int:
+        return self.level + 1
+
+    @property
+    def total_input_files(self) -> int:
+        return len(self.inputs) + len(self.parents)
+
+    @property
+    def total_input_bytes(self) -> int:
+        return (sum(f.file_size for f in self.inputs)
+                + sum(f.file_size for f in self.parents))
+
+    def fpga_input_count(self) -> int:
+        """Number of FPGA input streams this compaction needs.
+
+        Per the paper's §IV step 2: level-0 files may mutually overlap, so
+        each is its own input; sorted levels concatenate into one input.
+        """
+        if self.level == 0:
+            return len(self.inputs) + (1 if self.parents else 0)
+        return (1 if self.inputs else 0) + (1 if self.parents else 0)

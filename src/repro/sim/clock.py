@@ -1,0 +1,73 @@
+"""Virtual clock and event queue for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now - 1e-12:
+            raise SimulationError(
+                f"clock cannot move backwards: {timestamp} < {self._now}")
+        self._now = max(self._now, timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        if delta < 0:
+            raise SimulationError(f"negative time delta {delta}")
+        self._now += delta
+
+
+class EventQueue:
+    """Time-ordered callback queue; ties break in schedule order."""
+
+    def __init__(self, clock: VirtualClock):
+        self._clock = clock
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, timestamp: float,
+                 callback: Callable[[], Any]) -> None:
+        if timestamp < self._clock.now - 1e-12:
+            raise SimulationError("cannot schedule an event in the past")
+        heapq.heappush(self._heap, (timestamp, next(self._counter), callback))
+
+    def schedule_after(self, delay: float,
+                       callback: Callable[[], Any]) -> None:
+        self.schedule(self._clock.now + delay, callback)
+
+    def pop_next(self) -> Optional[Callable[[], Any]]:
+        """Advance the clock to the next event and return its callback."""
+        if not self._heap:
+            return None
+        timestamp, _, callback = heapq.heappop(self._heap)
+        self._clock.advance_to(timestamp)
+        return callback
+
+    def run_until_empty(self, max_events: int = 50_000_000) -> int:
+        """Drain the queue; returns the number of events executed."""
+        executed = 0
+        while True:
+            callback = self.pop_next()
+            if callback is None:
+                return executed
+            callback()
+            executed += 1
+            if executed > max_events:
+                raise SimulationError("event budget exhausted (runaway sim?)")

@@ -1,0 +1,61 @@
+"""Disk model: a shared-bandwidth server.
+
+The paper's testbed stores SSTables on a commodity SSD; flushes,
+compaction reads and compaction writes all share it.  The model is a
+single FIFO bandwidth server — a transfer of ``n`` bytes occupies the
+device for ``n / bandwidth (+ seek)`` seconds starting no earlier than
+the previous transfer finished — which is enough to make the large-data
+experiments I/O-bound the way the paper's Fig 14 plateau implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiskStats:
+    read_bytes: int = 0
+    write_bytes: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class DiskModel:
+    """Bandwidth/latency server with virtual-time reservations."""
+
+    read_bandwidth: float = 500e6   # bytes/second
+    write_bandwidth: float = 450e6
+    seek_seconds: float = 100e-6
+    stats: DiskStats = field(default_factory=DiskStats)
+    _free_at: float = 0.0
+
+    def read_duration(self, nbytes: int) -> float:
+        return self.seek_seconds + nbytes / self.read_bandwidth
+
+    def write_duration(self, nbytes: int) -> float:
+        return self.seek_seconds + nbytes / self.write_bandwidth
+
+    def reserve_read(self, now: float, nbytes: int) -> float:
+        """Schedule a read starting at or after ``now``; returns finish
+        time."""
+        duration = self.read_duration(nbytes)
+        start = max(now, self._free_at)
+        self._free_at = start + duration
+        self.stats.read_bytes += nbytes
+        self.stats.busy_seconds += duration
+        return self._free_at
+
+    def reserve_write(self, now: float, nbytes: int) -> float:
+        """Schedule a write starting at or after ``now``; returns finish
+        time."""
+        duration = self.write_duration(nbytes)
+        start = max(now, self._free_at)
+        self._free_at = start + duration
+        self.stats.write_bytes += nbytes
+        self.stats.busy_seconds += duration
+        return self._free_at
+
+    @property
+    def free_at(self) -> float:
+        return self._free_at

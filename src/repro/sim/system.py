@@ -1,0 +1,480 @@
+"""End-to-end system simulator: LevelDB vs LevelDB-FCAE write throughput.
+
+A discrete-event model of the paper's §VII-B2/C2/C3/D experiments at
+memtable granularity:
+
+* the **foreground writer** fills 4 MB memtables at the CPU write-path
+  rate, sleeps 1 ms per write while level 0 is in *slowdown* (>= 8 files)
+  and blocks entirely in *stop* (>= 12) — LevelDB v1.1's exact throttle;
+* **flushes** (compaction type 1) encode the immutable memtable to an L0
+  file: on the background core for baseline LevelDB, on the single host
+  core for LevelDB-FCAE (whose background core budget went to the card);
+* **merge compactions** (compaction type 2) are picked by the statistical
+  :class:`~repro.sim.lsm_model.LsmShapeModel` and executed by the mode's
+  backend — the CPU merge model for LevelDB; disk-read -> PCIe -> kernel
+  -> PCIe -> disk-write for LevelDB-FCAE, with software fallback whenever
+  a task's input-stream count exceeds the engine's ``N`` (Fig 6);
+* a shared :class:`~repro.sim.disk.DiskModel` carries flush writes and
+  compaction I/O.
+
+The headline effects all emerge rather than being scripted: the baseline
+is CPU-merge-bound (throughput ~ merge speed / write amplification), the
+FCAE system is disk-bound at scale, L0 throttling compresses the gap as
+data grows (Fig 14's convergence), and PCIe stays a low single-digit
+percentage of wall time (Table VIII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import InvalidArgumentError
+from repro.fpga.config import CONFIG_9_INPUT, FpgaConfig
+from repro.fpga.engine import simulate_synthetic
+from repro.host.pcie import PcieModel
+from repro.lsm.options import Options
+from repro.sim.cpu import CpuCostModel
+from repro.sim.disk import DiskModel
+from repro.sim.lsm_model import LsmShapeModel, ModelCompactionTask
+
+#: LevelDB's write throttle: 1 ms sleep per write during slowdown.
+SLOWDOWN_SLEEP_SECONDS = 1e-3
+
+#: Per-entry storage overhead (varints, restarts, WAL record framing).
+ENTRY_OVERHEAD_BYTES = 12
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One simulated system."""
+
+    mode: str = "leveldb"              # "leveldb" | "fcae"
+    options: Options = field(default_factory=Options)
+    fpga: FpgaConfig = CONFIG_9_INPUT
+    cpu: CpuCostModel = field(default_factory=CpuCostModel)
+    pcie: PcieModel = field(default_factory=PcieModel)
+    disk_read_bandwidth: float = 500e6
+    disk_write_bandwidth: float = 450e6
+    data_size_bytes: int = 1 << 30
+    #: "leveled" (LevelDB) or "tiered" (PebblesDB/SifrDB-style lazy
+    #: compaction, the paper's §VII-C motivation for multi-input FCAE).
+    compaction_style: str = "leveled"
+    tier_fanout: int = 8
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("leveldb", "fcae"):
+            raise InvalidArgumentError(f"unknown mode {self.mode!r}")
+        if self.data_size_bytes <= 0:
+            raise InvalidArgumentError("data_size_bytes must be positive")
+        if self.compaction_style not in ("leveled", "tiered"):
+            raise InvalidArgumentError(
+                f"unknown compaction style {self.compaction_style!r}")
+
+
+@dataclass
+class SystemResult:
+    """Measurements of one run."""
+
+    mode: str
+    user_bytes: int
+    elapsed_seconds: float
+    stall_seconds: float = 0.0
+    slowdown_seconds: float = 0.0
+    flush_seconds: float = 0.0
+    sw_compaction_seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    pcie_seconds: float = 0.0
+    fpga_tasks: int = 0
+    software_tasks: int = 0
+    write_amplification: float = 1.0
+    memtables_flushed: int = 0
+    total_writes: int = 0
+    slowdown_writes: int = 0
+    stall_waits: list = field(default_factory=list)
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.user_bytes / self.elapsed_seconds / 1e6
+
+    @property
+    def pcie_fraction(self) -> float:
+        """Table VIII's metric: DMA time over whole-system time."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.pcie_seconds / self.elapsed_seconds
+
+    def latency_percentile(self, percentile: float,
+                           base_write_seconds: float) -> float:
+        """Write-latency percentile from the simulated distribution.
+
+        The distribution has three regimes: plain writes at the CPU
+        write-path cost, *slowdown* writes carrying LevelDB's 1 ms sleep,
+        and the writes that absorb a full stall (flush backlog or L0
+        stop) — the paper's "write pause".
+        """
+        if not 0 <= percentile <= 100:
+            raise InvalidArgumentError("percentile must be in [0, 100]")
+        total = max(1, self.total_writes)
+        rank = total * (1 - percentile / 100.0)
+        stalls = sorted(self.stall_waits, reverse=True)
+        if rank < len(stalls):
+            index = int(rank)
+            return base_write_seconds + stalls[min(index, len(stalls) - 1)]
+        if rank < len(stalls) + self.slowdown_writes:
+            return base_write_seconds + SLOWDOWN_SLEEP_SECONDS
+        return base_write_seconds
+
+    @property
+    def max_write_pause(self) -> float:
+        """Longest single stall a write absorbed."""
+        return max(self.stall_waits, default=0.0)
+
+
+_KERNEL_SPEED_CACHE: dict[tuple, float] = {}
+
+
+def fpga_kernel_speed_mbps(config: FpgaConfig, user_key_length: int,
+                           value_length: int, num_streams: int) -> float:
+    """Kernel throughput from the shared pipeline timing model, cached
+    per (config, key, value, streams) point."""
+    num_streams = max(2, min(num_streams, config.num_inputs))
+    cache_key = (config.num_inputs, config.value_width, config.w_in,
+                 config.w_out, config.kv_fifo_depth,
+                 config.output_buffer_width, config.variant,
+                 user_key_length, value_length, num_streams)
+    speed = _KERNEL_SPEED_CACHE.get(cache_key)
+    if speed is None:
+        pairs = max(200, 60_000 // max(1, value_length))
+        report = simulate_synthetic(
+            config, [pairs] * num_streams, user_key_length, value_length)
+        speed = report.speed_mbps(config)
+        _KERNEL_SPEED_CACHE[cache_key] = speed
+    return speed
+
+
+@dataclass
+class _Inflight:
+    finish: float
+    task: ModelCompactionTask
+
+
+class SystemSimulator:
+    """Runs one configuration to completion."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.options = config.options
+        self.cpu = config.cpu
+        self.disk = DiskModel(read_bandwidth=config.disk_read_bandwidth,
+                              write_bandwidth=config.disk_write_bandwidth)
+        if config.compaction_style == "tiered":
+            from repro.sim.lsm_model import TieredShapeModel
+            self.model = TieredShapeModel(self.options,
+                                          tier_fanout=config.tier_fanout)
+        else:
+            self.model = LsmShapeModel(self.options)
+        self.result = SystemResult(mode=config.mode, user_bytes=0,
+                                   elapsed_seconds=0.0)
+        self._writer_clock = 0.0
+        self._bg_clock = 0.0       # background core (baseline only)
+        self._fpga_clock = 0.0
+        self._flush_done = 0.0
+        self._inflight: list[_Inflight] = []
+
+        entry_bytes = self.options.key_length + self.options.value_length
+        self._entry_bytes = entry_bytes
+        self._entries_per_mem = max(
+            1, self.options.write_buffer_size
+            // (entry_bytes + ENTRY_OVERHEAD_BYTES))
+        self._user_per_mem = self._entries_per_mem * entry_bytes
+        self._l0_file_bytes = int(
+            self._entries_per_mem * (entry_bytes + ENTRY_OVERHEAD_BYTES))
+
+    # ------------------------------------------------------------------
+    # Compaction completion bookkeeping
+    # ------------------------------------------------------------------
+
+    def _settle(self, until: float) -> None:
+        """Apply every compaction that completes by ``until``."""
+        while self._inflight:
+            earliest = min(self._inflight, key=lambda j: j.finish)
+            if earliest.finish > until:
+                return
+            self._inflight.remove(earliest)
+            self.model.apply(earliest.task)
+            self._schedule_compactions(earliest.finish)
+
+    def _earliest_inflight_finish(self) -> Optional[float]:
+        if not self._inflight:
+            return None
+        return min(job.finish for job in self._inflight)
+
+    # ------------------------------------------------------------------
+    # Compaction execution backends
+    # ------------------------------------------------------------------
+
+    def _schedule_compactions(self, now: float) -> None:
+        while True:
+            task = self.model.pick_compaction()
+            if task is None:
+                return
+            if self.config.mode == "leveldb":
+                finish = self._run_software_task(task, now,
+                                                 on_writer_core=False)
+            else:
+                n = self.config.fpga.num_inputs
+                if task.fpga_input_count <= n:
+                    finish = self._run_fpga_task(task, now)
+                else:
+                    # Fig 6: too many overlapping inputs — software path,
+                    # which in FCAE mode costs the single host core.
+                    finish = self._run_software_task(task, now,
+                                                     on_writer_core=True)
+            self._inflight.append(_Inflight(finish, task))
+
+    def _run_software_task(self, task: ModelCompactionTask, now: float,
+                           on_writer_core: bool) -> float:
+        duration = self.cpu.system_compaction_seconds(
+            task.input_bytes, self.options.key_length,
+            self.options.value_length)
+        if on_writer_core:
+            start = max(now, self._writer_clock)
+            self._writer_clock = start + duration
+            core_end = self._writer_clock
+        else:
+            start = max(now, self._bg_clock)
+            self._bg_clock = start + duration
+            core_end = self._bg_clock
+        self.result.software_tasks += 1
+        self.result.sw_compaction_seconds += duration
+        read_done = self.disk.reserve_read(start, task.input_bytes)
+        write_done = self.disk.reserve_write(max(core_end, read_done),
+                                             task.output_bytes)
+        return max(core_end, write_done)
+
+    def _run_fpga_task(self, task: ModelCompactionTask, now: float) -> float:
+        config = self.config
+        speed = fpga_kernel_speed_mbps(
+            config.fpga, self.options.key_length, self.options.value_length,
+            task.fpga_input_count)
+        kernel = task.input_bytes / (speed * 1e6)
+        pcie_in = config.pcie.transfer_seconds(task.input_bytes)
+        pcie_out = config.pcie.transfer_seconds(task.output_bytes)
+        marshal = self.cpu.offload_seconds(task.input_bytes)
+
+        start = max(now, self._fpga_clock)
+        read_done = self.disk.reserve_read(start, task.input_bytes)
+        kernel_start = max(start + marshal, read_done) + pcie_in
+        kernel_end = kernel_start + kernel
+        out_ready = kernel_end + pcie_out
+        self._fpga_clock = out_ready
+        write_done = self.disk.reserve_write(out_ready, task.output_bytes)
+
+        self.result.fpga_tasks += 1
+        self.result.kernel_seconds += kernel
+        self.result.pcie_seconds += pcie_in + pcie_out
+        return max(out_ready, write_done)
+
+    # ------------------------------------------------------------------
+    # Foreground loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SystemResult:
+        config = self.config
+        target = config.data_size_bytes
+        write_cost = self.cpu.write_seconds(self.options.key_length,
+                                            self.options.value_length)
+        flush_cpu = self.cpu.flush_seconds(self._l0_file_bytes)
+
+        user_written = 0
+        while user_written < target:
+            self._settle(self._writer_clock)
+
+            # L0 stop: block until a compaction completes, as LevelDB's
+            # MakeRoomForWrite does.
+            while self.model.stopped:
+                finish = self._earliest_inflight_finish()
+                if finish is None:
+                    # Nothing running that could relieve L0 — force one.
+                    self._schedule_compactions(self._writer_clock)
+                    finish = self._earliest_inflight_finish()
+                    if finish is None:
+                        break
+                waited = max(0.0, finish - self._writer_clock)
+                self.result.stall_seconds += waited
+                if waited > 0:
+                    self.result.stall_waits.append(waited)
+                self._writer_clock = max(self._writer_clock, finish)
+                self._settle(self._writer_clock)
+
+            # Fill one memtable.
+            fill = self._entries_per_mem * write_cost
+            self.result.total_writes += self._entries_per_mem
+            if self.model.slowdown:
+                penalty = self._entries_per_mem * SLOWDOWN_SLEEP_SECONDS
+                fill += penalty
+                self.result.slowdown_seconds += penalty
+                self.result.slowdown_writes += self._entries_per_mem
+            self._writer_clock += fill
+
+            # Swap: wait for the previous flush (one immutable memtable).
+            if self._flush_done > self._writer_clock:
+                waited = self._flush_done - self._writer_clock
+                self.result.stall_seconds += waited
+                self.result.stall_waits.append(waited)
+                self._writer_clock = self._flush_done
+            self._settle(self._writer_clock)
+
+            # Flush the immutable memtable.
+            if config.mode == "leveldb":
+                start = max(self._writer_clock, self._bg_clock)
+                cpu_done = start + flush_cpu
+                self._bg_clock = cpu_done
+            else:
+                # Single host core: the writer itself encodes the table,
+                # overlapping the FPGA kernel (the paper's co-design win).
+                start = self._writer_clock
+                cpu_done = start + flush_cpu
+                self._writer_clock = cpu_done
+            flush_finish = self.disk.reserve_write(cpu_done,
+                                                   self._l0_file_bytes)
+            self._flush_done = flush_finish
+            self.result.flush_seconds += flush_cpu
+            self.result.memtables_flushed += 1
+            self.model.add_l0_file(self._l0_file_bytes)
+            self._schedule_compactions(flush_finish)
+
+            user_written += self._user_per_mem
+
+        # Drain outstanding work.
+        end = self._writer_clock
+        end = max(end, self._flush_done)
+        while self._inflight:
+            finish = self._earliest_inflight_finish()
+            end = max(end, finish)
+            self._settle(finish)
+        self.result.user_bytes = user_written
+        self.result.elapsed_seconds = end
+        self.result.write_amplification = (
+            self.model.stats.write_amplification())
+        return self.result
+
+
+def simulate_fillrandom(config: SystemConfig) -> SystemResult:
+    """Run db_bench's fillrandom under ``config`` and return measurements."""
+    return SystemSimulator(config).run()
+
+
+# ----------------------------------------------------------------------
+# YCSB mixed workloads (paper §VII-D / Fig 16)
+# ----------------------------------------------------------------------
+
+@dataclass
+class YcsbSimResult:
+    """Throughput of one YCSB workload under one system."""
+
+    workload: str
+    mode: str
+    ops: int
+    elapsed_seconds: float
+    write_result: Optional[SystemResult]
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.ops / self.elapsed_seconds
+
+
+def _cache_hit_rate(distribution: str, record_count: int,
+                    db_bytes: int, cache_bytes: float) -> float:
+    """Fraction of reads served without disk, from the access skew and
+    the effective cache (block cache + OS page cache) coverage."""
+    from repro.workloads.distributions import estimate_hot_fraction
+
+    cached_fraction = min(1.0, cache_bytes / max(1, db_bytes))
+    if distribution == "uniform":
+        return cached_fraction
+    if distribution == "latest":
+        # The hottest items are the newest — still memtable/cache resident.
+        return min(0.98, 0.5 + estimate_hot_fraction(
+            0.99, record_count, cached_fraction) / 2 + 0.25)
+    return estimate_hot_fraction(0.99, record_count, cached_fraction)
+
+
+def simulate_ycsb(config: SystemConfig, workload, record_count: int,
+                  op_count: int, cache_bytes: float = 4e9) -> YcsbSimResult:
+    """Simulate one YCSB workload phase over a pre-loaded store.
+
+    Client reads run on the foreground core between writes; read misses
+    touch the shared disk.  The write stream reuses the fillrandom
+    machinery — a simulator instance whose foreground loop is charged the
+    interleaved read time via an inflated per-write cost.
+    """
+    options = config.options
+    entry_bytes = options.key_length + options.value_length
+    db_bytes = record_count * entry_bytes
+    hit_rate = _cache_hit_rate(workload.distribution, record_count,
+                               db_bytes, cache_bytes)
+    cpu = config.cpu
+
+    reads = int(op_count * (workload.read_fraction + workload.rmw_fraction))
+    scans = int(op_count * workload.scan_fraction)
+    writes = int(op_count * workload.write_fraction)
+
+    disk_read_per_miss = (options.block_size / config.disk_read_bandwidth
+                          + 150e-6)  # block + seek/index amortization
+    read_cost_hit = cpu.read_hit_seconds()
+    read_cost_miss = read_cost_hit + disk_read_per_miss
+    avg_read = hit_rate * read_cost_hit + (1 - hit_rate) * read_cost_miss
+    scan_blocks = max(1, (workload.max_scan_length // 2 * entry_bytes)
+                      // options.block_size)
+    avg_scan = (cpu.scan_seconds(workload.max_scan_length // 2)
+                + (1 - hit_rate) * scan_blocks * disk_read_per_miss)
+
+    read_seconds = reads * avg_read + scans * avg_scan
+
+    if writes == 0:
+        # Pure-read workloads never touch the compaction machinery; both
+        # systems behave identically (the paper's Workload C point).
+        return YcsbSimResult(workload.name, config.mode, op_count,
+                             read_seconds, None)
+
+    write_bytes = writes * entry_bytes
+    write_config = SystemConfig(
+        mode=config.mode, options=options, fpga=config.fpga, cpu=cpu,
+        pcie=config.pcie,
+        disk_read_bandwidth=config.disk_read_bandwidth,
+        disk_write_bandwidth=config.disk_write_bandwidth,
+        data_size_bytes=max(options.write_buffer_size, write_bytes))
+    simulator = SystemSimulator(write_config)
+    # Interleave: each write is preceded, on average, by reads/writes
+    # read operations whose time rides the foreground clock.
+    reads_per_write = (reads * avg_read + scans * avg_scan) / writes
+    base_write = cpu.write_seconds(options.key_length, options.value_length)
+
+    # Inflate the writer cost by patching the cpu model's write path via a
+    # wrapper (keeps SystemSimulator generic).
+    class _InterleavedCpu(CpuCostModel):
+        def write_seconds(inner, key_length: int, value_length: int) -> float:  # noqa: N805
+            return base_write + reads_per_write
+
+    simulator.cpu = _InterleavedCpu()
+    write_result = simulator.run()
+    elapsed = write_result.elapsed_seconds
+
+    # Read-side contention: while the baseline's background core is
+    # saturated by software merges, client reads lose LLC/memory
+    # bandwidth; offloading the merge to the card removes this (one of
+    # the paper's qualitative claims for the read-mixed workloads).
+    if config.mode == "leveldb" and elapsed > 0:
+        merge_utilization = min(1.0, write_result.sw_compaction_seconds
+                                / elapsed)
+        elapsed += (read_seconds * cpu.read_contention_factor
+                    * merge_utilization)
+
+    return YcsbSimResult(workload.name, config.mode, op_count,
+                         elapsed, write_result)

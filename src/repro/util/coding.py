@@ -1,0 +1,57 @@
+"""Fixed-width little-endian integer coding and length-prefixed slices.
+
+These match the corresponding helpers in LevelDB's ``util/coding.h`` so the
+SSTable, WAL and manifest formats produced here have the same wire shape.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_varint32, encode_varint32
+
+_FIXED32 = struct.Struct("<I")
+_FIXED64 = struct.Struct("<Q")
+
+
+def encode_fixed32(value: int) -> bytes:
+    """Encode an unsigned 32-bit integer, little endian."""
+    return _FIXED32.pack(value)
+
+
+def encode_fixed64(value: int) -> bytes:
+    """Encode an unsigned 64-bit integer, little endian."""
+    return _FIXED64.pack(value)
+
+
+def decode_fixed32(buf, offset: int = 0) -> int:
+    """Decode an unsigned 32-bit little-endian integer at ``offset``."""
+    if len(buf) < offset + 4:
+        raise CorruptionError("truncated fixed32")
+    return _FIXED32.unpack_from(buf, offset)[0]
+
+
+def decode_fixed64(buf, offset: int = 0) -> int:
+    """Decode an unsigned 64-bit little-endian integer at ``offset``."""
+    if len(buf) < offset + 8:
+        raise CorruptionError("truncated fixed64")
+    return _FIXED64.unpack_from(buf, offset)[0]
+
+
+def put_length_prefixed_slice(out: bytearray, data: bytes) -> None:
+    """Append ``data`` to ``out`` preceded by its varint32 length."""
+    out += encode_varint32(len(data))
+    out += data
+
+
+def get_length_prefixed_slice(buf, offset: int = 0) -> tuple[bytes, int]:
+    """Read a varint32 length followed by that many bytes.
+
+    Returns ``(slice, next_offset)``.
+    """
+    length, pos = decode_varint32(buf, offset)
+    end = pos + length
+    if end > len(buf):
+        raise CorruptionError("length-prefixed slice overruns buffer")
+    return bytes(buf[pos:end]), end

@@ -1,0 +1,47 @@
+"""CRC32C (Castagnoli) with LevelDB's masking.
+
+LevelDB stores CRCs *masked* — rotated and offset — so that computing the
+CRC of a string that already contains an embedded CRC does not degrade the
+checksum.  The polynomial here is the Castagnoli polynomial 0x1EDC6F41
+(reflected form 0x82F63B78), the same one used by LevelDB/RocksDB, iSCSI
+and ext4.
+"""
+
+from __future__ import annotations
+
+_POLY = 0x82F63B78
+_MASK_DELTA = 0xA282EAD8
+_U32 = 0xFFFFFFFF
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """Return the CRC32C of ``data``, extending a running ``value``."""
+    crc = value ^ _U32
+    table = _TABLE
+    for byte in data:
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ _U32
+
+
+def mask_crc(crc: int) -> int:
+    """Mask a raw CRC for storage (LevelDB's ``crc32c::Mask``)."""
+    return (((crc >> 15) | (crc << 17)) + _MASK_DELTA) & _U32
+
+
+def unmask_crc(masked: int) -> int:
+    """Invert :func:`mask_crc`."""
+    rot = (masked - _MASK_DELTA) & _U32
+    return ((rot >> 17) | (rot << 15)) & _U32

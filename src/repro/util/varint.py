@@ -1,0 +1,73 @@
+"""LevelDB-style variable-length integer coding.
+
+Varints store an unsigned integer in base-128 groups, least significant
+group first; the high bit of each byte marks continuation.  They are used
+throughout the SSTable and WAL formats for lengths and offsets.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptionError, InvalidArgumentError
+
+MAX_VARINT32_BYTES = 5
+MAX_VARINT64_BYTES = 10
+
+_UINT32_MAX = (1 << 32) - 1
+_UINT64_MAX = (1 << 64) - 1
+
+
+def encode_varint32(value: int) -> bytes:
+    """Encode ``value`` (0 <= value < 2**32) as a varint."""
+    if not 0 <= value <= _UINT32_MAX:
+        raise InvalidArgumentError(f"varint32 out of range: {value}")
+    return _encode(value)
+
+
+def encode_varint64(value: int) -> bytes:
+    """Encode ``value`` (0 <= value < 2**64) as a varint."""
+    if not 0 <= value <= _UINT64_MAX:
+        raise InvalidArgumentError(f"varint64 out of range: {value}")
+    return _encode(value)
+
+
+def _encode(value: int) -> bytes:
+    out = bytearray()
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+    return bytes(out)
+
+
+def decode_varint32(buf, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint32 from ``buf`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises :class:`CorruptionError` on a
+    truncated or overlong encoding.
+    """
+    return _decode(buf, offset, MAX_VARINT32_BYTES, _UINT32_MAX)
+
+
+def decode_varint64(buf, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint64 from ``buf`` starting at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    return _decode(buf, offset, MAX_VARINT64_BYTES, _UINT64_MAX)
+
+
+def _decode(buf, offset: int, max_bytes: int, max_value: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    pos = offset
+    end = min(len(buf), offset + max_bytes)
+    while pos < end:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if result > max_value:
+                raise CorruptionError("varint value exceeds range")
+            return result, pos
+        shift += 7
+    raise CorruptionError("truncated or overlong varint")

@@ -1,0 +1,26 @@
+"""Workload generators: db_bench equivalents and YCSB core workloads."""
+
+from repro.workloads.dbbench import DbBench, FillMode
+from repro.workloads.distributions import (
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+from repro.workloads.ycsb import (
+    YCSB_WORKLOADS,
+    YcsbOp,
+    YcsbWorkload,
+    YcsbWorkloadRunner,
+)
+
+__all__ = [
+    "DbBench",
+    "FillMode",
+    "LatestGenerator",
+    "UniformGenerator",
+    "YCSB_WORKLOADS",
+    "YcsbOp",
+    "YcsbWorkload",
+    "YcsbWorkloadRunner",
+    "ZipfianGenerator",
+]

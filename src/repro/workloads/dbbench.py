@@ -1,0 +1,137 @@
+"""db_bench equivalent — LevelDB's built-in benchmark workloads.
+
+Generates the key/value streams of the db_bench modes the paper uses
+(``fillrandom`` is the write-throughput workload of §VII-B2/C) and can
+drive a real :class:`~repro.lsm.db.LsmDB`.  Keys follow db_bench's
+convention: 16-byte zero-padded decimal of a (random or sequential)
+integer in ``[0, num_entries)``; values are compressible repeated
+fragments.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Iterator
+
+from repro.errors import InvalidArgumentError, NotFoundError
+
+
+class FillMode(enum.Enum):
+    SEQUENTIAL = "fillseq"
+    RANDOM = "fillrandom"
+
+
+class DbBench:
+    """Workload generator bound to one (num_entries, key/value geometry)."""
+
+    def __init__(self, num_entries: int, key_length: int = 16,
+                 value_length: int = 128, seed: int = 301):
+        if num_entries <= 0:
+            raise InvalidArgumentError("num_entries must be positive")
+        if key_length < 8:
+            raise InvalidArgumentError("key_length must be >= 8")
+        self.num_entries = num_entries
+        self.key_length = key_length
+        self.value_length = value_length
+        self._random = random.Random(seed)
+
+    def key_for(self, index: int) -> bytes:
+        digits = str(index % self.num_entries).zfill(self.key_length)
+        return digits[-self.key_length:].encode()
+
+    def value_for(self, index: int) -> bytes:
+        fragment = f"({index:016d})".encode()
+        reps = self.value_length // len(fragment) + 1
+        return (fragment * reps)[:self.value_length]
+
+    # ------------------------------------------------------------------
+    # Streams
+    # ------------------------------------------------------------------
+
+    def fill(self, mode: FillMode = FillMode.RANDOM
+             ) -> Iterator[tuple[bytes, bytes]]:
+        """``num_entries`` puts, sequential or random order."""
+        for i in range(self.num_entries):
+            index = (i if mode is FillMode.SEQUENTIAL
+                     else self._random.randrange(self.num_entries))
+            yield self.key_for(index), self.value_for(index)
+
+    def read_keys(self, count: int, random_order: bool = True
+                  ) -> Iterator[bytes]:
+        for i in range(count):
+            index = (self._random.randrange(self.num_entries)
+                     if random_order else i)
+            yield self.key_for(index)
+
+    # ------------------------------------------------------------------
+    # Driving a real database
+    # ------------------------------------------------------------------
+
+    def run_fill(self, db, mode: FillMode = FillMode.RANDOM) -> int:
+        """Apply the fill; returns user bytes written."""
+        written = 0
+        for key, value in self.fill(mode):
+            db.put(key, value)
+            written += len(key) + len(value)
+        return written
+
+    def run_readrandom(self, db, count: int) -> tuple[int, int]:
+        """Random point reads; returns (found, missing)."""
+        found = missing = 0
+        for key in self.read_keys(count):
+            try:
+                db.get(key)
+                found += 1
+            except NotFoundError:
+                missing += 1
+        return found, missing
+
+    def run_readseq(self, db, count: int) -> int:
+        """Sequential scan of up to ``count`` entries; returns entries
+        read (db_bench's ``readseq``)."""
+        read = 0
+        for _ in db.scan():
+            read += 1
+            if read >= count:
+                break
+        return read
+
+    def run_readmissing(self, db, count: int) -> int:
+        """Point reads for keys guaranteed absent (db_bench's
+        ``readmissing``) — exercises the bloom-filter negative path.
+        Returns the number of (expected) misses."""
+        missing = 0
+        for i in range(count):
+            # db_bench appends a suffix so the key can never exist.
+            key = self.key_for(self._random.randrange(
+                self.num_entries)) + b"."
+            try:
+                db.get(key)
+            except NotFoundError:
+                missing += 1
+        return missing
+
+    def run_overwrite(self, db, count: int) -> int:
+        """Random re-puts over the existing keyspace (db_bench's
+        ``overwrite``); returns bytes written."""
+        written = 0
+        for i in range(count):
+            index = self._random.randrange(self.num_entries)
+            key = self.key_for(index)
+            value = self.value_for(index + count)
+            db.put(key, value)
+            written += len(key) + len(value)
+        return written
+
+    def run_deleterandom(self, db, count: int) -> int:
+        """Random deletes (db_bench's ``deleterandom``)."""
+        for _ in range(count):
+            db.delete(self.key_for(self._random.randrange(
+                self.num_entries)))
+        return count
+
+    @property
+    def user_bytes(self) -> int:
+        """Total payload of one fill pass."""
+        return self.num_entries * (self.key_length + self.value_length)

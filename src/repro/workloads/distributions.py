@@ -1,0 +1,138 @@
+"""Key-popularity distributions used by YCSB.
+
+* :class:`UniformGenerator` — uniform over ``[0, item_count)``.
+* :class:`ZipfianGenerator` — the Gray et al. rejection-free zipfian
+  sampler YCSB uses (``ScrambledZipfianGenerator``'s core), constant
+  ``theta = 0.99``.  Item ranks are scrambled by an FNV hash so popular
+  items spread across the keyspace rather than clustering at key 0.
+* :class:`LatestGenerator` — YCSB's "latest" distribution (workload D):
+  zipfian over recency, so the most recently inserted records are the
+  hottest.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import InvalidArgumentError
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_U64 = (1 << 64) - 1
+
+
+def fnv_hash64(value: int) -> int:
+    """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's
+    ``Utils.FNVhash64``)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * _FNV_PRIME) & _U64
+    return h
+
+
+class UniformGenerator:
+    """Uniform item chooser."""
+
+    def __init__(self, item_count: int, seed: int = 0):
+        if item_count <= 0:
+            raise InvalidArgumentError("item_count must be positive")
+        self.item_count = item_count
+        self._random = random.Random(seed)
+
+    def next(self) -> int:
+        return self._random.randrange(self.item_count)
+
+
+class ZipfianGenerator:
+    """Gray et al. zipfian sampler over ``[0, item_count)``.
+
+    ``scrambled=True`` applies YCSB's FNV scrambling so rank-0 popularity
+    is not tied to insertion order.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 scrambled: bool = True, seed: int = 0):
+        if item_count <= 0:
+            raise InvalidArgumentError("item_count must be positive")
+        if not 0 < theta < 1:
+            raise InvalidArgumentError("theta must be in (0, 1)")
+        self.item_count = item_count
+        self.theta = theta
+        self.scrambled = scrambled
+        self._random = random.Random(seed)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._zetan = self._zeta(item_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        denominator = 1 - self._zeta2 / self._zetan
+        # item_count == 2 degenerates to 0/0; the limit is 1.
+        self._eta = ((1 - (2.0 / item_count) ** (1 - theta)) / denominator
+                     if abs(denominator) > 1e-12 else 1.0)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin style approximation above a
+        # cutoff keeps construction O(1)-ish for huge item counts.
+        if n <= 10_000:
+            return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i ** theta) for i in range(1, 10_001))
+        # integral of x^-theta from 10000 to n
+        tail = ((n ** (1 - theta)) - (10_000 ** (1 - theta))) / (1 - theta)
+        return head + tail
+
+    def next_rank(self) -> int:
+        """Sample a popularity rank (0 = most popular)."""
+        u = self._random.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.item_count
+                   * (self._eta * u - self._eta + 1) ** self._alpha)
+
+    def next(self) -> int:
+        rank = min(self.next_rank(), self.item_count - 1)
+        if not self.scrambled:
+            return rank
+        return fnv_hash64(rank) % self.item_count
+
+
+class LatestGenerator:
+    """YCSB's latest distribution: hottest = most recently inserted.
+
+    ``insert_count`` grows as the workload inserts; sampling draws a
+    zipfian *age* and subtracts it from the newest item.
+    """
+
+    def __init__(self, insert_count: int, theta: float = 0.99, seed: int = 0):
+        if insert_count <= 0:
+            raise InvalidArgumentError("insert_count must be positive")
+        self.insert_count = insert_count
+        self._zipf = ZipfianGenerator(insert_count, theta=theta,
+                                      scrambled=False, seed=seed)
+
+    def record_insert(self) -> int:
+        """Register one new insert; returns its item id."""
+        item = self.insert_count
+        self.insert_count += 1
+        return item
+
+    def next(self) -> int:
+        age = min(self._zipf.next_rank(), self.insert_count - 1)
+        return self.insert_count - 1 - age
+
+
+def estimate_hot_fraction(theta: float, item_count: int,
+                          hot_items_fraction: float) -> float:
+    """Fraction of accesses landing on the hottest
+    ``hot_items_fraction`` of items — used to size cache hit rates in the
+    system simulator.  Computed from the zipfian CDF."""
+    if item_count <= 1:
+        return 1.0
+    hot = max(1, int(item_count * hot_items_fraction))
+    # zeta(hot)/zeta(n) under the same approximation as the generator.
+    return (ZipfianGenerator._zeta(hot, theta)
+            / ZipfianGenerator._zeta(item_count, theta))

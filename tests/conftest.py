@@ -1,0 +1,85 @@
+"""Shared fixtures: small-geometry options, comparators, table builders."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.lsm.compaction import _BufferFile
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder
+
+
+@pytest.fixture
+def options():
+    """Small blocks/tables so tests exercise rollover paths quickly."""
+    return Options(
+        block_size=512,
+        sstable_size=8 * 1024,
+        write_buffer_size=16 * 1024,
+        max_level0_size=64 * 1024,
+        compression="snappy",
+        block_cache_capacity=64 * 1024,
+    )
+
+
+@pytest.fixture
+def plain_options():
+    """Like ``options`` but uncompressed (faster for engine tests)."""
+    return Options(
+        block_size=512,
+        sstable_size=8 * 1024,
+        write_buffer_size=16 * 1024,
+        max_level0_size=64 * 1024,
+        compression="none",
+        bloom_bits_per_key=0,
+    )
+
+
+@pytest.fixture
+def icmp(options):
+    return InternalKeyComparator(options.comparator)
+
+
+def make_entries(count: int, seed: int = 0, seq_base: int = 1,
+                 value_size: int = 40, delete_every: int = 0,
+                 key_space: int = 10 ** 9):
+    """Sorted (internal_key, value) entries with unique user keys."""
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(key_space), count))
+    entries = []
+    for i, raw in enumerate(keys):
+        user_key = f"{raw:016d}".encode()
+        if delete_every and i % delete_every == 0:
+            internal = encode_internal_key(user_key, seq_base + i,
+                                           TYPE_DELETION)
+            entries.append((internal, b""))
+        else:
+            internal = encode_internal_key(user_key, seq_base + i, TYPE_VALUE)
+            value = (f"v{raw}".encode() * 8)[:value_size]
+            entries.append((internal, value))
+    return entries
+
+
+def build_table_image(entries, options, icmp) -> bytes:
+    """Serialize sorted entries into an SSTable image."""
+    dest = _BufferFile()
+    builder = TableBuilder(options, dest, icmp)
+    for key, value in entries:
+        builder.add(key, value)
+    builder.finish()
+    return bytes(dest.data)
+
+
+@pytest.fixture
+def table_factory(options, icmp):
+    def factory(entries):
+        return build_table_image(entries, options, icmp)
+    return factory

@@ -1,0 +1,80 @@
+"""WriteBatch serialization and memtable application."""
+
+import pytest
+
+from repro.errors import CorruptionError, NotFoundError
+from repro.lsm.batch import WriteBatch
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.memtable import MemTable
+from repro.util.comparator import BytewiseComparator
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        batch = WriteBatch()
+        batch.put(b"k1", b"v1")
+        batch.delete(b"k2")
+        batch.put(b"k3", b"v3")
+        data = batch.serialize(sequence=42)
+        sequence, decoded = WriteBatch.deserialize(data)
+        assert sequence == 42
+        assert list(decoded) == list(batch)
+
+    def test_empty_batch(self):
+        batch = WriteBatch()
+        sequence, decoded = WriteBatch.deserialize(batch.serialize(7))
+        assert sequence == 7
+        assert len(decoded) == 0
+
+    def test_byte_size(self):
+        batch = WriteBatch()
+        batch.put(b"abc", b"12345")
+        batch.delete(b"xy")
+        assert batch.byte_size() == 3 + 5 + 2
+
+    def test_clear(self):
+        batch = WriteBatch()
+        batch.put(b"a", b"b")
+        batch.clear()
+        assert len(batch) == 0
+
+    def test_truncated_header(self):
+        with pytest.raises(CorruptionError):
+            WriteBatch.deserialize(b"short")
+
+    def test_truncated_record(self):
+        batch = WriteBatch()
+        batch.put(b"key", b"value")
+        data = batch.serialize(1)
+        with pytest.raises(CorruptionError):
+            WriteBatch.deserialize(data[:-3])
+
+    def test_trailing_garbage(self):
+        batch = WriteBatch()
+        batch.put(b"key", b"value")
+        with pytest.raises(CorruptionError):
+            WriteBatch.deserialize(batch.serialize(1) + b"junk")
+
+    def test_bad_record_type(self):
+        batch = WriteBatch()
+        batch.put(b"key", b"value")
+        data = bytearray(batch.serialize(1))
+        data[12] = 0x7  # record type byte
+        with pytest.raises(CorruptionError):
+            WriteBatch.deserialize(bytes(data))
+
+
+class TestApply:
+    def test_apply_assigns_consecutive_sequences(self):
+        memtable = MemTable(InternalKeyComparator(BytewiseComparator()))
+        batch = WriteBatch()
+        batch.put(b"a", b"1")
+        batch.put(b"b", b"2")
+        batch.delete(b"a")
+        next_seq = batch.apply_to_memtable(memtable, 10)
+        assert next_seq == 13
+        with pytest.raises(NotFoundError):
+            memtable.get(b"a", 100)
+        assert memtable.get(b"b", 100) == b"2"
+        # Snapshot before the delete still sees the put.
+        assert memtable.get(b"a", 11) == b"1"

@@ -1,0 +1,160 @@
+"""Benchmark harness: every experiment regenerates with sane shapes."""
+
+import pytest
+
+from repro.bench import (
+    ablation,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+from repro.bench.cli import ALL_ORDER, EXPERIMENTS, main
+
+SCALE = 0.05
+
+
+class TestTable5:
+    def test_grid_shape(self):
+        result = table5.run(scale=0.2)
+        assert len(result.rows) == 6
+        assert result.columns[0] == "L_value"
+
+    def test_cpu_column_matches_paper(self):
+        result = table5.run(scale=0.2)
+        for row_index in range(len(result.rows)):
+            measured = result.cell(row_index, "CPU")
+            paper = result.cell(row_index, "paper_CPU")
+            assert paper * 0.7 < measured < paper * 1.3
+
+    def test_fcae_within_2x_of_paper(self):
+        result = table5.run(scale=0.5)
+        for row_index, value_length in enumerate((64, 128, 256, 512,
+                                                  1024, 2048)):
+            measured = result.cell(row_index, "V=64")
+            paper = table5.PAPER[value_length][4]
+            assert paper * 0.5 < measured < paper * 2
+
+
+class TestRatios:
+    def test_fig9_ratios_grow_with_value_length(self):
+        result = fig9.run(scale=0.2)
+        v64 = result.column("V=64")
+        assert v64[-1] > v64[0] > 1
+
+    def test_fig9_max_in_paper_ballpark(self):
+        result = fig9.run(scale=0.4)
+        best = max(max(row[1:5]) for row in result.rows)
+        assert 25 < best < 120  # paper headline: 92x
+
+    def test_fig11_speedups_above_one(self):
+        result = fig11.run(scale=SCALE)
+        for row in result.rows:
+            assert all(r > 1 for r in row[1:5])
+
+
+class TestThroughputCurves:
+    def test_fig10_baseline_declines(self):
+        result = fig10.run(scale=0.25)
+        base = result.column("LevelDB_MBps")
+        assert base[-1] < base[0]
+
+    def test_fig10_fcae_wins_everywhere(self):
+        result = fig10.run(scale=0.25)
+        assert all(row[2] > row[1] for row in result.rows)
+
+    def test_table6_shape(self):
+        result = table6.run(scale=SCALE)
+        assert len(result.rows) == 6
+        for row in result.rows:
+            assert row[5] > row[1]  # V=64 beats baseline
+
+    def test_fig14_speedup_band(self):
+        result = fig14.run(scale=0.02)
+        for row in result.rows:
+            assert 1.5 < row[3] < 8.0
+
+    def test_table8_single_digit_percentages(self):
+        result = table8.run(scale=0.02)
+        for row in result.rows:
+            assert 0 < row[1] < 12
+
+
+class TestHardwareTables:
+    def test_table7_matches_paper_feasibility(self):
+        result = table7.run()
+        fits = {(row[0], row[1], row[2]): row[6] for row in result.rows}
+        assert fits[(9, 8, 8)] is True
+        assert fits[(9, 64, 8)] is False
+
+    def test_fig12_gap_narrows(self):
+        result = fig12.run(scale=0.2)
+        ratios = result.column("9/2 ratio")
+        assert ratios[-1] > ratios[0]
+        assert all(r < 1 for r in ratios)
+
+    def test_fig13_nine_input_ratio_competitive(self):
+        result = fig13.run(scale=0.2)
+        for row in result.rows[:3]:
+            assert row[2] > row[1] * 0.9  # 9-input ratio at least close
+
+    def test_ablation_full_is_fastest(self):
+        result = ablation.run(scale=0.1)
+        by_variant = {row[0]: row[1:] for row in result.rows}
+        for column in range(3):
+            assert (by_variant["full"][column]
+                    > by_variant["basic"][column])
+
+
+class TestSensitivity:
+    def test_fig15a_decreasing(self):
+        result = fig15.run_a(scale=SCALE)
+        speedups = result.column("speedup")
+        assert speedups[-1] < speedups[0]
+
+    def test_fig15b_increasing(self):
+        result = fig15.run_b(scale=SCALE)
+        speedups = result.column("speedup")
+        assert speedups[-1] > speedups[0]
+
+    def test_fig15c_flat(self):
+        result = fig15.run_c(scale=SCALE)
+        speedups = result.column("speedup")
+        assert max(speedups) < 1.5 * min(speedups)
+
+    def test_summary_covers_four_sweeps(self):
+        result = fig15.run(scale=SCALE)
+        assert len(result.rows) == 4
+
+
+class TestYcsbBench:
+    def test_fig16_shapes(self):
+        result = fig16.run(scale=0.1)
+        speedup = {row[0]: row[3] for row in result.rows}
+        assert speedup["c"] == pytest.approx(1.0, abs=0.02)
+        assert speedup["load"] > 1.5
+        assert all(s >= 0.97 for s in speedup.values())
+
+
+class TestCli:
+    def test_registry_complete(self):
+        assert set(ALL_ORDER) <= set(EXPERIMENTS)
+
+    def test_main_single_experiment(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VII" in out
+
+    def test_main_markdown_output(self, tmp_path, capsys):
+        path = tmp_path / "out.md"
+        assert main(["table7", "--markdown", str(path)]) == 0
+        content = path.read_text()
+        assert content.startswith("### Table VII")

@@ -1,0 +1,145 @@
+"""Block format: prefix compression, restart points, seek."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block, BlockBuilder
+from repro.util.comparator import BytewiseComparator
+
+CMP = BytewiseComparator()
+
+
+def build(entries, restart_interval=16):
+    builder = BlockBuilder(restart_interval)
+    for key, value in entries:
+        builder.add(key, value)
+    return Block(builder.finish())
+
+
+class TestBuilder:
+    def test_empty_block_roundtrip(self):
+        block = build([])
+        assert list(block) == []
+
+    def test_single_entry(self):
+        block = build([(b"key", b"value")])
+        assert list(block) == [(b"key", b"value")]
+
+    def test_prefix_compression_saves_space(self):
+        entries = [(f"commonprefix{i:06d}".encode(), b"v") for i in range(64)]
+        small = BlockBuilder(16)
+        for key, value in entries:
+            small.add(key, value)
+        uncompressed = BlockBuilder(1)  # restart every key = no sharing
+        for key, value in entries:
+            uncompressed.add(key, value)
+        assert len(small.finish()) < len(uncompressed.finish())
+
+    def test_size_estimate_tracks_content(self):
+        builder = BlockBuilder()
+        empty_estimate = builder.current_size_estimate()
+        builder.add(b"abc", b"x" * 100)
+        assert builder.current_size_estimate() > empty_estimate + 100
+
+    def test_finish_twice_raises(self):
+        builder = BlockBuilder()
+        builder.add(b"a", b"1")
+        builder.finish()
+        with pytest.raises(ValueError):
+            builder.finish()
+
+    def test_add_after_finish_raises(self):
+        builder = BlockBuilder()
+        builder.finish()
+        with pytest.raises(ValueError):
+            builder.add(b"a", b"1")
+
+    def test_reset_allows_reuse(self):
+        builder = BlockBuilder()
+        builder.add(b"a", b"1")
+        builder.finish()
+        builder.reset()
+        builder.add(b"b", b"2")
+        assert list(Block(builder.finish())) == [(b"b", b"2")]
+
+
+class TestIteration:
+    def test_order_preserved(self):
+        entries = [(f"k{i:04d}".encode(), f"v{i}".encode())
+                   for i in range(100)]
+        assert list(build(entries)) == entries
+
+    def test_restart_interval_one(self):
+        entries = [(f"k{i:04d}".encode(), b"v") for i in range(20)]
+        assert list(build(entries, restart_interval=1)) == entries
+
+    def test_empty_values(self):
+        entries = [(b"a", b""), (b"b", b"")]
+        assert list(build(entries)) == entries
+
+
+class TestSeek:
+    ENTRIES = [(f"key{i:04d}".encode(), f"val{i}".encode())
+               for i in range(0, 200, 2)]
+
+    def test_seek_exact(self):
+        block = build(self.ENTRIES)
+        assert block.seek(b"key0100", CMP) == (b"key0100", b"val100")
+
+    def test_seek_between_lands_on_next(self):
+        block = build(self.ENTRIES)
+        assert block.seek(b"key0101", CMP) == (b"key0102", b"val102")
+
+    def test_seek_before_first(self):
+        block = build(self.ENTRIES)
+        assert block.seek(b"a", CMP) == self.ENTRIES[0]
+
+    def test_seek_after_last(self):
+        block = build(self.ENTRIES)
+        assert block.seek(b"zzz", CMP) is None
+
+    def test_iter_from_yields_suffix(self):
+        block = build(self.ENTRIES)
+        result = list(block.iter_from(b"key0190", CMP))
+        assert result == self.ENTRIES[95:]
+
+
+class TestCorruption:
+    def test_too_small(self):
+        with pytest.raises(CorruptionError):
+            Block(b"xy")
+
+    def test_zero_restarts(self):
+        from repro.util.coding import encode_fixed32
+        with pytest.raises(CorruptionError):
+            Block(encode_fixed32(0))
+
+    def test_restart_array_overrun(self):
+        from repro.util.coding import encode_fixed32
+        with pytest.raises(CorruptionError):
+            Block(encode_fixed32(9999))
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=20), min_size=1, max_size=80),
+       st.integers(min_value=1, max_value=8))
+def test_roundtrip_property(keys, restart_interval):
+    entries = [(k, k[::-1]) for k in sorted(keys)]
+    block = build(entries, restart_interval)
+    assert list(block) == entries
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.binary(min_size=1, max_size=10), min_size=1, max_size=40),
+       st.binary(min_size=1, max_size=10))
+def test_seek_property(keys, probe):
+    entries = [(k, b"v") for k in sorted(keys)]
+    block = build(entries, 4)
+    expected = min((k for k in keys if k >= probe), default=None)
+    found = block.seek(probe, CMP)
+    if expected is None:
+        assert found is None
+    else:
+        assert found == (expected, b"v")

@@ -1,0 +1,75 @@
+"""Fixed-width coding and length-prefixed slices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.util.coding import (
+    decode_fixed32,
+    decode_fixed64,
+    encode_fixed32,
+    encode_fixed64,
+    get_length_prefixed_slice,
+    put_length_prefixed_slice,
+)
+
+
+class TestFixed:
+    def test_fixed32_little_endian(self):
+        assert encode_fixed32(0x01020304) == b"\x04\x03\x02\x01"
+
+    def test_fixed64_little_endian(self):
+        assert encode_fixed64(1) == b"\x01" + b"\x00" * 7
+
+    def test_fixed32_roundtrip(self):
+        for value in (0, 1, 0xFFFFFFFF, 0xDEADBEEF):
+            assert decode_fixed32(encode_fixed32(value)) == value
+
+    def test_fixed64_roundtrip(self):
+        for value in (0, 2 ** 63, 2 ** 64 - 1):
+            assert decode_fixed64(encode_fixed64(value)) == value
+
+    def test_decode_at_offset(self):
+        buf = b"xx" + encode_fixed32(99)
+        assert decode_fixed32(buf, 2) == 99
+
+    def test_truncated_fixed32(self):
+        with pytest.raises(CorruptionError):
+            decode_fixed32(b"\x01\x02")
+
+    def test_truncated_fixed64(self):
+        with pytest.raises(CorruptionError):
+            decode_fixed64(b"\x01" * 7)
+
+
+class TestLengthPrefixed:
+    def test_roundtrip(self):
+        out = bytearray()
+        put_length_prefixed_slice(out, b"hello")
+        put_length_prefixed_slice(out, b"")
+        put_length_prefixed_slice(out, b"world!")
+        first, pos = get_length_prefixed_slice(out, 0)
+        second, pos = get_length_prefixed_slice(out, pos)
+        third, pos = get_length_prefixed_slice(out, pos)
+        assert (first, second, third) == (b"hello", b"", b"world!")
+        assert pos == len(out)
+
+    def test_overrun_raises(self):
+        out = bytearray()
+        put_length_prefixed_slice(out, b"abcdef")
+        with pytest.raises(CorruptionError):
+            get_length_prefixed_slice(out[:4], 0)
+
+
+@given(st.lists(st.binary(max_size=200), max_size=10))
+def test_length_prefixed_stream_property(slices):
+    out = bytearray()
+    for data in slices:
+        put_length_prefixed_slice(out, data)
+    pos = 0
+    decoded = []
+    for _ in slices:
+        data, pos = get_length_prefixed_slice(out, pos)
+        decoded.append(data)
+    assert decoded == slices

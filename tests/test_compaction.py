@@ -1,0 +1,168 @@
+"""CPU compaction: merge semantics, validity rules, table rollover.
+
+Includes the model-based oracle property: compaction of sorted runs must
+equal "sort everything, keep the newest version per user key, drop
+tombstones when asked".
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.compaction import (
+    CompactionStats,
+    compact,
+    concatenating_iterator,
+    make_compaction_sources,
+    merge_entries,
+)
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+    extract_user_key,
+    parse_internal_key,
+)
+from repro.lsm.options import Options
+from repro.util.comparator import BytewiseComparator
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+def entry(user: bytes, seq: int, value: bytes = b"v",
+          deletion: bool = False):
+    value_type = TYPE_DELETION if deletion else TYPE_VALUE
+    return (encode_internal_key(user, seq, value_type),
+            b"" if deletion else value)
+
+
+class TestMergeEntries:
+    def test_newest_version_wins(self):
+        newer = [entry(b"k", 10, b"new")]
+        older = [entry(b"k", 5, b"old")]
+        merged = list(merge_entries([iter(newer), iter(older)], ICMP,
+                                    drop_deletions=False))
+        assert len(merged) == 1
+        assert merged[0][1] == b"new"
+
+    def test_tombstone_kept_when_not_bottom(self):
+        run = [entry(b"k", 10, deletion=True)]
+        merged = list(merge_entries([iter(run)], ICMP,
+                                    drop_deletions=False))
+        assert len(merged) == 1
+        assert parse_internal_key(merged[0][0]).is_deletion
+
+    def test_tombstone_dropped_at_bottom(self):
+        run = [entry(b"k", 10, deletion=True)]
+        merged = list(merge_entries([iter(run)], ICMP, drop_deletions=True))
+        assert merged == []
+
+    def test_tombstone_shadows_older_value(self):
+        newer = [entry(b"k", 10, deletion=True)]
+        older = [entry(b"k", 5, b"old")]
+        merged = list(merge_entries([iter(newer), iter(older)], ICMP,
+                                    drop_deletions=True))
+        assert merged == []
+
+    def test_stats_counters(self):
+        newer = [entry(b"a", 10), entry(b"b", 11, deletion=True)]
+        older = [entry(b"a", 1), entry(b"b", 2), entry(b"c", 3)]
+        stats = CompactionStats()
+        merged = list(merge_entries([iter(newer), iter(older)], ICMP,
+                                    drop_deletions=True, stats=stats))
+        assert stats.input_pairs == 5
+        assert stats.dropped_shadowed == 2
+        assert stats.dropped_tombstones == 1
+        assert stats.output_pairs == len(merged) == 2
+
+
+class TestCompact:
+    def test_output_tables_roll_over(self):
+        options = Options(block_size=512, sstable_size=4096,
+                          compression="none", bloom_bits_per_key=0)
+        run = [entry(f"{i:016d}".encode(), i + 1, b"x" * 100)
+               for i in range(200)]
+        stats = compact([iter(run)], options, ICMP)
+        assert len(stats.outputs) > 1
+        total = sum(o.stats.num_entries for o in stats.outputs)
+        assert total == 200
+        # Ranges must be disjoint and ordered.
+        for prev, cur in zip(stats.outputs, stats.outputs[1:]):
+            assert ICMP.compare(prev.largest, cur.smallest) < 0
+
+    def test_empty_inputs(self):
+        options = Options()
+        stats = compact([iter([])], options, ICMP)
+        assert stats.outputs == []
+        assert stats.input_pairs == 0
+
+    def test_all_dropped_produces_no_tables(self):
+        options = Options()
+        run = [entry(b"k", 5, deletion=True)]
+        stats = compact([iter(run)], options, ICMP, drop_deletions=True)
+        assert stats.outputs == []
+
+
+class TestSources:
+    def test_concatenation(self):
+        a = [entry(b"a", 1), entry(b"b", 2)]
+        b = [entry(b"c", 3)]
+        assert list(concatenating_iterator([a, b])) == a + b
+
+    def test_level0_each_table_is_a_source(self):
+        t1, t2 = [entry(b"a", 1)], [entry(b"b", 2)]
+        parents = [entry(b"c", 3)]
+        sources = make_compaction_sources(0, [t1, t2], [parents])
+        assert len(sources) == 3
+
+    def test_sorted_level_concatenates(self):
+        t1, t2 = [entry(b"a", 1)], [entry(b"b", 2)]
+        parents = [entry(b"c", 3)]
+        sources = make_compaction_sources(2, [t1, t2], [parents])
+        assert len(sources) == 2
+
+
+def oracle(runs, drop_deletions):
+    """Reference semantics: newest version per user key."""
+    best = {}
+    for run in runs:
+        for internal_key, value in run:
+            parsed = parse_internal_key(internal_key)
+            user = parsed.user_key
+            if user not in best or parsed.sequence > best[user][0]:
+                best[user] = (parsed.sequence, parsed.is_deletion,
+                              internal_key, value)
+    survivors = []
+    for user in sorted(best):
+        _, is_deletion, internal_key, value = best[user]
+        if is_deletion and drop_deletions:
+            continue
+        survivors.append((internal_key, value))
+    return survivors
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10 ** 6), st.booleans(),
+       st.integers(min_value=1, max_value=4))
+def test_merge_matches_oracle_property(seed, drop_deletions, num_runs):
+    rng = random.Random(seed)
+    sequence = 1
+    runs = []
+    for _ in range(num_runs):
+        count = rng.randrange(0, 40)
+        users = sorted(rng.sample(range(60), min(count, 60)))
+        run = []
+        for user in users:
+            deletion = rng.random() < 0.25
+            run.append(entry(f"{user:05d}".encode(), sequence,
+                             f"s{sequence}".encode(), deletion))
+            sequence += 1
+        runs.append(run)
+    merged = list(merge_entries([iter(r) for r in runs], ICMP,
+                                drop_deletions))
+    assert merged == oracle(runs, drop_deletions)
+    users = [extract_user_key(k) for k, _ in merged]
+    assert users == sorted(set(users))

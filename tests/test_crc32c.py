@@ -1,0 +1,66 @@
+"""CRC32C vectors (RFC 3720 / LevelDB test suite) and masking."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.crc32c import crc32c, mask_crc, unmask_crc
+
+
+class TestVectors:
+    def test_empty(self):
+        assert crc32c(b"") == 0
+
+    def test_all_zeros_32(self):
+        # RFC 3720 B.4: 32 bytes of zeros.
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+
+    def test_all_ones_32(self):
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_ascending(self):
+        data = bytes(range(32))
+        assert crc32c(data) == 0x46DD794E
+
+    def test_descending(self):
+        data = bytes(range(31, -1, -1))
+        assert crc32c(data) == 0x113FDB5C
+
+    def test_standard_check_string(self):
+        assert crc32c(b"123456789") == 0xE3069283
+
+
+class TestIncremental:
+    def test_extend_equals_whole(self):
+        data = b"hello world, this is crc32c"
+        whole = crc32c(data)
+        partial = crc32c(data[10:], crc32c(data[:10]))
+        assert partial == whole
+
+    def test_different_inputs_differ(self):
+        assert crc32c(b"a") != crc32c(b"b")
+
+
+class TestMasking:
+    def test_mask_changes_value(self):
+        crc = crc32c(b"foo")
+        assert mask_crc(crc) != crc
+
+    def test_mask_is_invertible(self):
+        for data in (b"", b"a", b"leveldb", bytes(100)):
+            crc = crc32c(data)
+            assert unmask_crc(mask_crc(crc)) == crc
+
+    def test_double_mask_not_identity(self):
+        crc = crc32c(b"foo")
+        assert mask_crc(mask_crc(crc)) != crc
+
+
+@given(st.binary(max_size=500), st.integers(min_value=0, max_value=499))
+def test_incremental_property(data, split):
+    split = min(split, len(data))
+    assert crc32c(data[split:], crc32c(data[:split])) == crc32c(data)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_mask_roundtrip_property(value):
+    assert unmask_crc(mask_crc(value)) == value

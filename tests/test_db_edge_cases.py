@@ -1,0 +1,108 @@
+"""DB edge cases: binary keys, big values, degraded configurations."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.lsm import LsmDB, Options, WriteBatch
+from repro.lsm.env import MemEnv
+
+
+class TestBinaryKeys:
+    def test_null_and_ff_bytes(self, options):
+        db = LsmDB("edb", options, env=MemEnv())
+        keys = [b"\x00", b"\x00\x00", b"\xff", b"\xff\xff", b"a\x00b",
+                b"\x00\xff\x00"]
+        for i, key in enumerate(keys):
+            db.put(key, f"v{i}".encode())
+        db.compact_range()
+        for i, key in enumerate(keys):
+            assert db.get(key) == f"v{i}".encode()
+        assert [k for k, _ in db.scan()] == sorted(keys)
+
+    def test_key_is_prefix_of_other(self, options):
+        db = LsmDB("edb2", options, env=MemEnv())
+        db.put(b"abc", b"short")
+        db.put(b"abcdef", b"long")
+        db.compact_range()
+        assert db.get(b"abc") == b"short"
+        assert db.get(b"abcdef") == b"long"
+
+    def test_single_byte_keyspace(self, options):
+        db = LsmDB("edb3", options, env=MemEnv())
+        for byte in range(256):
+            db.put(bytes([byte]), bytes([byte]) * 3)
+        db.compact_range()
+        assert db.get(b"\x80") == b"\x80\x80\x80"
+        assert len(list(db.scan())) == 256
+
+
+class TestLargeEntries:
+    def test_value_larger_than_block(self, options):
+        db = LsmDB("big", options, env=MemEnv())
+        huge = bytes(range(256)) * 40  # 10 KB > 512 B block
+        db.put(b"huge", huge)
+        db.flush()
+        assert db.get(b"huge") == huge
+
+    def test_value_larger_than_sstable_target(self, options):
+        db = LsmDB("big2", options, env=MemEnv())
+        monster = b"M" * (options.sstable_size * 2)
+        db.put(b"monster", monster)
+        db.compact_range()
+        assert db.get(b"monster") == monster
+
+    def test_many_versions_of_one_key(self, options):
+        db = LsmDB("ver", options, env=MemEnv())
+        for i in range(500):
+            db.put(b"hot", f"version-{i}".encode())
+        db.compact_range()
+        assert db.get(b"hot") == b"version-499"
+        assert len(list(db.scan())) == 1
+
+
+class TestDegradedConfigurations:
+    def test_no_cache_no_bloom_no_compression(self):
+        options = Options(block_size=512, sstable_size=8 * 1024,
+                          write_buffer_size=16 * 1024,
+                          compression="none", bloom_bits_per_key=0,
+                          block_cache_capacity=0)
+        db = LsmDB("bare", options, env=MemEnv())
+        assert db.block_cache is None
+        for i in range(600):
+            db.put(f"k{i:08d}".encode(), f"v{i}".encode())
+        db.compact_range()
+        assert db.get(b"k00000300") == b"v300"
+        with pytest.raises(NotFoundError):
+            db.get(b"nope")
+
+    def test_empty_batch_is_noop(self, options):
+        db = LsmDB("noop", options, env=MemEnv())
+        before = db.versions.last_sequence
+        db.write(WriteBatch())
+        assert db.versions.last_sequence == before
+
+    def test_flush_empty_memtable_is_noop(self, options):
+        db = LsmDB("noflush", options, env=MemEnv())
+        db.flush()
+        assert db.level_file_counts() == [0] * 7
+
+    def test_compact_empty_db(self, options):
+        db = LsmDB("empty", options, env=MemEnv())
+        db.compact_range()
+        assert db.level_file_counts() == [0] * 7
+
+    def test_scan_empty_db(self, options):
+        db = LsmDB("empty2", options, env=MemEnv())
+        assert list(db.scan()) == []
+
+
+class TestAutoCompactOff:
+    def test_manual_maintenance_only(self, options):
+        db = LsmDB("manual", options, env=MemEnv(), auto_compact=False)
+        for i in range(3000):
+            db.put(f"k{i:08d}".encode(), b"x" * 40)
+        # Nothing flushed automatically.
+        assert db.level_file_counts() == [0] * 7
+        assert db.get(b"k00001500") == b"x" * 40  # served from memtable
+        db.flush()
+        assert db.level_file_counts()[0] == 1

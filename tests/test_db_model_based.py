@@ -1,0 +1,106 @@
+"""Model-based test: LsmDB must behave exactly like a dict under any
+interleaving of puts, deletes, gets, scans, flushes, compactions and
+reopens — with either the CPU or the FPGA compaction executor."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import NotFoundError
+from repro.fpga.config import CONFIG_9_INPUT
+from repro.host import CompactionScheduler, FcaeDevice
+from repro.lsm import LsmDB, Options
+from repro.lsm.env import MemEnv
+
+KEYS = st.binary(min_size=1, max_size=24)
+VALUES = st.binary(max_size=120)
+
+
+def _options():
+    return Options(write_buffer_size=4 * 1024, sstable_size=4 * 1024,
+                   max_level0_size=16 * 1024, block_size=512,
+                   compression="snappy", bloom_bits_per_key=8,
+                   block_cache_capacity=16 * 1024)
+
+
+class DbMachine(RuleBasedStateMachine):
+    use_fpga = False
+
+    @initialize()
+    def open_db(self):
+        self.options = _options()
+        self.env = MemEnv()
+        self.model: dict[bytes, bytes] = {}
+        self._open()
+
+    def _executor(self):
+        if not self.use_fpga:
+            return None
+        device = FcaeDevice(CONFIG_9_INPUT, self.options)
+        return CompactionScheduler(device, self.options)
+
+    def _open(self):
+        self.db = LsmDB("mbdb", self.options, env=self.env,
+                        compaction_executor=self._executor())
+
+    @rule(key=KEYS, value=VALUES)
+    def put(self, key, value):
+        self.db.put(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.db.delete(key)
+        self.model.pop(key, None)
+
+    @rule(key=KEYS)
+    def get(self, key):
+        if key in self.model:
+            assert self.db.get(key) == self.model[key]
+        else:
+            with pytest.raises(NotFoundError):
+                self.db.get(key)
+
+    @rule()
+    def flush(self):
+        self.db.flush()
+
+    @rule()
+    def compact(self):
+        self.db.compact_range()
+
+    @rule()
+    def reopen(self):
+        self.db.close()
+        self._open()
+
+    @invariant()
+    def scan_matches_model(self):
+        assert dict(self.db.scan()) == self.model
+
+    def teardown(self):
+        self.db.close()
+
+
+class CpuDbMachine(DbMachine):
+    use_fpga = False
+
+
+class FpgaDbMachine(DbMachine):
+    use_fpga = True
+
+
+TestCpuDbModel = pytest.mark.filterwarnings("ignore")(
+    settings(max_examples=25, stateful_step_count=30,
+             deadline=None)(CpuDbMachine).TestCase)
+
+TestFpgaDbModel = pytest.mark.filterwarnings("ignore")(
+    settings(max_examples=10, stateful_step_count=25,
+             deadline=None)(FpgaDbMachine).TestCase)

@@ -1,0 +1,59 @@
+"""DbStats observability counters."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.lsm import LsmDB, Options
+from repro.lsm.env import MemEnv
+
+
+@pytest.fixture
+def db(options):
+    return LsmDB("statsdb", options, env=MemEnv())
+
+
+class TestCounters:
+    def test_writes_counted(self, db):
+        for i in range(10):
+            db.put(f"k{i}".encode(), b"value")
+        assert db.stats.writes == 10
+        assert db.stats.write_bytes == sum(
+            len(f"k{i}") + 5 for i in range(10))
+
+    def test_deletes_count_as_writes(self, db):
+        db.delete(b"ghost")
+        assert db.stats.writes == 1
+
+    def test_reads_and_hits(self, db):
+        db.put(b"k", b"v")
+        db.get(b"k")
+        with pytest.raises(NotFoundError):
+            db.get(b"missing")
+        assert db.stats.reads == 2
+        assert db.stats.read_hits == 1
+
+    def test_flush_counters(self, db):
+        for i in range(100):
+            db.put(f"k{i:06d}".encode(), b"x" * 50)
+        db.flush()
+        assert db.stats.flushes >= 1
+        assert db.stats.flush_bytes > 0
+
+    def test_compaction_counters(self, db):
+        for i in range(3000):
+            db.put(f"k{i:010d}".encode(), b"x" * 40)
+        db.compact_range()
+        assert db.stats.compactions >= 1
+        assert db.stats.compaction_input_bytes > 0
+        assert db.stats.compaction_output_bytes > 0
+
+    def test_write_amplification(self, db):
+        import random
+        assert db.stats.write_amplification == 0.0
+        rng = random.Random(5)
+        for i in range(3000):
+            # Incompressible values, so physical bytes track user bytes.
+            db.put(f"k{i:010d}".encode(), rng.randbytes(40))
+        db.compact_range()
+        # Data was flushed once and rewritten at least once.
+        assert db.stats.write_amplification > 1.0

@@ -1,0 +1,103 @@
+"""db_bench workload generator."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError, NotFoundError
+from repro.lsm import LsmDB, Options
+from repro.lsm.env import MemEnv
+from repro.workloads.dbbench import DbBench, FillMode
+
+
+class TestGeneration:
+    def test_fillseq_is_ordered(self):
+        bench = DbBench(100, value_length=32)
+        keys = [k for k, _ in bench.fill(FillMode.SEQUENTIAL)]
+        assert keys == sorted(keys)
+        assert len(keys) == 100
+
+    def test_fillrandom_covers_count(self):
+        bench = DbBench(100, value_length=32)
+        pairs = list(bench.fill(FillMode.RANDOM))
+        assert len(pairs) == 100
+
+    def test_key_geometry(self):
+        bench = DbBench(1000, key_length=16)
+        assert len(bench.key_for(5)) == 16
+        assert bench.key_for(5) == b"0000000000000005"
+
+    def test_value_geometry(self):
+        bench = DbBench(10, value_length=128)
+        assert len(bench.value_for(3)) == 128
+
+    def test_user_bytes(self):
+        bench = DbBench(10, key_length=16, value_length=84)
+        assert bench.user_bytes == 1000
+
+    def test_bad_args(self):
+        with pytest.raises(InvalidArgumentError):
+            DbBench(0)
+        with pytest.raises(InvalidArgumentError):
+            DbBench(10, key_length=4)
+
+
+class TestAgainstDb:
+    def test_fill_and_read(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          bloom_bits_per_key=0)
+        db = LsmDB("bench", options, env=MemEnv())
+        bench = DbBench(500, value_length=48, seed=11)
+        written = bench.run_fill(db, FillMode.RANDOM)
+        assert written == 500 * (16 + 48)
+        found, missing = bench.run_readrandom(db, 300)
+        assert found + missing == 300
+        # fillrandom hits ~63% of the keyspace; most random reads land.
+        assert found > 100
+
+    def test_fillseq_readable(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          bloom_bits_per_key=0)
+        db = LsmDB("bench2", options, env=MemEnv())
+        bench = DbBench(300, value_length=48)
+        bench.run_fill(db, FillMode.SEQUENTIAL)
+        for i in (0, 150, 299):
+            assert db.get(bench.key_for(i)) == bench.value_for(i)
+
+
+class TestExtraModes:
+    def _db(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          bloom_bits_per_key=10)
+        return LsmDB("bench3", options, env=MemEnv())
+
+    def test_readseq(self):
+        db = self._db()
+        bench = DbBench(400, value_length=48)
+        bench.run_fill(db, FillMode.SEQUENTIAL)
+        assert bench.run_readseq(db, 100) == 100
+        assert bench.run_readseq(db, 10 ** 6) == 400
+
+    def test_readmissing_all_miss(self):
+        db = self._db()
+        bench = DbBench(300, value_length=48)
+        bench.run_fill(db, FillMode.SEQUENTIAL)
+        assert bench.run_readmissing(db, 200) == 200
+
+    def test_overwrite_updates_values(self):
+        db = self._db()
+        bench = DbBench(200, value_length=48, seed=3)
+        bench.run_fill(db, FillMode.SEQUENTIAL)
+        written = bench.run_overwrite(db, 500)
+        assert written > 0
+        # Every key still resolves; total live count unchanged.
+        assert len(list(db.scan())) == 200
+
+    def test_deleterandom_removes_keys(self):
+        db = self._db()
+        bench = DbBench(200, value_length=48, seed=4)
+        bench.run_fill(db, FillMode.SEQUENTIAL)
+        bench.run_deleterandom(db, 400)
+        db.compact_range()
+        assert len(list(db.scan())) < 200

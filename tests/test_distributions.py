@@ -1,0 +1,115 @@
+"""Workload distributions: zipfian skew, latest recency, uniform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidArgumentError
+from repro.workloads.distributions import (
+    LatestGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    estimate_hot_fraction,
+    fnv_hash64,
+)
+
+
+class TestFnv:
+    def test_deterministic(self):
+        assert fnv_hash64(12345) == fnv_hash64(12345)
+
+    def test_spreads(self):
+        hashes = {fnv_hash64(i) % 1000 for i in range(2000)}
+        assert len(hashes) > 800
+
+
+class TestUniform:
+    def test_in_range(self):
+        gen = UniformGenerator(100, seed=1)
+        samples = [gen.next() for _ in range(1000)]
+        assert all(0 <= s < 100 for s in samples)
+
+    def test_roughly_flat(self):
+        gen = UniformGenerator(10, seed=2)
+        counts = [0] * 10
+        for _ in range(10_000):
+            counts[gen.next()] += 1
+        assert max(counts) < 2 * min(counts)
+
+    def test_bad_count(self):
+        with pytest.raises(InvalidArgumentError):
+            UniformGenerator(0)
+
+
+class TestZipfian:
+    def test_in_range(self):
+        gen = ZipfianGenerator(1000, seed=3)
+        assert all(0 <= gen.next() < 1000 for _ in range(2000))
+
+    def test_rank_zero_dominates(self):
+        gen = ZipfianGenerator(10_000, scrambled=False, seed=4)
+        samples = [gen.next_rank() for _ in range(20_000)]
+        top = sum(1 for s in samples if s == 0)
+        # theta=0.99 sends roughly 10% of traffic to the hottest item.
+        assert top / len(samples) > 0.05
+
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianGenerator(100_000, scrambled=False, seed=5)
+        samples = [gen.next_rank() for _ in range(20_000)]
+        hot = sum(1 for s in samples if s < 1000)  # hottest 1%
+        assert hot / len(samples) > 0.4
+
+    def test_scrambling_spreads_hotspot(self):
+        gen = ZipfianGenerator(100_000, scrambled=True, seed=6)
+        samples = [gen.next() for _ in range(5000)]
+        # The most popular *item* should not be item 0 after scrambling.
+        from collections import Counter
+        top_item, _ = Counter(samples).most_common(1)[0]
+        assert top_item == fnv_hash64(0) % 100_000
+
+    def test_bad_theta(self):
+        with pytest.raises(InvalidArgumentError):
+            ZipfianGenerator(100, theta=1.0)
+
+    def test_large_item_count_constructs(self):
+        gen = ZipfianGenerator(20_000_000, seed=7)
+        assert 0 <= gen.next() < 20_000_000
+
+
+class TestLatest:
+    def test_prefers_recent(self):
+        gen = LatestGenerator(10_000, seed=8)
+        samples = [gen.next() for _ in range(10_000)]
+        recent = sum(1 for s in samples if s >= 9_000)
+        assert recent / len(samples) > 0.4
+
+    def test_insert_shifts_window(self):
+        gen = LatestGenerator(100, seed=9)
+        new_item = gen.record_insert()
+        assert new_item == 100
+        assert gen.insert_count == 101
+        samples = [gen.next() for _ in range(500)]
+        assert all(0 <= s <= 100 for s in samples)
+
+
+class TestHotFraction:
+    def test_bounds(self):
+        frac = estimate_hot_fraction(0.99, 1_000_000, 0.2)
+        assert 0.5 < frac < 1.0
+
+    def test_monotone_in_coverage(self):
+        small = estimate_hot_fraction(0.99, 1_000_000, 0.01)
+        large = estimate_hot_fraction(0.99, 1_000_000, 0.5)
+        assert small < large
+
+    def test_single_item(self):
+        assert estimate_hot_fraction(0.99, 1, 0.5) == 1.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=10 ** 7),
+       st.integers(min_value=0, max_value=1000))
+def test_zipfian_always_in_range_property(item_count, seed):
+    gen = ZipfianGenerator(item_count, seed=seed)
+    for _ in range(20):
+        assert 0 <= gen.next() < item_count

@@ -1,0 +1,64 @@
+"""Device DRAM model: bounds, sparse regions, traffic accounting."""
+
+import pytest
+
+from repro.errors import FpgaProtocolError
+from repro.fpga.dram import Dram
+
+
+class TestAccess:
+    def test_write_read_roundtrip(self):
+        dram = Dram(size=1024)
+        dram.write(100, b"hello")
+        assert dram.read(100, 5) == b"hello"
+
+    def test_unwritten_reads_zero(self):
+        dram = Dram(size=1024)
+        assert dram.read(0, 4) == b"\x00\x00\x00\x00"
+
+    def test_sparse_overlapping_read(self):
+        dram = Dram(size=1 << 20)
+        dram.write(10, b"aaaa")
+        dram.write(20, b"bbbb")
+        data = dram.read(8, 20)
+        assert data[2:6] == b"aaaa"
+        assert data[12:16] == b"bbbb"
+
+    def test_materialized_mode(self):
+        dram = Dram(size=256, materialize=True)
+        dram.write(0, b"xy")
+        dram.write(1, b"z")  # overwrites the 'y'
+        assert dram.read(0, 2) == b"xz"
+
+    def test_out_of_bounds_write(self):
+        dram = Dram(size=16)
+        with pytest.raises(FpgaProtocolError):
+            dram.write(10, b"toolongdata")
+
+    def test_out_of_bounds_read(self):
+        dram = Dram(size=16)
+        with pytest.raises(FpgaProtocolError):
+            dram.read(10, 10)
+
+    def test_negative_offset(self):
+        dram = Dram(size=16)
+        with pytest.raises(FpgaProtocolError):
+            dram.read(-1, 2)
+
+
+class TestStats:
+    def test_traffic_counted(self):
+        dram = Dram(size=1024)
+        dram.write(0, b"12345678")
+        dram.read(0, 4)
+        dram.read(4, 4)
+        assert dram.stats.write_requests == 1
+        assert dram.stats.write_bytes == 8
+        assert dram.stats.read_requests == 2
+        assert dram.stats.read_bytes == 8
+
+    def test_reset(self):
+        dram = Dram(size=64)
+        dram.write(0, b"x")
+        dram.reset_stats()
+        assert dram.stats.write_requests == 0

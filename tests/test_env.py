@@ -1,0 +1,102 @@
+"""Env abstraction: MemEnv and OsEnv behave identically."""
+
+import pytest
+
+from repro.errors import NotFoundError
+from repro.lsm.env import MemEnv, OsEnv
+
+
+@pytest.fixture(params=["mem", "os"])
+def env(request, tmp_path):
+    if request.param == "mem":
+        return MemEnv(), "root"
+    return OsEnv(), str(tmp_path)
+
+
+class TestFiles:
+    def test_write_read(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/f1")
+        handle.append(b"hello ")
+        handle.append(b"world")
+        handle.close()
+        assert fs.read_file(f"{root}/f1") == b"hello world"
+
+    def test_size(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/f")
+        handle.append(b"12345")
+        handle.close()
+        assert fs.file_size(f"{root}/f") == 5
+        assert handle.size == 5
+
+    def test_exists(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        assert not fs.file_exists(f"{root}/nope")
+        handle = fs.new_writable_file(f"{root}/yes")
+        handle.close()
+        assert fs.file_exists(f"{root}/yes")
+
+    def test_delete(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/f")
+        handle.close()
+        fs.delete_file(f"{root}/f")
+        assert not fs.file_exists(f"{root}/f")
+
+    def test_delete_missing_raises(self, env):
+        fs, root = env
+        with pytest.raises(NotFoundError):
+            fs.delete_file(f"{root}/ghost")
+
+    def test_read_missing_raises(self, env):
+        fs, root = env
+        with pytest.raises(NotFoundError):
+            fs.read_file(f"{root}/ghost")
+
+    def test_rename(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/old")
+        handle.append(b"data")
+        handle.close()
+        fs.rename_file(f"{root}/old", f"{root}/new")
+        assert not fs.file_exists(f"{root}/old")
+        assert fs.read_file(f"{root}/new") == b"data"
+
+    def test_rename_overwrites(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        for name, content in (("a", b"1"), ("b", b"2")):
+            handle = fs.new_writable_file(f"{root}/{name}")
+            handle.append(content)
+            handle.close()
+        fs.rename_file(f"{root}/a", f"{root}/b")
+        assert fs.read_file(f"{root}/b") == b"1"
+
+    def test_list_dir(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        for name in ("c", "a", "b"):
+            fs.new_writable_file(f"{root}/{name}").close()
+        assert fs.list_dir(root) == ["a", "b", "c"]
+
+
+class TestMemEnvSpecifics:
+    def test_append_after_close_raises(self):
+        fs = MemEnv()
+        handle = fs.new_writable_file("f")
+        handle.close()
+        with pytest.raises(ValueError):
+            handle.append(b"late")
+
+    def test_path_normalization(self):
+        fs = MemEnv()
+        handle = fs.new_writable_file("dir/./file")
+        handle.append(b"x")
+        handle.close()
+        assert fs.read_file("dir/file") == b"x"

@@ -1,0 +1,61 @@
+"""Bounded FIFO primitive."""
+
+import pytest
+
+from repro.fpga.fifo import Fifo
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        fifo = Fifo(4)
+        fifo.extend([1, 2, 3])
+        assert fifo.pop() == 1
+        assert fifo.pop() == 2
+        assert fifo.pop() == 3
+
+    def test_capacity_enforced(self):
+        fifo = Fifo(2)
+        fifo.push("a")
+        fifo.push("b")
+        assert fifo.is_full
+        with pytest.raises(OverflowError):
+            fifo.push("c")
+
+    def test_peek_does_not_consume(self):
+        fifo = Fifo(2)
+        fifo.push(7)
+        assert fifo.peek() == 7
+        assert len(fifo) == 1
+        assert fifo.pop() == 7
+
+    def test_empty_operations_raise(self):
+        fifo = Fifo(1)
+        with pytest.raises(IndexError):
+            fifo.pop()
+        with pytest.raises(IndexError):
+            fifo.peek()
+
+    def test_try_peek(self):
+        fifo = Fifo(1)
+        assert fifo.try_peek() is None
+        fifo.push(1)
+        assert fifo.try_peek() == 1
+
+    def test_high_water_and_count(self):
+        fifo = Fifo(3)
+        fifo.extend([1, 2])
+        fifo.pop()
+        fifo.push(3)
+        fifo.push(4)
+        assert fifo.high_water == 3
+        assert fifo.total_pushed == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Fifo(0)
+
+    def test_clear(self):
+        fifo = Fifo(2)
+        fifo.extend([1, 2])
+        fifo.clear()
+        assert fifo.is_empty

@@ -1,0 +1,59 @@
+"""FpgaConfig validation and derived quantities."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.fpga.config import (
+    CONFIG_2_INPUT,
+    CONFIG_9_INPUT,
+    FpgaConfig,
+    PipelineVariant,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        config = FpgaConfig()
+        assert config.num_inputs == 2
+        assert config.variant is PipelineVariant.FULL
+
+    def test_single_input_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FpgaConfig(num_inputs=1)
+
+    def test_value_width_over_axi_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FpgaConfig(value_width=128)
+
+    def test_value_width_over_w_in_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FpgaConfig(value_width=16, w_in=8)
+
+    def test_zero_clock_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FpgaConfig(clock_mhz=0)
+
+    def test_bad_fifo_depth_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            FpgaConfig(kv_fifo_depth=0)
+
+
+class TestDerived:
+    def test_cycles_to_seconds_at_200mhz(self):
+        config = FpgaConfig(clock_mhz=200)
+        assert config.cycles_to_seconds(200e6) == pytest.approx(1.0)
+
+    def test_fanin_depth(self):
+        assert FpgaConfig(num_inputs=2).comparer_fanin_depth() == 1
+        assert FpgaConfig(num_inputs=4, value_width=8,
+                          w_in=16).comparer_fanin_depth() == 2
+        assert FpgaConfig(num_inputs=9, value_width=8,
+                          w_in=8).comparer_fanin_depth() == 4
+
+    def test_paper_configs(self):
+        assert CONFIG_2_INPUT.num_inputs == 2
+        assert CONFIG_2_INPUT.w_in == 64
+        assert CONFIG_9_INPUT.num_inputs == 9
+        assert CONFIG_9_INPUT.value_width == 8
+        assert CONFIG_9_INPUT.w_in == 8
+        assert CONFIG_9_INPUT.w_out == 64

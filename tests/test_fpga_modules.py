@@ -1,0 +1,190 @@
+"""Functional pipeline modules: decoder chain, comparer, transfer,
+encoders, stream adapters."""
+
+import pytest
+
+from repro.fpga.comparer import Comparer, KeyCompare, ValidityCheck
+from repro.fpga.config import FpgaConfig, PipelineVariant
+from repro.fpga.decoder import DecoderChain, SSTableLayout
+from repro.fpga.dram import Dram
+from repro.fpga.encoder import Encoder
+from repro.fpga.fifo import Fifo
+from repro.fpga.stream import StreamDownsizer, StreamUpsizer
+from repro.fpga.transfer import KeyValueTransfer
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image, make_entries
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+def load_layout(image: bytes, plain_options):
+    """Place an SSTable image + extracted index into a DRAM."""
+    from repro.host.memory import extract_index_image
+    from repro.lsm.sstable import TableReader
+
+    reader = TableReader(image, ICMP, plain_options)
+    index_image = extract_index_image(image, reader)
+    dram = Dram(size=1 << 22)
+    dram.write(0, image)
+    dram.write(len(image) + 64, index_image)
+    layout = SSTableLayout(index_offset=len(image) + 64,
+                           index_size=len(index_image),
+                           data_offset=0, data_size=len(image))
+    return dram, layout
+
+
+class TestDecoderChain:
+    def test_decodes_all_pairs_in_order(self, plain_options):
+        entries = make_entries(250, value_size=48)
+        image = build_table_image(entries, plain_options, ICMP)
+        dram, layout = load_layout(image, plain_options)
+        chain = DecoderChain(dram, [layout],
+                             FpgaConfig(), ICMP)
+        decoded = [(p.internal_key, p.value) for p in chain]
+        assert decoded == entries
+
+    def test_new_block_flag_set_once_per_block(self, plain_options):
+        entries = make_entries(250, value_size=48)
+        image = build_table_image(entries, plain_options, ICMP)
+        dram, layout = load_layout(image, plain_options)
+        chain = DecoderChain(dram, [layout], FpgaConfig(), ICMP)
+        pairs = list(chain)
+        boundaries = sum(p.new_block for p in pairs)
+        assert boundaries == chain.index_decoder.blocks_decoded
+        assert boundaries > 1
+
+    def test_unsorted_input_detected(self, plain_options):
+        entries = make_entries(50)
+        # Build a technically valid table, then corrupt ordering by
+        # concatenating a table whose keys restart from the beginning.
+        image = build_table_image(entries, plain_options, ICMP)
+        dram, layout = load_layout(image, plain_options)
+        chain = DecoderChain(dram, [layout, layout], FpgaConfig(), ICMP)
+        from repro.errors import FpgaProtocolError
+        with pytest.raises(FpgaProtocolError):
+            list(chain)
+
+
+class TestComparer:
+    def test_key_compare_selects_smallest(self):
+        compare = KeyCompare(ICMP)
+        heads = {
+            0: encode_internal_key(b"bbb", 5, TYPE_VALUE),
+            1: encode_internal_key(b"aaa", 1, TYPE_VALUE),
+            2: encode_internal_key(b"ccc", 9, TYPE_VALUE),
+        }
+        assert compare.select(heads) == 1
+        assert compare.rounds == 1
+
+    def test_key_compare_empty_raises(self):
+        with pytest.raises(ValueError):
+            KeyCompare(ICMP).select({})
+
+    def test_validity_drops_shadowed(self):
+        check = ValidityCheck(ICMP, drop_deletions=False)
+        newer = encode_internal_key(b"k", 9, TYPE_VALUE)
+        older = encode_internal_key(b"k", 3, TYPE_VALUE)
+        assert check.check(newer) == (False, "keep")
+        assert check.check(older) == (True, "shadowed")
+        assert check.dropped_shadowed == 1
+
+    def test_validity_drops_tombstone_at_bottom(self):
+        check = ValidityCheck(ICMP, drop_deletions=True)
+        tombstone = encode_internal_key(b"k", 9, TYPE_DELETION)
+        assert check.check(tombstone) == (True, "tombstone")
+
+    def test_validity_keeps_tombstone_mid_tree(self):
+        check = ValidityCheck(ICMP, drop_deletions=False)
+        tombstone = encode_internal_key(b"k", 9, TYPE_DELETION)
+        assert check.check(tombstone) == (False, "keep")
+
+    def test_composed_round(self):
+        comparer = Comparer(ICMP, drop_deletions=True)
+        heads = {
+            0: encode_internal_key(b"a", 2, TYPE_VALUE),
+            1: encode_internal_key(b"b", 1, TYPE_VALUE),
+        }
+        selection = comparer.round(heads)
+        assert selection.input_no == 0
+        assert not selection.drop
+
+
+class TestTransfer:
+    def test_pops_both_streams(self):
+        transfer = KeyValueTransfer(FpgaConfig())
+        keys, values = Fifo(2), Fifo(2)
+        keys.push(b"key1")
+        values.push(b"value1")
+        result = transfer.execute(keys, values, drop=False)
+        assert result.internal_key == b"key1"
+        assert not result.dropped
+        assert keys.is_empty and values.is_empty
+        assert transfer.value_bytes_forwarded == 6
+
+    def test_drop_discards(self):
+        transfer = KeyValueTransfer(FpgaConfig())
+        keys, values = Fifo(1), Fifo(1)
+        keys.push(b"k")
+        values.push(b"v")
+        result = transfer.execute(keys, values, drop=True)
+        assert result.dropped
+        assert transfer.pairs_dropped == 1
+
+    def test_service_cycles_by_variant(self):
+        full = KeyValueTransfer(FpgaConfig(value_width=16))
+        assert full.service_cycles(24, 1600) == 100.0
+        basic = KeyValueTransfer(FpgaConfig(
+            variant=PipelineVariant.BASIC))
+        assert basic.service_cycles(24, 100) == 124.0
+
+
+class TestEncoder:
+    def test_builds_standard_tables(self, plain_options):
+        encoder = Encoder(plain_options, ICMP, FpgaConfig())
+        entries = make_entries(300, value_size=64)
+        flushes = tables = 0
+        for key, value in entries:
+            events = encoder.add(key, value)
+            flushes += events["block_flushed"]
+            tables += events["table_completed"]
+        outputs = encoder.finish()
+        assert flushes >= len(outputs) >= 1
+        assert sum(o.stats.num_entries for o in outputs) == 300
+        # Outputs must parse as standard SSTables.
+        from repro.lsm.sstable import TableReader
+        recovered = []
+        for output in outputs:
+            recovered.extend(TableReader(output.data, ICMP, plain_options))
+        assert recovered == entries
+
+    def test_flush_cycles_scale_with_w_out(self):
+        from repro.lsm.options import Options
+        fast = Encoder(Options(), ICMP, FpgaConfig(w_out=64))
+        assert fast.flush_cycles(4096) == 64.0
+
+
+class TestStreamAdapters:
+    def test_downsizer_rates(self):
+        down = StreamDownsizer(64, 16)
+        assert down.cycles_to_emit(4096) == 256
+        assert down.cycles_to_ingest(4096) == 64
+        assert down.cycles_to_emit(0) == 0
+
+    def test_downsizer_rejects_widening(self):
+        with pytest.raises(ValueError):
+            StreamDownsizer(8, 16)
+
+    def test_upsizer_rates(self):
+        up = StreamUpsizer(8, 64)
+        assert up.cycles_to_write(4096) == 64
+
+    def test_upsizer_rejects_narrowing(self):
+        with pytest.raises(ValueError):
+            StreamUpsizer(64, 8)

@@ -1,0 +1,107 @@
+"""Device memory interface: MetaIn/MetaOut codecs, marshalling layout."""
+
+import pytest
+
+from repro.errors import FpgaProtocolError
+from repro.fpga.config import CONFIG_2_INPUT, CONFIG_9_INPUT
+from repro.fpga.dram import Dram
+from repro.host.memory import (
+    MetaInEntry,
+    MetaOutEntry,
+    align_up,
+    decode_meta_in,
+    decode_meta_out,
+    encode_meta_in,
+    encode_meta_out,
+    marshal_inputs,
+)
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.sstable import TableReader
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image, make_entries
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+class TestAlign:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(129, 64) == 192
+
+    def test_zero(self):
+        assert align_up(0, 8) == 0
+
+    def test_bad_alignment(self):
+        with pytest.raises(FpgaProtocolError):
+            align_up(10, 0)
+
+
+class TestMetaCodecs:
+    def test_meta_in_roundtrip(self):
+        inputs = [
+            [MetaInEntry(0, 100, 200, 5000)],
+            [MetaInEntry(100, 50, 6000, 2000),
+             MetaInEntry(150, 60, 8000, 3000)],
+        ]
+        assert decode_meta_in(encode_meta_in(inputs)) == inputs
+
+    def test_meta_in_empty(self):
+        assert decode_meta_in(encode_meta_in([])) == []
+
+    def test_meta_out_roundtrip(self):
+        entries = [
+            MetaOutEntry(4096, b"aaa" + b"\x00" * 8, b"zzz" + b"\x00" * 8),
+            MetaOutEntry(123, b"k1", b"k2"),
+        ]
+        assert decode_meta_out(encode_meta_out(entries)) == entries
+
+    def test_meta_out_empty(self):
+        assert decode_meta_out(encode_meta_out([])) == []
+
+
+class TestMarshal:
+    def _reader(self, entries, plain_options):
+        image = build_table_image(entries, plain_options, ICMP)
+        return TableReader(image, ICMP, plain_options)
+
+    def test_layout_alignment(self, plain_options):
+        readers = [[self._reader(make_entries(80, seed=1), plain_options)],
+                   [self._reader(make_entries(90, seed=2), plain_options)]]
+        dram = Dram(size=1 << 24)
+        image = marshal_inputs(dram, CONFIG_2_INPUT, readers)
+        for tables in image.layouts:
+            for layout in tables:
+                assert layout.data_offset % CONFIG_2_INPUT.w_in == 0
+
+    def test_dma_byte_count_includes_everything(self, plain_options):
+        readers = [[self._reader(make_entries(80, seed=1), plain_options)]]
+        dram = Dram(size=1 << 24)
+        image = marshal_inputs(dram, CONFIG_2_INPUT, readers)
+        table_bytes = readers[0][0].file_size
+        assert image.total_bytes > table_bytes  # + index + MetaIn
+
+    def test_meta_in_readable_from_dram(self, plain_options):
+        readers = [[self._reader(make_entries(40, seed=3), plain_options)]]
+        dram = Dram(size=1 << 24)
+        image = marshal_inputs(dram, CONFIG_2_INPUT, readers)
+        raw = dram.read(image.meta_in_offset, len(image.meta_in))
+        decoded = decode_meta_in(raw)
+        assert len(decoded) == 1
+        assert decoded[0][0].data_size == readers[0][0].file_size
+
+    def test_too_many_inputs_rejected(self, plain_options):
+        readers = [[self._reader(make_entries(10, seed=i), plain_options)]
+                   for i in range(3)]
+        dram = Dram(size=1 << 24)
+        with pytest.raises(FpgaProtocolError):
+            marshal_inputs(dram, CONFIG_2_INPUT, readers)
+
+    def test_nine_input_marshal(self, plain_options):
+        readers = [[self._reader(make_entries(30, seed=i), plain_options)]
+                   for i in range(9)]
+        dram = Dram(size=1 << 24)
+        image = marshal_inputs(dram, CONFIG_9_INPUT, readers)
+        assert len(image.layouts) == 9

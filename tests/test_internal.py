@@ -1,0 +1,106 @@
+"""Internal-key encoding and the internal-key comparator."""
+
+import pytest
+
+from repro.errors import CorruptionError
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    MARK_FIELDS_SIZE,
+    MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+    extract_user_key,
+    make_lookup_key,
+    pack_sequence_and_type,
+    parse_internal_key,
+)
+from repro.util.comparator import BytewiseComparator
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        key = encode_internal_key(b"user", 42, TYPE_VALUE)
+        parsed = parse_internal_key(key)
+        assert parsed.user_key == b"user"
+        assert parsed.sequence == 42
+        assert parsed.value_type == TYPE_VALUE
+        assert not parsed.is_deletion
+
+    def test_mark_fields_are_eight_bytes(self):
+        key = encode_internal_key(b"k", 1, TYPE_VALUE)
+        assert len(key) == 1 + MARK_FIELDS_SIZE
+
+    def test_deletion_flag(self):
+        key = encode_internal_key(b"k", 7, TYPE_DELETION)
+        assert parse_internal_key(key).is_deletion
+
+    def test_extract_user_key(self):
+        key = encode_internal_key(b"hello", 1, TYPE_VALUE)
+        assert extract_user_key(key) == b"hello"
+
+    def test_max_sequence(self):
+        key = encode_internal_key(b"k", MAX_SEQUENCE, TYPE_VALUE)
+        assert parse_internal_key(key).sequence == MAX_SEQUENCE
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(CorruptionError):
+            pack_sequence_and_type(MAX_SEQUENCE + 1, TYPE_VALUE)
+
+    def test_bad_type_byte(self):
+        with pytest.raises(CorruptionError):
+            pack_sequence_and_type(1, 0x7)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CorruptionError):
+            parse_internal_key(b"short")
+
+    def test_unknown_type_rejected_on_parse(self):
+        raw = b"user" + (99).to_bytes(8, "little")
+        with pytest.raises(CorruptionError):
+            parse_internal_key(raw)
+
+
+class TestComparator:
+    def test_user_key_order_dominates(self):
+        a = encode_internal_key(b"aaa", 1, TYPE_VALUE)
+        b = encode_internal_key(b"bbb", 100, TYPE_VALUE)
+        assert ICMP.compare(a, b) < 0
+
+    def test_newer_sequence_sorts_first(self):
+        newer = encode_internal_key(b"k", 10, TYPE_VALUE)
+        older = encode_internal_key(b"k", 5, TYPE_VALUE)
+        assert ICMP.compare(newer, older) < 0
+
+    def test_same_sequence_value_before_deletion(self):
+        # TYPE_VALUE (1) > TYPE_DELETION (0); higher trailer sorts first.
+        value = encode_internal_key(b"k", 5, TYPE_VALUE)
+        deletion = encode_internal_key(b"k", 5, TYPE_DELETION)
+        assert ICMP.compare(value, deletion) < 0
+
+    def test_equal(self):
+        a = encode_internal_key(b"k", 5, TYPE_VALUE)
+        assert ICMP.compare(a, bytes(a)) == 0
+
+    def test_lookup_key_sorts_at_or_before_entries(self):
+        lookup = make_lookup_key(b"k", 10)
+        entry_at_10 = encode_internal_key(b"k", 10, TYPE_VALUE)
+        entry_at_9 = encode_internal_key(b"k", 9, TYPE_VALUE)
+        entry_at_11 = encode_internal_key(b"k", 11, TYPE_VALUE)
+        assert ICMP.compare(lookup, entry_at_10) <= 0
+        assert ICMP.compare(lookup, entry_at_9) < 0
+        assert ICMP.compare(entry_at_11, lookup) < 0
+
+    def test_find_shortest_separator_respects_order(self):
+        a = encode_internal_key(b"abcdef", 5, TYPE_VALUE)
+        b = encode_internal_key(b"abzz", 9, TYPE_VALUE)
+        sep = ICMP.find_shortest_separator(a, b)
+        assert ICMP.compare(a, sep) <= 0
+        assert ICMP.compare(sep, b) < 0
+
+    def test_find_short_successor_not_smaller(self):
+        key = encode_internal_key(b"abc", 3, TYPE_VALUE)
+        successor = ICMP.find_short_successor(key)
+        assert ICMP.compare(key, successor) <= 0

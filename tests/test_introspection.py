@@ -1,0 +1,61 @@
+"""Introspection helpers: approximate sizes, pipeline utilization."""
+
+import pytest
+
+from repro.fpga.config import CONFIG_2_INPUT
+from repro.fpga.engine import simulate_synthetic
+from repro.lsm import LsmDB
+from repro.lsm.env import MemEnv
+
+
+class TestApproximateSize:
+    @pytest.fixture
+    def filled_db(self, options):
+        db = LsmDB("sizedb", options, env=MemEnv())
+        for i in range(2000):
+            db.put(f"key{i:08d}".encode(), b"v" * 48)
+        db.compact_range()
+        return db
+
+    def test_whole_range_close_to_total(self, filled_db):
+        total = sum(filled_db.level_sizes())
+        estimate = filled_db.approximate_size(b"key00000000", b"kez")
+        assert estimate >= total // 2
+        assert estimate <= total
+
+    def test_empty_range_zero(self, filled_db):
+        assert filled_db.approximate_size(b"z", b"zz") == 0
+
+    def test_inverted_range_zero(self, filled_db):
+        assert filled_db.approximate_size(b"m", b"a") == 0
+
+    def test_monotone_in_range_width(self, filled_db):
+        narrow = filled_db.approximate_size(b"key00000100", b"key00000200")
+        wide = filled_db.approximate_size(b"key00000100", b"key00001800")
+        assert wide >= narrow
+
+    def test_half_range_roughly_half(self, filled_db):
+        total = filled_db.approximate_size(b"key00000000", b"kez")
+        half = filled_db.approximate_size(b"key00000000", b"key00001000")
+        assert 0.2 * total < half < 0.8 * total
+
+
+class TestPipelineUtilization:
+    def test_fractions_bounded(self):
+        report = simulate_synthetic(CONFIG_2_INPUT, [1000, 1000], 16, 512)
+        util = report.utilization()
+        assert set(util) == {"value_bus", "writer", "decoder_stall"}
+        for value in util.values():
+            assert 0 <= value <= 1.0
+
+    def test_value_bus_dominates_at_long_values(self):
+        report = simulate_synthetic(CONFIG_2_INPUT, [1000, 1000], 16, 2048)
+        util = report.utilization()
+        assert util["value_bus"] > 0.5
+        assert util["value_bus"] > util["writer"]
+
+    def test_empty_report_safe(self):
+        from repro.fpga.pipeline_sim import TimingReport
+        util = TimingReport().utilization()
+        assert util == {"value_bus": 0.0, "writer": 0.0,
+                        "decoder_stall": 0.0}

@@ -1,0 +1,80 @@
+"""The ``python -m repro.lsm`` command-line client."""
+
+import pytest
+
+from repro.lsm.cli import main
+
+
+@pytest.fixture
+def dbdir(tmp_path):
+    return str(tmp_path / "clidb")
+
+
+class TestCrudCommands:
+    def test_put_get_roundtrip(self, dbdir, capsys):
+        assert main(["put", dbdir, "key1", "value one"]) == 0
+        assert main(["get", dbdir, "key1"]) == 0
+        assert "value one" in capsys.readouterr().out
+
+    def test_get_missing(self, dbdir, capsys):
+        main(["put", dbdir, "a", "1"])
+        assert main(["get", dbdir, "nope"]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_delete(self, dbdir, capsys):
+        main(["put", dbdir, "victim", "v"])
+        assert main(["delete", dbdir, "victim"]) == 0
+        assert main(["get", dbdir, "victim"]) == 1
+
+    def test_persistence_across_invocations(self, dbdir, capsys):
+        main(["put", dbdir, "durable", "yes"])
+        main(["put", dbdir, "other", "data"])
+        capsys.readouterr()
+        assert main(["get", dbdir, "durable"]) == 0
+        assert "yes" in capsys.readouterr().out
+
+
+class TestScanAndStats:
+    def test_scan_with_limit(self, dbdir, capsys):
+        for i in range(5):
+            main(["put", dbdir, f"k{i}", f"v{i}"])
+        capsys.readouterr()
+        assert main(["scan", dbdir, "--limit", "3"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 3
+
+    def test_scan_range(self, dbdir, capsys):
+        for name in ("alpha", "beta", "gamma"):
+            main(["put", dbdir, name, "x"])
+        capsys.readouterr()
+        main(["scan", dbdir, "--start", "b", "--end", "c"])
+        out = capsys.readouterr().out
+        assert "beta" in out
+        assert "alpha" not in out
+
+    def test_stats_reports_levels(self, dbdir, capsys):
+        main(["fill", dbdir, "--entries", "500", "--value-size", "64"])
+        capsys.readouterr()
+        assert main(["stats", dbdir]) == 0
+        out = capsys.readouterr().out
+        assert "level 0" in out
+        assert "sequence" in out
+
+
+class TestFillAndCompact:
+    def test_fill_then_compact_cpu(self, dbdir, capsys):
+        assert main(["fill", dbdir, "--entries", "2000",
+                     "--value-size", "64"]) == 0
+        assert main(["compact", dbdir]) == 0
+        out = capsys.readouterr().out
+        assert "levels after compaction" in out
+
+    def test_fill_with_fpga_offload(self, dbdir, capsys):
+        assert main(["fill", dbdir, "--entries", "3000",
+                     "--value-size", "512", "--fpga", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "offload:" in out
+
+    def test_sequential_fill(self, dbdir, capsys):
+        assert main(["fill", dbdir, "--entries", "100",
+                     "--value-size", "32", "--sequential"]) == 0

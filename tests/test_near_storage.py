@@ -1,0 +1,75 @@
+"""Near-storage placement (the §VII-E extension)."""
+
+import pytest
+
+from repro.fpga.config import CONFIG_2_INPUT
+from repro.host.device import FcaeDevice
+from repro.host.near_storage import NearStorageDevice, SsdModel
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.sstable import TableReader
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image, make_entries
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+def readers_for(plain_options, seeds=(1, 2), count=250):
+    return [[TableReader(build_table_image(
+        make_entries(count, seed=s, seq_base=s * 10 ** 6), plain_options,
+        ICMP), ICMP, plain_options)] for s in seeds]
+
+
+class TestSsdModel:
+    def test_stream_time_linear(self):
+        ssd = SsdModel(internal_bandwidth=1e9)
+        assert ssd.stream_seconds(1_000_000) == pytest.approx(1e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SsdModel().stream_seconds(-1)
+
+
+class TestNearStorageDevice:
+    def test_functionally_identical_to_pcie_device(self, plain_options):
+        readers = readers_for(plain_options)
+        near = NearStorageDevice(CONFIG_2_INPUT, plain_options)
+        pcie = FcaeDevice(CONFIG_2_INPUT, plain_options)
+        near_result = near.compact(readers)
+        pcie_result = pcie.compact(readers)
+        assert [o.data for o in near_result.outputs] == [
+            o.data for o in pcie_result.outputs]
+        assert near_result.meta_out == pcie_result.meta_out
+
+    def test_same_kernel_time_as_pcie(self, plain_options):
+        readers = readers_for(plain_options)
+        near = NearStorageDevice(CONFIG_2_INPUT, plain_options)
+        pcie = FcaeDevice(CONFIG_2_INPUT, plain_options)
+        assert near.compact(readers).kernel_seconds == pytest.approx(
+            pcie.compact(readers).kernel_seconds)
+
+    def test_no_pcie_in_breakdown(self, plain_options):
+        readers = readers_for(plain_options)
+        result = NearStorageDevice(CONFIG_2_INPUT, plain_options).compact(
+            readers)
+        assert result.command_seconds < 1e-4
+        assert result.internal_read_seconds > 0
+        assert result.internal_write_seconds > 0
+        assert result.total_seconds == pytest.approx(
+            result.command_seconds + result.internal_read_seconds
+            + result.kernel_seconds + result.internal_write_seconds)
+
+    def test_data_movement_fraction_bounded(self, plain_options):
+        readers = readers_for(plain_options)
+        result = NearStorageDevice(CONFIG_2_INPUT, plain_options).compact(
+            readers)
+        assert 0 < result.data_movement_fraction < 0.6
+
+
+class TestBenchTarget:
+    def test_near_storage_bench_runs(self):
+        from repro.bench import near_storage as bench
+        result = bench.run()
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row[5] < 1.0  # near-storage never slower

@@ -1,0 +1,62 @@
+"""Pipeline variants: timing differs, functional output never does."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.fpga.config import FpgaConfig, PipelineVariant
+from repro.fpga.engine import CompactionEngine, simulate_synthetic
+from repro.lsm.internal import InternalKeyComparator
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image, make_entries
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+BASE = FpgaConfig(num_inputs=2, value_width=16, w_in=64, w_out=64)
+LADDER = (PipelineVariant.BASIC, PipelineVariant.SPLIT_BLOCKS,
+          PipelineVariant.KV_SEPARATION, PipelineVariant.FULL)
+
+
+class TestFunctionalInvariance:
+    def test_all_variants_produce_identical_bytes(self, plain_options):
+        newer = make_entries(180, seed=1, seq_base=10_000, delete_every=9)
+        older = make_entries(220, seed=2, seq_base=1, delete_every=7)
+        images = [[build_table_image(newer, plain_options, ICMP)],
+                  [build_table_image(older, plain_options, ICMP)]]
+        outputs = []
+        for variant in LADDER:
+            engine = CompactionEngine(replace(BASE, variant=variant),
+                                      plain_options)
+            result = engine.run_on_images(images, drop_deletions=True)
+            outputs.append([o.data for o in result.outputs])
+        for other in outputs[1:]:
+            assert other == outputs[0]
+
+
+class TestTimingOrdering:
+    @pytest.mark.parametrize("value_length", [64, 512, 2048])
+    def test_each_optimization_never_hurts_at_any_length(self, value_length):
+        speeds = []
+        for variant in LADDER:
+            config = replace(BASE, variant=variant)
+            report = simulate_synthetic(config, [600, 600], 16, value_length)
+            speeds.append(report.speed_mbps(config))
+        # Monotone non-decreasing along the ladder (small tolerance for
+        # block-boundary rounding).
+        for slower, faster in zip(speeds, speeds[1:]):
+            assert faster >= slower * 0.98
+
+    def test_basic_index_detour_visible(self):
+        # The single-read-pointer stall only exists in BASIC.
+        basic = replace(BASE, variant=PipelineVariant.BASIC)
+        split = replace(BASE, variant=PipelineVariant.SPLIT_BLOCKS)
+        report_basic = simulate_synthetic(basic, [800, 800], 16, 64)
+        report_split = simulate_synthetic(split, [800, 800], 16, 64)
+        assert report_basic.total_cycles > report_split.total_cycles
+
+    def test_kernel_time_drops_four_fold_basic_to_full(self):
+        basic = replace(BASE, variant=PipelineVariant.BASIC)
+        full = BASE
+        slow = simulate_synthetic(basic, [500, 500], 16, 1024)
+        fast = simulate_synthetic(full, [500, 500], 16, 1024)
+        assert slow.total_cycles > 4 * fast.total_cycles

@@ -1,0 +1,70 @@
+"""Resource estimator vs the paper's Table VII."""
+
+import pytest
+
+from repro.errors import FpgaResourceError
+from repro.fpga.config import FpgaConfig
+from repro.fpga.engine import CompactionEngine
+from repro.fpga.resources import (
+    best_feasible_config,
+    estimate_for,
+    estimate_resources,
+)
+
+PAPER_TABLE7 = {
+    (2, 64, 16): (18, 10, 72),
+    (2, 64, 8): (17, 9, 63),
+    (9, 64, 8): (35, 27, 206),
+    (9, 16, 16): (30, 18, 125),
+    (9, 16, 8): (26, 16, 103),
+    (9, 8, 8): (25, 14, 84),
+}
+
+
+class TestFit:
+    @pytest.mark.parametrize("config,paper", PAPER_TABLE7.items())
+    def test_within_tolerance_of_paper(self, config, paper):
+        n, w_in, v = config
+        bram, ff, lut = paper
+        report = estimate_for(n, w_in, v)
+        assert report.bram_pct == pytest.approx(bram, abs=2.5)
+        assert report.ff_pct == pytest.approx(ff, abs=2.5)
+        assert report.lut_pct == pytest.approx(lut, abs=7)
+
+    def test_feasibility_matches_paper(self):
+        # Exactly the three LUT-over-100% configs are infeasible.
+        infeasible = {cfg for cfg in PAPER_TABLE7
+                      if not estimate_for(*cfg).fits}
+        assert infeasible == {(9, 64, 8), (9, 16, 16), (9, 16, 8)}
+
+    def test_absolute_counts_positive(self):
+        report = estimate_for(2, 64, 16)
+        assert report.lut_count > 0
+        assert report.ff_count > 0
+        assert report.bram_count > 0
+
+
+class TestBestFeasible:
+    def test_nine_inputs_lands_on_paper_choice(self):
+        config = best_feasible_config(9)
+        assert (config.w_in, config.value_width) == (8, 8)
+
+    def test_two_inputs_gets_full_width(self):
+        config = best_feasible_config(2)
+        assert config.w_in == 64
+
+    def test_result_actually_fits(self):
+        for n in (2, 4, 9, 16):
+            config = best_feasible_config(n)
+            assert estimate_resources(config).fits
+
+
+class TestEngineGuard:
+    def test_oversubscribed_engine_rejected(self):
+        config = FpgaConfig(num_inputs=9, value_width=8, w_in=64)
+        with pytest.raises(FpgaResourceError):
+            CompactionEngine(config)
+
+    def test_check_can_be_disabled(self):
+        config = FpgaConfig(num_inputs=9, value_width=8, w_in=64)
+        CompactionEngine(config, check_resources=False)

@@ -1,0 +1,91 @@
+"""Virtual clock and event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import EventQueue, VirtualClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.0)
+        assert clock.now == 7.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(5.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock().advance_by(-1.0)
+
+
+class TestEventQueue:
+    def test_events_in_time_order(self):
+        clock = VirtualClock()
+        queue = EventQueue(clock)
+        order = []
+        queue.schedule(3.0, lambda: order.append("c"))
+        queue.schedule(1.0, lambda: order.append("a"))
+        queue.schedule(2.0, lambda: order.append("b"))
+        queue.run_until_empty()
+        assert order == ["a", "b", "c"]
+        assert clock.now == 3.0
+
+    def test_tie_break_by_schedule_order(self):
+        clock = VirtualClock()
+        queue = EventQueue(clock)
+        order = []
+        queue.schedule(1.0, lambda: order.append("first"))
+        queue.schedule(1.0, lambda: order.append("second"))
+        queue.run_until_empty()
+        assert order == ["first", "second"]
+
+    def test_schedule_after(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        queue = EventQueue(clock)
+        fired = []
+        queue.schedule_after(5.0, lambda: fired.append(clock.now))
+        queue.run_until_empty()
+        assert fired == [15.0]
+
+    def test_past_scheduling_rejected(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        queue = EventQueue(clock)
+        with pytest.raises(SimulationError):
+            queue.schedule(5.0, lambda: None)
+
+    def test_cascading_events(self):
+        clock = VirtualClock()
+        queue = EventQueue(clock)
+        hits = []
+
+        def recurse(depth):
+            hits.append(clock.now)
+            if depth < 3:
+                queue.schedule_after(1.0, lambda: recurse(depth + 1))
+
+        queue.schedule(0.0, lambda: recurse(0))
+        executed = queue.run_until_empty()
+        assert executed == 4
+        assert hits == [0.0, 1.0, 2.0, 3.0]
+
+    def test_runaway_guard(self):
+        clock = VirtualClock()
+        queue = EventQueue(clock)
+
+        def forever():
+            queue.schedule_after(0.001, forever)
+
+        queue.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            queue.run_until_empty(max_events=100)

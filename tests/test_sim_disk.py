@@ -1,0 +1,40 @@
+"""Disk bandwidth server."""
+
+import pytest
+
+from repro.sim.disk import DiskModel
+
+
+class TestDurations:
+    def test_read_duration(self):
+        disk = DiskModel(read_bandwidth=100e6, seek_seconds=1e-3)
+        assert disk.read_duration(100_000_000) == pytest.approx(1.001)
+
+    def test_write_duration(self):
+        disk = DiskModel(write_bandwidth=50e6, seek_seconds=0)
+        assert disk.write_duration(50_000_000) == pytest.approx(1.0)
+
+
+class TestReservations:
+    def test_serialized_transfers(self):
+        disk = DiskModel(read_bandwidth=100e6, write_bandwidth=100e6,
+                         seek_seconds=0)
+        first = disk.reserve_read(0.0, 100_000_000)   # 1s: busy [0,1]
+        second = disk.reserve_write(0.0, 100_000_000)  # queues behind
+        assert first == pytest.approx(1.0)
+        assert second == pytest.approx(2.0)
+
+    def test_idle_gap_respected(self):
+        disk = DiskModel(read_bandwidth=100e6, seek_seconds=0)
+        disk.reserve_read(0.0, 100_000_000)
+        late = disk.reserve_read(10.0, 100_000_000)
+        assert late == pytest.approx(11.0)
+
+    def test_stats_accumulate(self):
+        disk = DiskModel()
+        disk.reserve_read(0.0, 1000)
+        disk.reserve_write(0.0, 2000)
+        assert disk.stats.read_bytes == 1000
+        assert disk.stats.write_bytes == 2000
+        assert disk.stats.busy_seconds > 0
+        assert disk.free_at > 0

@@ -1,0 +1,133 @@
+"""Snappy codec: format details, round-trips, corruption rejection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress import snappy
+from repro.errors import CorruptionError
+from repro.util.varint import decode_varint32
+
+
+class TestFormat:
+    def test_empty_input(self):
+        compressed = snappy.compress(b"")
+        assert snappy.decompress(compressed) == b""
+        assert compressed == b"\x00"
+
+    def test_preamble_is_uncompressed_length(self):
+        data = b"abcdefgh" * 10
+        compressed = snappy.compress(data)
+        length, _ = decode_varint32(compressed, 0)
+        assert length == len(data)
+
+    def test_single_byte(self):
+        assert snappy.decompress(snappy.compress(b"x")) == b"x"
+
+    def test_incompressible_close_to_raw(self):
+        import random
+        data = bytes(random.Random(5).randrange(256) for _ in range(1000))
+        compressed = snappy.compress(data)
+        assert len(compressed) <= snappy.max_compressed_length(len(data))
+        assert snappy.decompress(compressed) == data
+
+    def test_repetitive_compresses_well(self):
+        data = b"the quick brown fox " * 500
+        compressed = snappy.compress(data)
+        assert len(compressed) < len(data) // 4
+        assert snappy.decompress(compressed) == data
+
+    def test_run_of_one_byte(self):
+        # Overlapping copy (offset 1) path.
+        data = b"a" * 10_000
+        compressed = snappy.compress(data)
+        # ~3 bytes per 64-byte copy element.
+        assert len(compressed) < 600
+        assert snappy.decompress(compressed) == data
+
+    def test_long_match_split_into_copies(self):
+        data = b"0123456789abcdef" * 100
+        assert snappy.decompress(snappy.compress(data)) == data
+
+    def test_crosses_fragment_boundary(self):
+        data = (b"pattern-" * 9000) + bytes(range(256)) * 300
+        assert len(data) > 65536 * 2
+        assert snappy.decompress(snappy.compress(data)) == data
+
+    def test_literal_length_escape_60(self):
+        # > 60-byte incompressible literal uses the 1-byte length escape.
+        import random
+        data = bytes(random.Random(7).randrange(256) for _ in range(100))
+        assert snappy.decompress(snappy.compress(data)) == data
+
+
+class TestDecompressHandwritten:
+    def test_pure_literal(self):
+        # length 5 literal "hello": tag (5-1)<<2, then bytes.
+        raw = bytes([5]) + bytes([(5 - 1) << 2]) + b"hello"
+        assert snappy.decompress(raw) == b"hello"
+
+    def test_copy1(self):
+        # "abcd" then copy len=4 offset=4 -> "abcdabcd"
+        body = bytes([(4 - 1) << 2]) + b"abcd"
+        copy = bytes([0b01 | ((4 - 4) << 2) | (0 << 5), 4])
+        raw = bytes([8]) + body + copy
+        assert snappy.decompress(raw) == b"abcdabcd"
+
+    def test_copy2(self):
+        body = bytes([(4 - 1) << 2]) + b"wxyz"
+        copy = bytes([0b10 | ((4 - 1) << 2)]) + (4).to_bytes(2, "little")
+        raw = bytes([8]) + body + copy
+        assert snappy.decompress(raw) == b"wxyzwxyz"
+
+    def test_overlapping_copy(self):
+        # "ab" then copy len=6 offset=2 -> "abababab"
+        body = bytes([(2 - 1) << 2]) + b"ab"
+        copy = bytes([0b01 | ((6 - 4) << 2) | (0 << 5), 2])
+        raw = bytes([8]) + body + copy
+        assert snappy.decompress(raw) == b"abababab"
+
+
+class TestCorruption:
+    def test_length_mismatch(self):
+        raw = bytes([10]) + bytes([(5 - 1) << 2]) + b"hello"
+        with pytest.raises(CorruptionError):
+            snappy.decompress(raw)
+
+    def test_truncated_literal(self):
+        raw = bytes([5]) + bytes([(5 - 1) << 2]) + b"he"
+        with pytest.raises(CorruptionError):
+            snappy.decompress(raw)
+
+    def test_copy_offset_zero(self):
+        raw = bytes([4]) + bytes([0b01 | (0 << 2), 0])
+        with pytest.raises(CorruptionError):
+            snappy.decompress(raw)
+
+    def test_copy_offset_beyond_output(self):
+        body = bytes([(2 - 1) << 2]) + b"ab"
+        copy = bytes([0b01 | (0 << 2), 50])
+        raw = bytes([6]) + body + copy
+        with pytest.raises(CorruptionError):
+            snappy.decompress(raw)
+
+    def test_truncated_copy_offset(self):
+        raw = bytes([4]) + bytes([0b10 | ((4 - 1) << 2), 0x01])
+        with pytest.raises(CorruptionError):
+            snappy.decompress(raw)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(max_size=4096))
+def test_roundtrip_property(data):
+    assert snappy.decompress(snappy.compress(data)) == data
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from([b"abc", b"hello world", b"x" * 40, b"q"]),
+                max_size=200))
+def test_roundtrip_repetitive_property(parts):
+    data = b"".join(parts)
+    compressed = snappy.compress(data)
+    assert snappy.decompress(compressed) == data
+    assert len(compressed) <= snappy.max_compressed_length(len(data))

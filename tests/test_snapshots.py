@@ -1,0 +1,98 @@
+"""Snapshot reads: point-in-time gets and scans."""
+
+import pytest
+
+from repro.errors import DBStateError, NotFoundError
+from repro.lsm import LsmDB, Options
+from repro.lsm.db import Snapshot
+from repro.lsm.env import MemEnv
+
+
+@pytest.fixture
+def db(options):
+    return LsmDB("snapdb", options, env=MemEnv(), auto_compact=False)
+
+
+class TestSnapshotGet:
+    def test_sees_value_at_capture_time(self, db):
+        db.put(b"k", b"v1")
+        snap = db.snapshot()
+        db.put(b"k", b"v2")
+        assert db.get(b"k") == b"v2"
+        assert db.get(b"k", snapshot=snap) == b"v1"
+
+    def test_key_created_after_snapshot_invisible(self, db):
+        snap = db.snapshot()
+        db.put(b"new", b"v")
+        with pytest.raises(NotFoundError):
+            db.get(b"new", snapshot=snap)
+
+    def test_delete_after_snapshot_invisible(self, db):
+        db.put(b"k", b"v")
+        snap = db.snapshot()
+        db.delete(b"k")
+        with pytest.raises(NotFoundError):
+            db.get(b"k")
+        assert db.get(b"k", snapshot=snap) == b"v"
+
+    def test_snapshot_survives_flush(self, db):
+        db.put(b"k", b"v1")
+        snap = db.snapshot()
+        db.put(b"k", b"v2")
+        db.flush()
+        assert db.get(b"k", snapshot=snap) == b"v1"
+
+    def test_foreign_snapshot_rejected(self, db, options):
+        other = LsmDB("otherdb", options, env=MemEnv())
+        snap = other.snapshot()
+        db.put(b"k", b"v")
+        with pytest.raises(DBStateError):
+            db.get(b"k", snapshot=snap)
+
+    def test_repr(self, db):
+        snap = db.snapshot()
+        assert "Snapshot" in repr(snap)
+        assert isinstance(snap, Snapshot)
+
+
+class TestSnapshotScan:
+    def test_scan_at_snapshot(self, db):
+        db.put(b"a", b"1")
+        db.put(b"b", b"2")
+        snap = db.snapshot()
+        db.put(b"c", b"3")
+        db.delete(b"a")
+        db.put(b"b", b"2-new")
+        now = dict(db.scan())
+        then = dict(db.scan(snapshot=snap))
+        assert now == {b"b": b"2-new", b"c": b"3"}
+        assert then == {b"a": b"1", b"b": b"2"}
+
+    def test_scan_snapshot_across_flush(self, db):
+        for i in range(50):
+            db.put(f"k{i:04d}".encode(), b"old")
+        snap = db.snapshot()
+        db.flush()
+        for i in range(50):
+            db.put(f"k{i:04d}".encode(), b"new")
+        then = dict(db.scan(snapshot=snap))
+        assert all(v == b"old" for v in then.values())
+        assert len(then) == 50
+
+
+class TestSnapshotWithRange:
+    def test_scan_range_and_snapshot_compose(self, db):
+        for i in range(20):
+            db.put(f"k{i:03d}".encode(), b"old")
+        snap = db.snapshot()
+        for i in range(20):
+            db.put(f"k{i:03d}".encode(), b"new")
+        window = dict(db.scan(start=b"k005", end=b"k010", snapshot=snap))
+        assert window == {f"k{i:03d}".encode(): b"old"
+                          for i in range(5, 10)}
+
+    def test_snapshot_sequence_ordering(self, db):
+        first = db.snapshot()
+        db.put(b"x", b"1")
+        second = db.snapshot()
+        assert second.sequence > first.sequence

@@ -1,0 +1,75 @@
+"""Host-side split/combine (§V-B2): bit-exact round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.host.splice import combine_regions, split_table_image
+from repro.lsm.internal import InternalKeyComparator
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableReader
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image, make_entries
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+class TestSplit:
+    def test_data_region_precedes_meta(self, options):
+        image = build_table_image(make_entries(200), options, ICMP)
+        split = split_table_image(image)
+        assert 0 < len(split.data_region) < len(image)
+        assert len(split.index_entries) >= 1
+
+    def test_index_handles_stay_within_data_region(self, options):
+        image = build_table_image(make_entries(300, value_size=64),
+                                  options, ICMP)
+        split = split_table_image(image)
+        for _, handle in split.index_entries:
+            assert handle.offset + handle.size <= len(split.data_region)
+
+    def test_filter_extracted_when_present(self, options):
+        image = build_table_image(make_entries(100), options, ICMP)
+        split = split_table_image(image)
+        assert split.filter_block is not None
+        assert split.filter_name.startswith(b"filter.")
+
+    def test_no_filter_when_disabled(self, plain_options):
+        image = build_table_image(make_entries(100), plain_options, ICMP)
+        split = split_table_image(image)
+        assert split.filter_block is None
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CorruptionError):
+            split_table_image(b"not a table at all" * 10)
+
+
+class TestCombine:
+    def test_bit_exact_roundtrip_compressed(self, options):
+        image = build_table_image(make_entries(400, value_size=64),
+                                  options, ICMP)
+        assert combine_regions(split_table_image(image),
+                               compression="snappy") == image
+
+    def test_bit_exact_roundtrip_plain(self, plain_options):
+        image = build_table_image(make_entries(250), plain_options, ICMP)
+        assert combine_regions(split_table_image(image),
+                               compression="none") == image
+
+    def test_combined_table_fully_readable(self, options):
+        entries = make_entries(300, value_size=48)
+        image = build_table_image(entries, options, ICMP)
+        rebuilt = combine_regions(split_table_image(image))
+        assert list(TableReader(rebuilt, ICMP, options)) == entries
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=400),
+       st.integers(min_value=0, max_value=10 ** 6))
+def test_roundtrip_property(count, seed):
+    options = Options(block_size=512, sstable_size=1 << 20,
+                      compression="snappy", bloom_bits_per_key=10)
+    image = build_table_image(make_entries(count, seed=seed), options, ICMP)
+    assert combine_regions(split_table_image(image)) == image

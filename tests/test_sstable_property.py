@@ -1,0 +1,72 @@
+"""Property tests for the SSTable format: arbitrary sorted entry sets
+round-trip through build/read, under both compression modes, and point
+lookups always find exactly what iteration yields."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableReader
+from repro.util.comparator import BytewiseComparator
+
+from tests.conftest import build_table_image
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+_user_keys = st.sets(st.binary(min_size=1, max_size=32), min_size=1,
+                     max_size=120)
+_compression = st.sampled_from(["snappy", "none"])
+
+
+def _entries_from(keys):
+    entries = []
+    for sequence, user in enumerate(sorted(keys), start=1):
+        entries.append((encode_internal_key(user, sequence, TYPE_VALUE),
+                        user[::-1] * 3))
+    return entries
+
+
+def _options(compression):
+    return Options(block_size=256, sstable_size=1 << 20,
+                   compression=compression, bloom_bits_per_key=10,
+                   block_restart_interval=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_user_keys, _compression)
+def test_build_read_roundtrip_property(keys, compression):
+    options = _options(compression)
+    entries = _entries_from(keys)
+    reader = TableReader(build_table_image(entries, options, ICMP),
+                         ICMP, options)
+    assert list(reader) == entries
+
+
+@settings(max_examples=30, deadline=None)
+@given(_user_keys, _compression, st.binary(min_size=1, max_size=32))
+def test_point_get_matches_iteration_property(keys, compression, probe):
+    options = _options(compression)
+    entries = _entries_from(keys)
+    reader = TableReader(build_table_image(entries, options, ICMP),
+                         ICMP, options)
+    target = encode_internal_key(probe, 2 ** 40, TYPE_VALUE)
+    expected = next(
+        ((k, v) for k, v in entries if ICMP.compare(k, target) >= 0), None)
+    assert reader.get(target) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(_user_keys)
+def test_bloom_filter_never_rejects_present_property(keys):
+    options = _options("none")
+    entries = _entries_from(keys)
+    reader = TableReader(build_table_image(entries, options, ICMP),
+                         ICMP, options)
+    for user in keys:
+        assert reader.key_may_match(user)

@@ -1,0 +1,156 @@
+"""System simulator: the paper's end-to-end effects must emerge."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.fpga.config import CONFIG_9_INPUT, FpgaConfig
+from repro.lsm.options import Options
+from repro.sim.system import (
+    SystemConfig,
+    fpga_kernel_speed_mbps,
+    simulate_fillrandom,
+    simulate_ycsb,
+)
+from repro.workloads import YCSB_WORKLOADS
+
+GB = 1 << 30
+
+
+def fcae_config(options, data=GB, **kwargs):
+    return SystemConfig(mode="fcae", options=options, fpga=CONFIG_9_INPUT,
+                        data_size_bytes=data, **kwargs)
+
+
+def base_config(options, data=GB, **kwargs):
+    return SystemConfig(mode="leveldb", options=options,
+                        data_size_bytes=data, **kwargs)
+
+
+class TestConfig:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SystemConfig(mode="gpu")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SystemConfig(data_size_bytes=0)
+
+
+class TestFillrandom:
+    def test_fcae_beats_baseline(self):
+        options = Options(value_length=512)
+        base = simulate_fillrandom(base_config(options))
+        fcae = simulate_fillrandom(fcae_config(options))
+        assert fcae.throughput_mbps > 1.5 * base.throughput_mbps
+
+    def test_speedup_in_paper_band(self):
+        # Paper reports 2.2x .. 6.4x across its write experiments.
+        options = Options(value_length=512)
+        base = simulate_fillrandom(base_config(options))
+        fcae = simulate_fillrandom(fcae_config(options))
+        speedup = fcae.throughput_mbps / base.throughput_mbps
+        assert 1.8 < speedup < 7.0
+
+    def test_baseline_absolute_near_paper(self):
+        # Paper Table VI: LevelDB 2.3-2.9 MB/s at 1 GB.
+        options = Options(value_length=512)
+        base = simulate_fillrandom(base_config(options))
+        assert 1.5 < base.throughput_mbps < 5.0
+
+    def test_throughput_declines_with_data_size(self):
+        options = Options(value_length=512)
+        small = simulate_fillrandom(base_config(options, data=GB // 4))
+        large = simulate_fillrandom(base_config(options, data=2 * GB))
+        assert large.throughput_mbps < small.throughput_mbps
+
+    def test_fcae_declines_more_gently(self):
+        options = Options(value_length=512)
+        sizes = (GB // 4, 2 * GB)
+        base_drop = (simulate_fillrandom(base_config(options, sizes[0]))
+                     .throughput_mbps
+                     / simulate_fillrandom(base_config(options, sizes[1]))
+                     .throughput_mbps)
+        fcae_drop = (simulate_fillrandom(fcae_config(options, sizes[0]))
+                     .throughput_mbps
+                     / simulate_fillrandom(fcae_config(options, sizes[1]))
+                     .throughput_mbps)
+        assert fcae_drop < base_drop
+
+    def test_speedup_grows_with_value_length(self):
+        def speedup(L):
+            options = Options(value_length=L)
+            base = simulate_fillrandom(base_config(options))
+            fcae = simulate_fillrandom(fcae_config(options))
+            return fcae.throughput_mbps / base.throughput_mbps
+        assert speedup(2048) > speedup(64)
+
+    def test_pcie_fraction_single_digit(self):
+        options = Options(value_length=512)
+        fcae = simulate_fillrandom(fcae_config(options))
+        assert 0 < fcae.pcie_fraction < 0.10
+
+    def test_write_amplification_realistic(self):
+        options = Options(value_length=512)
+        result = simulate_fillrandom(base_config(options))
+        assert 3 < result.write_amplification < 40
+
+    def test_n2_falls_back_to_software_for_l0(self):
+        options = Options(value_length=512)
+        config = SystemConfig(
+            mode="fcae", options=options,
+            fpga=FpgaConfig(num_inputs=2, value_width=16),
+            data_size_bytes=GB // 2)
+        result = simulate_fillrandom(config)
+        assert result.software_tasks > 0  # L0 jobs exceeded N=2
+        assert result.fpga_tasks > 0
+
+    def test_n9_offloads_everything(self):
+        options = Options(value_length=512)
+        result = simulate_fillrandom(fcae_config(options, GB // 2))
+        assert result.software_tasks == 0
+
+    def test_deterministic(self):
+        options = Options(value_length=512)
+        a = simulate_fillrandom(base_config(options, GB // 4))
+        b = simulate_fillrandom(base_config(options, GB // 4))
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+
+class TestKernelSpeedCache:
+    def test_cached_value_stable(self):
+        first = fpga_kernel_speed_mbps(CONFIG_9_INPUT, 16, 512, 5)
+        second = fpga_kernel_speed_mbps(CONFIG_9_INPUT, 16, 512, 5)
+        assert first == second > 0
+
+    def test_streams_clamped_to_n(self):
+        speed = fpga_kernel_speed_mbps(CONFIG_9_INPUT, 16, 512, 50)
+        assert speed > 0
+
+
+class TestYcsb:
+    OPTIONS = Options(value_length=1024)
+    RECORDS = 2_000_000
+    OPS = 2_000_000
+
+    def _speedup(self, name):
+        workload = YCSB_WORKLOADS[name]
+        base = simulate_ycsb(base_config(self.OPTIONS), workload,
+                             self.RECORDS, self.OPS)
+        fcae = simulate_ycsb(fcae_config(self.OPTIONS), workload,
+                             self.RECORDS, self.OPS)
+        return fcae.ops_per_second / base.ops_per_second
+
+    def test_read_only_unchanged(self):
+        assert self._speedup("c") == pytest.approx(1.0)
+
+    def test_write_only_fastest(self):
+        load = self._speedup("load")
+        b = self._speedup("b")
+        assert load > b >= 0.99
+
+    def test_speedup_grows_with_write_ratio(self):
+        assert self._speedup("a") > self._speedup("b")
+
+    def test_all_workloads_non_regressing(self):
+        for name in ("load", "a", "b", "c", "d", "e", "f"):
+            assert self._speedup(name) >= 0.99, name

@@ -1,0 +1,124 @@
+"""Tiered (lazy-compaction) shape model and its system-level bench."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError, SimulationError
+from repro.fpga.config import CONFIG_9_INPUT, FpgaConfig
+from repro.lsm.options import L0_COMPACTION_TRIGGER, Options
+from repro.sim.lsm_model import TieredShapeModel
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+MEM = 4 << 20
+
+
+def options():
+    return Options()
+
+
+class TestTieredModel:
+    def test_flush_accumulates_runs(self):
+        model = TieredShapeModel(options())
+        for _ in range(3):
+            model.add_l0_file(MEM)
+        assert model.l0_files == 3
+        assert not model.needs_compaction()
+
+    def test_l0_merge_takes_all_runs(self):
+        model = TieredShapeModel(options())
+        for _ in range(L0_COMPACTION_TRIGGER):
+            model.add_l0_file(MEM)
+        task = model.pick_compaction()
+        assert task.level == 0
+        assert task.fpga_input_count == L0_COMPACTION_TRIGGER
+        assert task.input_bytes == L0_COMPACTION_TRIGGER * MEM
+        model.apply(task)
+        assert len(model.runs[1]) == 1
+
+    def test_deep_merge_needs_fanout_inputs(self):
+        model = TieredShapeModel(options(), tier_fanout=8)
+        model.runs[1] = [MEM] * 8
+        task = model.pick_compaction()
+        assert task.level == 1
+        assert task.fpga_input_count == 8
+        model.apply(task)
+        assert len(model.runs[1]) == 0
+        assert len(model.runs[2]) == 1
+
+    def test_write_amplification_near_one_per_crossing(self):
+        model = TieredShapeModel(options(), survival=1.0)
+        for _ in range(64):
+            model.add_l0_file(MEM)
+            while model.needs_compaction():
+                task = model.pick_compaction()
+                if task is None:
+                    break
+                model.apply(task)
+        # Tiering rewrites each byte roughly once per level crossing —
+        # far less than leveled compaction's ratio-per-crossing.
+        assert model.stats.write_amplification() < 4
+
+    def test_busy_level_not_repicked(self):
+        model = TieredShapeModel(options())
+        for _ in range(L0_COMPACTION_TRIGGER):
+            model.add_l0_file(MEM)
+        first = model.pick_compaction()
+        assert first is not None
+        assert model.pick_compaction() is None
+        model.apply(first)
+
+    def test_apply_without_pick_rejected(self):
+        from repro.sim.lsm_model import ModelCompactionTask
+        model = TieredShapeModel(options())
+        with pytest.raises(SimulationError):
+            model.apply(ModelCompactionTask(1, 10, 0, 8, 10))
+
+    def test_bad_fanout(self):
+        with pytest.raises(SimulationError):
+            TieredShapeModel(options(), tier_fanout=1)
+
+
+class TestTieredSystem:
+    def test_bad_style_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SystemConfig(compaction_style="fractal")
+
+    def test_two_input_engine_useless_on_tiered_store(self):
+        opts = Options(value_length=512)
+        nbytes = 1 << 28
+        software = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=opts, data_size_bytes=nbytes,
+            compaction_style="tiered"))
+        two = simulate_fillrandom(SystemConfig(
+            mode="fcae", options=opts, data_size_bytes=nbytes,
+            compaction_style="tiered",
+            fpga=FpgaConfig(num_inputs=2, value_width=16)))
+        nine = simulate_fillrandom(SystemConfig(
+            mode="fcae", options=opts, data_size_bytes=nbytes,
+            compaction_style="tiered", fpga=CONFIG_9_INPUT))
+        # N=2 rejects every multi-run merge; N=9 takes them all.
+        assert two.fpga_tasks == 0
+        assert nine.software_tasks == 0
+        assert nine.throughput_mbps > 1.5 * software.throughput_mbps
+        assert two.throughput_mbps < 1.2 * software.throughput_mbps
+
+    def test_tiered_writes_faster_than_leveled(self):
+        # The whole point of lazy compaction: higher write throughput.
+        opts = Options(value_length=512)
+        nbytes = 1 << 28
+        leveled = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=opts, data_size_bytes=nbytes))
+        tiered = simulate_fillrandom(SystemConfig(
+            mode="leveldb", options=opts, data_size_bytes=nbytes,
+            compaction_style="tiered"))
+        assert tiered.throughput_mbps > leveled.throughput_mbps
+
+
+class TestTieredBench:
+    def test_bench_story(self):
+        from repro.bench import tiered as bench
+        result = bench.run(scale=0.25)
+        rows = {row[0]: row for row in result.rows}
+        assert rows["FCAE N=2"][2] == 0          # no offloads possible
+        assert rows["FCAE N=9"][3] == 0          # no software fallbacks
+        assert rows["FCAE N=9"][4] > 1.5         # real speedup
+        assert abs(rows["FCAE N=2"][4] - 1.0) < 0.2

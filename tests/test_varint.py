@@ -1,0 +1,102 @@
+"""Varint coding round-trips, boundaries, and corruption handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError, InvalidArgumentError
+from repro.util.varint import (
+    MAX_VARINT32_BYTES,
+    MAX_VARINT64_BYTES,
+    decode_varint32,
+    decode_varint64,
+    encode_varint32,
+    encode_varint64,
+)
+
+
+class TestEncode:
+    def test_zero_is_single_byte(self):
+        assert encode_varint32(0) == b"\x00"
+
+    def test_small_values_single_byte(self):
+        for value in (1, 63, 127):
+            assert len(encode_varint32(value)) == 1
+
+    def test_128_needs_two_bytes(self):
+        assert encode_varint32(128) == b"\x80\x01"
+
+    def test_max_uint32_length(self):
+        assert len(encode_varint32(2 ** 32 - 1)) == MAX_VARINT32_BYTES
+
+    def test_max_uint64_length(self):
+        assert len(encode_varint64(2 ** 64 - 1)) == MAX_VARINT64_BYTES
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            encode_varint32(-1)
+
+    def test_too_large_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            encode_varint32(2 ** 32)
+        with pytest.raises(InvalidArgumentError):
+            encode_varint64(2 ** 64)
+
+
+class TestDecode:
+    def test_roundtrip_known_values(self):
+        for value in (0, 1, 127, 128, 300, 2 ** 21, 2 ** 32 - 1):
+            encoded = encode_varint32(value)
+            decoded, offset = decode_varint32(encoded)
+            assert decoded == value
+            assert offset == len(encoded)
+
+    def test_decode_at_offset(self):
+        buf = b"\xff\xff" + encode_varint32(777)
+        value, offset = decode_varint32(buf, 2)
+        assert value == 777
+        assert offset == 2 + len(encode_varint32(777))
+
+    def test_truncated_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint32(b"\x80")
+
+    def test_overlong_raises(self):
+        # Six continuation bytes exceed the varint32 budget.
+        with pytest.raises(CorruptionError):
+            decode_varint32(b"\x80\x80\x80\x80\x80\x01")
+
+    def test_value_exceeding_range_raises(self):
+        # A 5-byte varint encoding a value above 2**32.
+        with pytest.raises(CorruptionError):
+            decode_varint32(b"\xff\xff\xff\xff\x7f")
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises(CorruptionError):
+            decode_varint64(b"")
+
+
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_varint32_roundtrip_property(value):
+    decoded, offset = decode_varint32(encode_varint32(value))
+    assert decoded == value
+    assert offset <= MAX_VARINT32_BYTES
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1))
+def test_varint64_roundtrip_property(value):
+    decoded, _ = decode_varint64(encode_varint64(value))
+    assert decoded == value
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2 ** 64 - 1),
+                max_size=20))
+def test_varint_stream_roundtrip(values):
+    buf = b"".join(encode_varint64(v) for v in values)
+    offset = 0
+    decoded = []
+    for _ in values:
+        value, offset = decode_varint64(buf, offset)
+        decoded.append(value)
+    assert decoded == values
+    assert offset == len(buf)

@@ -1,0 +1,69 @@
+"""Write-pause latency tracking and its bench target."""
+
+import pytest
+
+from repro.bench.common import N9_CONFIG
+from repro.errors import InvalidArgumentError
+from repro.lsm.options import Options
+from repro.sim.system import SystemConfig, simulate_fillrandom
+
+
+@pytest.fixture(scope="module")
+def results():
+    options = Options(value_length=512)
+    nbytes = 1 << 28
+    base = simulate_fillrandom(SystemConfig(
+        mode="leveldb", options=options, data_size_bytes=nbytes))
+    fcae = simulate_fillrandom(SystemConfig(
+        mode="fcae", options=options, fpga=N9_CONFIG,
+        data_size_bytes=nbytes))
+    return base, fcae
+
+
+class TestLatencyTracking:
+    def test_write_counts_match_data(self, results):
+        base, _ = results
+        entry = 16 + 512
+        assert base.total_writes * entry >= base.user_bytes * 0.95
+
+    def test_pauses_recorded(self, results):
+        base, _ = results
+        assert len(base.stall_waits) > 0
+        assert base.max_write_pause > 0
+        assert sum(base.stall_waits) <= base.stall_seconds + 1e-9
+
+    def test_percentile_monotone(self, results):
+        base, _ = results
+        write_cost = 3e-6
+        p50 = base.latency_percentile(50, write_cost)
+        p999 = base.latency_percentile(99.9, write_cost)
+        p9999 = base.latency_percentile(99.99, write_cost)
+        assert p50 <= p999 <= p9999
+
+    def test_percentile_floor_is_base_cost(self, results):
+        base, _ = results
+        assert base.latency_percentile(0, 3e-6) == pytest.approx(3e-6)
+
+    def test_bad_percentile_rejected(self, results):
+        base, _ = results
+        with pytest.raises(InvalidArgumentError):
+            base.latency_percentile(101, 3e-6)
+
+    def test_fcae_tail_shorter(self, results):
+        base, fcae = results
+        write_cost = 3e-6
+        assert (fcae.latency_percentile(99.99, write_cost)
+                < base.latency_percentile(99.99, write_cost))
+        assert fcae.max_write_pause < base.max_write_pause
+
+
+class TestBenchTarget:
+    def test_write_pause_bench(self):
+        from repro.bench import write_pause
+        result = write_pause.run(scale=0.25)
+        rows = {row[0]: row for row in result.rows}
+        base = rows["LevelDB"]
+        fcae = rows["LevelDB-FCAE"]
+        assert fcae[2] < base[2]      # p99.99
+        assert fcae[4] < base[4]      # max pause
+        assert fcae[5] < base[5]      # stall share

@@ -1,0 +1,114 @@
+"""YCSB workload definitions and the runner against a real LsmDB."""
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.lsm import LsmDB, Options
+from repro.lsm.env import MemEnv
+from repro.workloads.ycsb import (
+    YCSB_WORKLOADS,
+    YcsbOp,
+    YcsbWorkload,
+    YcsbWorkloadRunner,
+    ycsb_key,
+)
+
+
+class TestWorkloadTable:
+    def test_paper_table_ix_mixes(self):
+        assert YCSB_WORKLOADS["load"].insert_fraction == 1.0
+        assert YCSB_WORKLOADS["a"].read_fraction == 0.5
+        assert YCSB_WORKLOADS["a"].update_fraction == 0.5
+        assert YCSB_WORKLOADS["b"].read_fraction == 0.95
+        assert YCSB_WORKLOADS["c"].read_fraction == 1.0
+        assert YCSB_WORKLOADS["d"].distribution == "latest"
+        assert YCSB_WORKLOADS["e"].scan_fraction == 0.95
+        assert YCSB_WORKLOADS["f"].rmw_fraction == 0.5
+
+    def test_write_fractions(self):
+        assert YCSB_WORKLOADS["load"].write_fraction == 1.0
+        assert YCSB_WORKLOADS["c"].write_fraction == 0.0
+        assert YCSB_WORKLOADS["a"].write_fraction == 0.5
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(InvalidArgumentError):
+            YcsbWorkload("bad", read_fraction=0.5)
+
+
+class TestKeys:
+    def test_key_format(self):
+        key = ycsb_key(7, key_length=16)
+        assert key.startswith(b"user")
+        assert len(key) == 16
+
+    def test_keys_distinct(self):
+        keys = {ycsb_key(i) for i in range(10_000)}
+        assert len(keys) == 10_000
+
+
+class TestRunnerGeneration:
+    def test_load_ops_count_and_size(self):
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["load"], 100,
+                                    value_length=64)
+        ops = list(runner.load_ops())
+        assert len(ops) == 100
+        assert all(op is YcsbOp.INSERT for op, _, _ in ops)
+        assert all(len(value) == 64 for _, _, value in ops)
+
+    def test_transaction_mix_matches_workload(self):
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["a"], 1000, seed=4)
+        ops = [op for op, *_ in runner.transactions(4000)]
+        reads = sum(op is YcsbOp.READ for op in ops)
+        updates = sum(op is YcsbOp.UPDATE for op in ops)
+        assert reads + updates == 4000
+        assert 0.4 < reads / 4000 < 0.6
+
+    def test_scan_lengths_bounded(self):
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["e"], 1000, seed=5)
+        for op, _, _, scan_len in runner.transactions(500):
+            if op is YcsbOp.SCAN:
+                assert 1 <= scan_len <= 100
+
+    def test_inserts_extend_keyspace(self):
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["d"], 100, seed=6)
+        inserted_before = runner._inserted
+        list(runner.transactions(200))
+        assert runner._inserted > inserted_before
+
+
+class TestRunnerAgainstDb:
+    def test_load_then_mixed_run(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          value_length=64, bloom_bits_per_key=0)
+        db = LsmDB("ycsb", options, env=MemEnv())
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["a"], 300,
+                                    value_length=64, seed=7)
+        assert runner.load(db) == 300
+        counters = runner.run(db, 400)
+        assert counters["read"] + counters["update"] == 400
+        # Every key the loader wrote must be readable.
+        assert db.get(runner.key_for(123)) is not None
+
+    def test_workload_f_rmw(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          value_length=64, bloom_bits_per_key=0)
+        db = LsmDB("ycsbf", options, env=MemEnv())
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["f"], 200,
+                                    value_length=64, seed=8)
+        runner.load(db)
+        counters = runner.run(db, 300)
+        assert counters["rmw"] > 0
+        assert counters["not_found"] == 0
+
+    def test_workload_e_scans(self):
+        options = Options(write_buffer_size=32 * 1024,
+                          sstable_size=16 * 1024, compression="none",
+                          value_length=64, bloom_bits_per_key=0)
+        db = LsmDB("ycsbe", options, env=MemEnv())
+        runner = YcsbWorkloadRunner(YCSB_WORKLOADS["e"], 200,
+                                    value_length=64, seed=9)
+        runner.load(db)
+        counters = runner.run(db, 100)
+        assert counters["scan"] > 50

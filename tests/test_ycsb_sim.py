@@ -1,0 +1,77 @@
+"""YCSB system-simulation details: determinism, cache model, pure-read
+path."""
+
+import pytest
+
+from repro.fpga.config import CONFIG_9_INPUT
+from repro.lsm.options import Options
+from repro.sim.system import (
+    SystemConfig,
+    YcsbSimResult,
+    _cache_hit_rate,
+    simulate_ycsb,
+)
+from repro.workloads import YCSB_WORKLOADS
+
+OPTIONS = Options(value_length=1024)
+RECORDS = 5_000_000
+OPS = 1_000_000
+
+
+def config(mode):
+    return SystemConfig(mode=mode, options=OPTIONS, fpga=CONFIG_9_INPUT)
+
+
+class TestCacheModel:
+    def test_zipfian_hit_rate_high_despite_small_cache(self):
+        rate = _cache_hit_rate("zipfian", 10 ** 7, 10 * 2 ** 30, 2 ** 30)
+        assert 0.5 < rate < 1.0
+
+    def test_uniform_hit_rate_equals_coverage(self):
+        rate = _cache_hit_rate("uniform", 10 ** 7, 10 * 2 ** 30, 2 ** 30)
+        assert rate == pytest.approx(0.1)
+
+    def test_latest_hit_rate_highest(self):
+        latest = _cache_hit_rate("latest", 10 ** 7, 10 * 2 ** 30, 2 ** 30)
+        zipf = _cache_hit_rate("zipfian", 10 ** 7, 10 * 2 ** 30, 2 ** 30)
+        assert latest >= zipf
+
+    def test_full_coverage_caps_at_one(self):
+        rate = _cache_hit_rate("uniform", 10 ** 6, 2 ** 20, 2 ** 30)
+        assert rate == 1.0
+
+
+class TestSimulateYcsb:
+    def test_pure_read_workload_has_no_write_result(self):
+        result = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["c"],
+                               RECORDS, OPS)
+        assert isinstance(result, YcsbSimResult)
+        assert result.write_result is None
+        assert result.ops_per_second > 0
+
+    def test_mixed_workload_carries_write_result(self):
+        result = simulate_ycsb(config("fcae"), YCSB_WORKLOADS["a"],
+                               RECORDS, OPS)
+        assert result.write_result is not None
+        assert result.write_result.mode == "fcae"
+
+    def test_deterministic(self):
+        first = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["a"],
+                              RECORDS, OPS)
+        second = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["a"],
+                               RECORDS, OPS)
+        assert first.elapsed_seconds == second.elapsed_seconds
+
+    def test_more_cache_never_slows_reads(self):
+        small = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["c"],
+                              RECORDS, OPS, cache_bytes=1e9)
+        large = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["c"],
+                              RECORDS, OPS, cache_bytes=8e9)
+        assert large.ops_per_second >= small.ops_per_second
+
+    def test_scan_workload_slower_than_point_reads(self):
+        scans = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["e"],
+                              RECORDS, OPS)
+        points = simulate_ycsb(config("leveldb"), YCSB_WORKLOADS["c"],
+                               RECORDS, OPS)
+        assert scans.ops_per_second < points.ops_per_second
