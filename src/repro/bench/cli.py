@@ -8,6 +8,11 @@ Usage::
     fcae-bench all               # everything, prints every table
     fcae-bench all --markdown results.md
     fcae-bench fig14 --scale 0.1 # smaller workloads for a quick pass
+    fcae-bench fig12 --metrics-out m.prom --trace-out t.jsonl
+
+``--metrics-out`` installs a process-wide metrics registry for the run
+and writes a Prometheus text-format dump; ``--trace-out`` streams every
+flush/compaction span (with modeled per-phase durations) as JSONL.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.bench import (
     ablation,
     near_storage,
@@ -77,18 +83,56 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload scale factor (default 1.0)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as markdown")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write a Prometheus text-format metrics dump")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="stream span traces as JSONL")
     args = parser.parse_args(argv)
 
-    names = ALL_ORDER if args.experiment == "all" else (args.experiment,)
+    registry = tracer = None
+    token = None
+    if args.metrics_out or args.trace_out:
+        registry = obs.MetricsRegistry()
+        obs.names.register_all(registry)
+        if args.trace_out:
+            try:
+                tracer = obs.Tracer(sink_path=args.trace_out,
+                                    keep_spans=False)
+            except OSError as error:
+                print(f"error: cannot open {args.trace_out}: {error}",
+                      file=sys.stderr)
+                return 2
+        token = obs.install(registry=registry, tracer=tracer)
+
+    experiment_names = (ALL_ORDER if args.experiment == "all"
+                        else (args.experiment,))
     results: list[ExperimentResult] = []
-    for name in names:
-        started = time.time()
-        result = EXPERIMENTS[name](scale=args.scale)
-        elapsed = time.time() - started
-        results.append(result)
-        print(result.format())
-        print(f"[{name} regenerated in {elapsed:.1f}s]")
-        print()
+    status = 0
+    try:
+        for name in experiment_names:
+            started = time.perf_counter()
+            result = EXPERIMENTS[name](scale=args.scale)
+            elapsed = time.perf_counter() - started
+            results.append(result)
+            print(result.format())
+            print(f"[{name} regenerated in {elapsed:.1f}s]")
+            print()
+    finally:
+        if token is not None:
+            obs.uninstall(token)
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace_out}")
+        if registry is not None and args.metrics_out:
+            try:
+                obs.write_prometheus(args.metrics_out, registry)
+                print(f"metrics written to {args.metrics_out}")
+            except OSError as error:
+                print(f"error: cannot write {args.metrics_out}: {error}",
+                      file=sys.stderr)
+                status = 2
+    if status:
+        return status
     if args.markdown:
         with open(args.markdown, "w") as handle:
             for result in results:

@@ -82,10 +82,13 @@ class CompactionEngine:
     """
 
     def __init__(self, config: FpgaConfig, options: Options | None = None,
-                 check_resources: bool = True):
+                 check_resources: bool = True, metrics=None):
         self.config = config
         self.options = options or Options()
         self.comparator = InternalKeyComparator(self.options.comparator)
+        #: optional repro.obs.MetricsRegistry for pipeline telemetry;
+        #: None defers to the process-wide registry at run time.
+        self.metrics = metrics
         if check_resources:
             report = estimate_resources(config)
             if not report.fits:
@@ -110,7 +113,7 @@ class CompactionEngine:
             raise FpgaResourceError(
                 f"{len(inputs)} inputs exceed the engine's "
                 f"N={self.config.num_inputs}")
-        timer = PipelineTimer(self.config)
+        timer = PipelineTimer(self.config, metrics=self.metrics)
         comparer = Comparer(self.comparator, drop_deletions)
         transfer = KeyValueTransfer(self.config)
         encoder = Encoder(self.options, self.comparator, self.config)
@@ -229,8 +232,14 @@ def simulate_synthetic(config: FpgaConfig, pairs_per_input: list[int],
     byte values; winners interleave randomly (uniform key space) and a
     ``drop_fraction`` of selections are validity-Drop'd.  Used by the
     Table V / Figs 9, 12, 13 benchmarks for wide parameter sweeps.
+
+    The run is traced as a synthetic ``compaction`` span with a modeled
+    ``phase:kernel`` child, so benchmark traces carry the same span
+    shape as full-stack offloads.
     """
     import random
+
+    from repro import obs
 
     rng = random.Random(seed)
     key_len = user_key_length + 8
@@ -249,18 +258,27 @@ def simulate_synthetic(config: FpgaConfig, pairs_per_input: list[int],
                               block_compressed_size=block_size)
             decoded[input_no] += 1
 
-    for input_no in range(len(remaining)):
-        feed(input_no)
+    tracer = obs.current_tracer()
+    with tracer.span("compaction", synthetic=True,
+                     num_inputs=len(pairs_per_input),
+                     key_length=user_key_length,
+                     value_length=value_length) as span:
+        for input_no in range(len(remaining)):
+            feed(input_no)
 
-    live = [i for i, n in enumerate(remaining) if n > 0]
-    while live:
-        winner = rng.choice(live)
-        drop = rng.random() < drop_fraction
-        timer.comparer_round(live, winner, drop, key_len, value_length)
-        remaining[winner] -= 1
-        feed(winner)
-        if remaining[winner] == 0:
-            live.remove(winner)
+        live = [i for i, n in enumerate(remaining) if n > 0]
+        while live:
+            winner = rng.choice(live)
+            drop = rng.random() < drop_fraction
+            timer.comparer_round(live, winner, drop, key_len, value_length)
+            remaining[winner] -= 1
+            feed(winner)
+            if remaining[winner] == 0:
+                live.remove(winner)
 
-    input_bytes = sum(pairs_per_input) * pair_file_bytes
-    return timer.finalize(input_bytes)
+        input_bytes = sum(pairs_per_input) * pair_file_bytes
+        report = timer.finalize(input_bytes)
+        tracer.phase("phase:kernel", report.kernel_seconds(config),
+                     cycles=report.total_cycles)
+        span.set(input_bytes=input_bytes)
+    return report

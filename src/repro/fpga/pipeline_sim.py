@@ -23,7 +23,7 @@ the per-cell comparison).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.fpga.config import FpgaConfig, PipelineVariant
@@ -51,6 +51,14 @@ class TimingReport:
     writer_busy_cycles: float = 0.0
     input_bytes: int = 0
     output_bytes: int = 0
+    #: decoder blocked because its KV FIFO had no free slot (§V-C
+    #: backpressure; a FIFO element is usable once)
+    decoder_backpressure_cycles: float = 0.0
+    decoder_busy_cycles: float = 0.0
+    comparer_busy_cycles: float = 0.0
+    encoder_busy_cycles: float = 0.0
+    #: per-input high-water KV-FIFO occupancy, in elements
+    fifo_high_water: list[int] = field(default_factory=list)
 
     def kernel_seconds(self, config: FpgaConfig) -> float:
         return config.cycles_to_seconds(self.total_cycles)
@@ -77,7 +85,7 @@ class TimingReport:
 class _InputTimingState:
     """Decoder-side clock and FIFO occupancy for one input."""
 
-    __slots__ = ("decoder_clock", "pending", "free_slots")
+    __slots__ = ("decoder_clock", "pending", "free_slots", "high_water")
 
     def __init__(self, fifo_depth: int) -> None:
         self.decoder_clock = 0.0
@@ -87,14 +95,24 @@ class _InputTimingState:
         #: earliest-freed slot, so a pair can never finish decoding into a
         #: slot before that slot was vacated.
         self.free_slots: deque[float] = deque([0.0] * fifo_depth)
+        #: most elements ever resident in the KV FIFO
+        self.high_water = 0
 
 
 class PipelineTimer:
     """Drives the timing model; the engine (or a synthetic workload
-    generator) feeds it decode and selection events in merge order."""
+    generator) feeds it decode and selection events in merge order.
 
-    def __init__(self, config: FpgaConfig):
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) defaults to the
+    process-wide registry when one is installed; :meth:`finalize` then
+    publishes the run into the ``fpga_pipeline_*`` families."""
+
+    def __init__(self, config: FpgaConfig, metrics=None):
+        from repro import obs
+
         self.config = config
+        self.metrics = (metrics if metrics is not None
+                        else obs.current_registry())
         self._inputs = [_InputTimingState(config.kv_fifo_depth)
                         for _ in range(config.num_inputs)]
         self._t_comparer = 0.0
@@ -140,9 +158,15 @@ class PipelineTimer:
                 f"{self.config.kv_fifo_depth} pairs ahead of the Comparer")
         slot_available = state.free_slots.popleft()
         start = max(state.decoder_clock, slot_available)
-        end = start + self._decode_service(spec)
+        # Time the decoder spent blocked on a full FIFO (backpressure).
+        self.report.decoder_backpressure_cycles += max(
+            0.0, slot_available - state.decoder_clock)
+        service = self._decode_service(spec)
+        self.report.decoder_busy_cycles += service
+        end = start + service
         state.decoder_clock = end
         state.pending.append(end)
+        state.high_water = max(state.high_water, len(state.pending))
 
     # ------------------------------------------------------------------
     # Comparer / transfer / encoder side
@@ -176,6 +200,7 @@ class PipelineTimer:
         round_end = round_start + round_cycles
         self._t_comparer = round_end
         self.report.comparer_rounds += 1
+        self.report.comparer_busy_cycles += round_cycles
 
         if drop:
             self.report.pairs_dropped += 1
@@ -205,6 +230,7 @@ class PipelineTimer:
         self._t_value_bus = end
         # Encoder key work overlaps the value drain on its own resource.
         self._t_encoder = max(self._t_encoder, start) + key_len
+        self.report.encoder_busy_cycles += key_len
         return end
 
     def block_flush(self, block_bytes: int) -> None:
@@ -229,9 +255,15 @@ class PipelineTimer:
     # ------------------------------------------------------------------
 
     def finalize(self, input_bytes: int) -> TimingReport:
-        """Drain the pipeline and close the report."""
+        """Drain the pipeline, close the report, and (when a registry is
+        attached) publish the run's ``fpga_pipeline_*`` metrics."""
         self.report.input_bytes = input_bytes
         self.report.total_cycles = max(
             self._t_comparer, self._t_value_bus, self._t_encoder,
             self._t_writer)
+        self.report.fifo_high_water = [state.high_water
+                                       for state in self._inputs]
+        if self.metrics is not None:
+            from repro.obs.names import publish_timing_report
+            publish_timing_report(self.metrics, self.report, self.config)
         return self.report

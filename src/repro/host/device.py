@@ -66,18 +66,31 @@ class DeviceResult:
 
 
 class FcaeDevice:
-    """One FPGA card: engine instance + DRAM + PCIe link."""
+    """One FPGA card: engine instance + DRAM + PCIe link.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
+    ``fpga_pcie_*`` DMA counters; the engine's pipeline timer publishes
+    the ``fpga_pipeline_*`` families into the same registry."""
 
     def __init__(self, config: FpgaConfig, options: Options | None = None,
                  pcie: PcieModel | None = None,
                  cpu_model: CpuCostModel | None = None,
-                 dram_size: int = 16 * 1024 * 1024 * 1024):
+                 dram_size: int = 16 * 1024 * 1024 * 1024,
+                 metrics=None):
+        from repro import obs
+        from repro.obs.names import PcieMetrics
+
         self.config = config
         self.options = options or Options()
-        self.engine = CompactionEngine(config, self.options)
+        self.metrics = (metrics if metrics is not None
+                        else obs.current_registry())
+        self.engine = CompactionEngine(config, self.options,
+                                       metrics=self.metrics)
         self.pcie = pcie or PcieModel()
         self.cpu_model = cpu_model or CpuCostModel()
         self.dram_size = dram_size
+        self._pcie_metrics = (PcieMetrics(self.metrics)
+                              if self.metrics is not None else None)
 
     def compact(self, inputs: list[list[TableReader]],
                 drop_deletions: bool = False) -> DeviceResult:
@@ -97,6 +110,10 @@ class FcaeDevice:
         meta_out_image, output_bytes = write_outputs(
             dram, self.config, engine_result.outputs, output_base)
         pcie_out = self.pcie.transfer_seconds(output_bytes)
+
+        if self._pcie_metrics is not None:
+            self._pcie_metrics.record("in", input_bytes, pcie_in)
+            self._pcie_metrics.record("out", output_bytes, pcie_out)
 
         return DeviceResult(
             outputs=engine_result.outputs,

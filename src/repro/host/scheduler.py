@@ -11,13 +11,18 @@ routes each merge compaction:
   be processed completely by the software").
 
 It verifies every FPGA result against the storage contract (sorted,
-disjoint output ranges) and accumulates the statistics the experiments
-report: task/byte routing, per-phase time, and the PCIe share.
+disjoint output ranges) and publishes the statistics the experiments
+report — task/byte routing, per-phase time, the PCIe share — into a
+:class:`repro.obs.MetricsRegistry`; :class:`SchedulerStats` is a
+read-only view over those metrics.  Each routed task also emits a
+``compaction.route`` trace span with modeled per-phase children
+(marshal → pcie_in → kernel → pcie_out, or software), so a JSONL trace
+reconstructs exactly where offload time went.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import FpgaProtocolError
 from repro.host.device import FcaeDevice
@@ -25,21 +30,68 @@ from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
 from repro.lsm.internal import InternalKeyComparator
 from repro.lsm.options import Options
 from repro.lsm.version import CompactionSpec
+from repro.obs import merge_counts, resolve_registry, resolve_tracer
+from repro.obs.names import SchedulerMetrics
+from repro.obs.registry import MetricsRegistry
 from repro.sim.cpu import CpuCostModel
 
 
-@dataclass
 class SchedulerStats:
-    """Routing and timing accumulators over a database run."""
+    """Routing and timing view over the scheduler's registry metrics.
 
-    fpga_tasks: int = 0
-    software_tasks: int = 0
-    fpga_input_bytes: int = 0
-    software_input_bytes: int = 0
-    fpga_kernel_seconds: float = 0.0
-    fpga_pcie_seconds: float = 0.0
-    fpga_marshal_seconds: float = 0.0
-    software_seconds: float = 0.0
+    Field names are unchanged from the historical dataclass; values are
+    re-read from the registry on each access.  ``as_dict`` /
+    :meth:`merge` let exposition and multi-scheduler reports iterate
+    fields instead of hand-copying them.
+    """
+
+    #: Integer routing fields and float phase-timing fields, in
+    #: reporting order.
+    INT_FIELDS = ("fpga_tasks", "software_tasks", "fpga_input_bytes",
+                  "software_input_bytes")
+    FLOAT_FIELDS = ("fpga_kernel_seconds", "fpga_pcie_seconds",
+                    "fpga_marshal_seconds", "software_seconds")
+    FIELDS = INT_FIELDS + FLOAT_FIELDS
+
+    def __init__(self, metrics: SchedulerMetrics):
+        self._metrics = metrics
+
+    # -- raw fields ----------------------------------------------------
+
+    @property
+    def fpga_tasks(self) -> int:
+        return int(self._metrics.tasks["fpga"].value)
+
+    @property
+    def software_tasks(self) -> int:
+        return int(self._metrics.tasks["software"].value)
+
+    @property
+    def fpga_input_bytes(self) -> int:
+        return int(self._metrics.input_bytes["fpga"].value)
+
+    @property
+    def software_input_bytes(self) -> int:
+        return int(self._metrics.input_bytes["software"].value)
+
+    @property
+    def fpga_kernel_seconds(self) -> float:
+        return self._metrics.phase_seconds["kernel"].value
+
+    @property
+    def fpga_pcie_seconds(self) -> float:
+        return (self._metrics.phase_seconds["pcie_in"].value
+                + self._metrics.phase_seconds["pcie_out"].value)
+
+    @property
+    def fpga_marshal_seconds(self) -> float:
+        return self._metrics.phase_seconds["marshal"].value
+
+    @property
+    def software_seconds(self) -> float:
+        return self._metrics.phase_seconds["software"].value
+
+    # -- derived -------------------------------------------------------
 
     @property
     def total_offload_seconds(self) -> float:
@@ -51,6 +103,23 @@ class SchedulerStats:
         total = self.total_offload_seconds
         return self.fpga_pcie_seconds / total if total > 0 else 0.0
 
+    # -- exposition ----------------------------------------------------
+
+    def as_dict(self) -> dict[str, float]:
+        """All fields as a plain dict, in :data:`FIELDS` order."""
+        return {field: getattr(self, field)
+                for field in SchedulerStats.FIELDS}
+
+    @staticmethod
+    def merge(*stats: "SchedulerStats | dict") -> dict[str, float]:
+        """Field-wise sum across schedulers (multi-card aggregation)."""
+        return merge_counts(
+            s if isinstance(s, dict) else s.as_dict() for s in stats)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"SchedulerStats({inner})"
+
 
 class CompactionScheduler:
     """Pluggable executor for :class:`repro.lsm.db.LsmDB`.
@@ -61,13 +130,19 @@ class CompactionScheduler:
 
     def __init__(self, device: FcaeDevice, options: Options | None = None,
                  cpu_model: CpuCostModel | None = None,
-                 verify_outputs: bool = True):
+                 verify_outputs: bool = True,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None):
         self.device = device
         self.options = options or device.options
         self.comparator = InternalKeyComparator(self.options.comparator)
         self.cpu_model = cpu_model or device.cpu_model
         self.verify_outputs = verify_outputs
-        self.stats = SchedulerStats()
+        self.metrics = resolve_registry(metrics)
+        self.tracer = resolve_tracer(tracer)
+        self._m = SchedulerMetrics(self.metrics,
+                                   inst=self.metrics.instance_label())
+        self.stats = SchedulerStats(self._m)
 
     # ------------------------------------------------------------------
     # Routing
@@ -80,11 +155,18 @@ class CompactionScheduler:
     def __call__(self, spec: CompactionSpec, input_tables: list,
                  parent_tables: list,
                  drop_deletions: bool) -> list[OutputTable]:
-        if self.should_offload(spec):
-            return self._run_fpga(spec, input_tables, parent_tables,
-                                  drop_deletions)
-        return self._run_software(spec, input_tables, parent_tables,
-                                  drop_deletions)
+        offload = self.should_offload(spec)
+        route = "fpga" if offload else "software"
+        self._m.tasks[route].inc()
+        self._m.task_input_bytes.observe(spec.total_input_bytes)
+        with self.tracer.span("compaction.route", route=route,
+                              level=spec.level,
+                              input_streams=spec.fpga_input_count()):
+            if offload:
+                return self._run_fpga(spec, input_tables, parent_tables,
+                                      drop_deletions)
+            return self._run_software(spec, input_tables, parent_tables,
+                                      drop_deletions)
 
     # ------------------------------------------------------------------
     # Paths
@@ -100,11 +182,14 @@ class CompactionScheduler:
         if parent_tables:
             streams.append(parent_tables)
         result = self.device.compact(streams, drop_deletions)
-        self.stats.fpga_tasks += 1
-        self.stats.fpga_input_bytes += result.input_bytes
-        self.stats.fpga_kernel_seconds += result.kernel_seconds
-        self.stats.fpga_pcie_seconds += result.pcie_seconds
-        self.stats.fpga_marshal_seconds += result.host_marshal_seconds
+        self._m.input_bytes["fpga"].inc(result.input_bytes)
+        phases = (("marshal", result.host_marshal_seconds),
+                  ("pcie_in", result.pcie_in_seconds),
+                  ("kernel", result.kernel_seconds),
+                  ("pcie_out", result.pcie_out_seconds))
+        for phase, seconds in phases:
+            self._m.phase_seconds[phase].inc(seconds)
+            self.tracer.phase(f"phase:{phase}", seconds)
         if self.verify_outputs:
             self._verify(result.outputs)
         return result.outputs
@@ -116,14 +201,15 @@ class CompactionScheduler:
                                           parent_tables)
         stats = compact(sources, self.options, self.comparator,
                         drop_deletions)
-        self.stats.software_tasks += 1
-        self.stats.software_input_bytes += spec.total_input_bytes
-        self.stats.software_seconds += self.cpu_model.compaction_seconds(
+        self._m.input_bytes["software"].inc(spec.total_input_bytes)
+        seconds = self.cpu_model.compaction_seconds(
             spec.total_input_bytes,
             self.options.key_length,
             self.options.value_length,
             num_inputs=max(2, spec.fpga_input_count()),
         )
+        self._m.phase_seconds["software"].inc(seconds)
+        self.tracer.phase("phase:software", seconds)
         return stats.outputs
 
     # ------------------------------------------------------------------

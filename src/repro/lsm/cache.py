@@ -13,9 +13,15 @@ from typing import Hashable, Optional
 
 
 class LRUCache:
-    """Byte-capacity-bounded LRU map."""
+    """Byte-capacity-bounded LRU map.
 
-    def __init__(self, capacity: int):
+    ``hit_counter`` / ``miss_counter`` / ``usage_gauge`` are optional
+    :mod:`repro.obs` metrics the owning store can bind, so cache traffic
+    flows into its registry without this module importing it.
+    """
+
+    def __init__(self, capacity: int, hit_counter=None, miss_counter=None,
+                 usage_gauge=None):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
@@ -23,6 +29,9 @@ class LRUCache:
         self._usage = 0
         self.hits = 0
         self.misses = 0
+        self._hit_counter = hit_counter
+        self._miss_counter = miss_counter
+        self._usage_gauge = usage_gauge
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -36,9 +45,13 @@ class LRUCache:
         value = self._entries.get(key)
         if value is None:
             self.misses += 1
+            if self._miss_counter is not None:
+                self._miss_counter.inc()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self._hit_counter is not None:
+            self._hit_counter.inc()
         return value
 
     def put(self, key: Hashable, value: bytes) -> None:
@@ -51,12 +64,18 @@ class LRUCache:
         while self._usage > self.capacity and self._entries:
             _, evicted = self._entries.popitem(last=False)
             self._usage -= len(evicted)
+        if self._usage_gauge is not None:
+            self._usage_gauge.set(self._usage)
 
     def erase(self, key: Hashable) -> None:
         value = self._entries.pop(key, None)
         if value is not None:
             self._usage -= len(value)
+            if self._usage_gauge is not None:
+                self._usage_gauge.set(self._usage)
 
     def clear(self) -> None:
         self._entries.clear()
         self._usage = 0
+        if self._usage_gauge is not None:
+            self._usage_gauge.set(0)

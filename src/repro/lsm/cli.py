@@ -14,6 +14,10 @@ invocations::
 ``--fpga N`` routes merge compactions through an N-input FCAE device
 instead of the CPU path — functionally identical files, offload
 statistics printed.
+
+Every command also takes ``--metrics-out PATH`` (Prometheus text-format
+dump of the run's metrics) and ``--trace-out PATH`` (JSONL span trace of
+flushes/compactions and their offload phases).
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.errors import NotFoundError, ReproError
 from repro.lsm.db import LsmDB
 from repro.lsm.env import OsEnv
@@ -110,23 +115,8 @@ def cmd_compact(args) -> int:
 
 def cmd_stats(args) -> int:
     with _open_db(args) as db:
-        stats = db.stats
-        sizes = db.level_sizes()
-        counts = db.level_file_counts()
-        print(f"path:         {args.db}")
-        print(f"sequence:     {db.versions.last_sequence}")
-        for level, (count, size) in enumerate(zip(counts, sizes)):
-            if count:
-                print(f"level {level}:      {count} files, "
-                      f"{size / 1e6:.2f} MB")
-        print(f"writes:       {stats.writes} ({stats.write_bytes} bytes)")
-        print(f"flushes:      {stats.flushes}")
-        print(f"compactions:  {stats.compactions}")
-        if db.block_cache is not None:
-            total = db.block_cache.hits + db.block_cache.misses
-            rate = db.block_cache.hits / total if total else 0.0
-            print(f"cache:        {db.block_cache.usage} bytes, "
-                  f"{rate:.1%} hit rate")
+        print(f"path: {args.db}")
+        print(db.property("repro.stats"))
     return 0
 
 
@@ -156,6 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
                              **kwargs)
         cmd.add_argument("--fpga", type=int, default=0, metavar="N",
                          help="offload compactions to an N-input engine")
+        cmd.add_argument("--metrics-out", metavar="PATH",
+                         help="write a Prometheus text-format metrics dump")
+        cmd.add_argument("--trace-out", metavar="PATH",
+                         help="stream span traces as JSONL")
         cmd.set_defaults(func=func)
         return cmd
 
@@ -177,11 +171,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    registry = tracer = token = None
+    if args.metrics_out or args.trace_out:
+        registry = obs.MetricsRegistry()
+        obs.names.register_all(registry)
+        if args.trace_out:
+            try:
+                tracer = obs.Tracer(sink_path=args.trace_out,
+                                    keep_spans=False)
+            except OSError as error:
+                print(f"error: cannot open {args.trace_out}: {error}",
+                      file=sys.stderr)
+                return 2
+        token = obs.install(registry=registry, tracer=tracer)
+    status = 0
     try:
-        return args.func(args)
+        status = args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        status = 2
+    finally:
+        if token is not None:
+            obs.uninstall(token)
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if registry is not None and args.metrics_out:
+            try:
+                obs.write_prometheus(args.metrics_out, registry)
+                print(f"metrics written to {args.metrics_out}",
+                      file=sys.stderr)
+            except OSError as error:
+                print(f"error: cannot write {args.metrics_out}: {error}",
+                      file=sys.stderr)
+                status = status or 2
+    return status
 
 
 if __name__ == "__main__":

@@ -64,6 +64,11 @@ from repro.util.coding import (
     put_length_prefixed_slice,
 )
 
+from repro.obs import merge_counts, resolve_registry, resolve_tracer
+from repro.obs.names import LsmMetrics
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_db_report
+
 #: A compaction executor turns (spec, input tables, parent tables,
 #: drop_deletions) into output table images.  ``repro.host`` provides the
 #: FPGA-backed implementation.
@@ -71,23 +76,30 @@ CompactionExecutor = Callable[
     [CompactionSpec, list, list, bool], list[OutputTable]]
 
 
-from dataclasses import dataclass, field
-
-
-@dataclass
 class DbStats:
     """Operational counters, in the spirit of LevelDB's
-    ``GetProperty("leveldb.stats")``."""
+    ``GetProperty("leveldb.stats")``.
 
-    writes: int = 0
-    write_bytes: int = 0
-    reads: int = 0
-    read_hits: int = 0
-    flushes: int = 0
-    flush_bytes: int = 0
-    compactions: int = 0
-    compaction_input_bytes: int = 0
-    compaction_output_bytes: int = 0
+    A read-only view over the database's metrics registry (the registry
+    is the single source of truth; this class keeps the historical
+    attribute names).  Counter fields resolve via ``__getattr__`` from
+    :data:`FIELDS`, so exposition code can iterate :meth:`as_dict`
+    instead of hand-copying field lists.
+    """
+
+    #: Counter fields, in reporting order.
+    FIELDS = ("writes", "write_bytes", "reads", "read_hits", "flushes",
+              "flush_bytes", "compactions", "compaction_input_bytes",
+              "compaction_output_bytes", "stalls", "block_cache_hits",
+              "block_cache_misses")
+
+    def __init__(self, metrics: LsmMetrics):
+        self._metrics = metrics
+
+    def __getattr__(self, name: str):
+        if name in DbStats.FIELDS:
+            return int(self._metrics.value(name))
+        raise AttributeError(name)
 
     @property
     def write_amplification(self) -> float:
@@ -96,6 +108,26 @@ class DbStats:
             return 0.0
         return ((self.flush_bytes + self.compaction_output_bytes)
                 / self.write_bytes)
+
+    @property
+    def block_cache_hit_ratio(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.block_cache_hits + self.block_cache_misses
+        return self.block_cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """Counter fields as a plain dict, in :data:`FIELDS` order."""
+        return {field: getattr(self, field) for field in DbStats.FIELDS}
+
+    @staticmethod
+    def merge(*stats: "DbStats | dict") -> dict[str, int]:
+        """Field-wise sum across databases (shard aggregation)."""
+        return merge_counts(
+            s if isinstance(s, dict) else s.as_dict() for s in stats)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"DbStats({inner})"
 
 
 class LsmDB:
@@ -114,19 +146,37 @@ class LsmDB:
     auto_compact:
         Run flushes/compactions inline when thresholds trip.  Disable for
         manual control in tests and offload demos.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry` to publish into; defaults to
+        the process-wide registry installed by :func:`repro.obs.install`
+        (benchmark CLIs), else a private one.
+    tracer:
+        A :class:`repro.obs.Tracer` for flush/compaction spans; defaults
+        to the installed tracer, else a no-op.
     """
 
     def __init__(self, dbname: str = "db", options: Optional[Options] = None,
                  env: Optional[Env] = None,
                  compaction_executor: Optional[CompactionExecutor] = None,
-                 auto_compact: bool = True):
+                 auto_compact: bool = True,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer=None):
         self.options = options or Options()
         self.env = env or MemEnv()
         self.dbname = dbname
+        self.metrics = resolve_registry(metrics)
+        self.tracer = resolve_tracer(tracer)
+        self._m = LsmMetrics(self.metrics, db=dbname,
+                             inst=self.metrics.instance_label())
+        self._c = self._m.counters
         self.icmp = InternalKeyComparator(self.options.comparator)
         self.versions = VersionSet(self.options, self.icmp)
-        self.block_cache = (LRUCache(self.options.block_cache_capacity)
-                            if self.options.block_cache_capacity > 0 else None)
+        self.block_cache = (
+            LRUCache(self.options.block_cache_capacity,
+                     hit_counter=self._c["block_cache_hits"],
+                     miss_counter=self._c["block_cache_misses"],
+                     usage_gauge=self._m.cache_usage)
+            if self.options.block_cache_capacity > 0 else None)
         self._executor = compaction_executor or self._cpu_executor
         self.auto_compact = auto_compact
         self._mem = MemTable(self.icmp)
@@ -137,7 +187,7 @@ class LsmDB:
         self._log_file = None
         self._log_number = 0
         self.stall_events = 0
-        self.stats = DbStats()
+        self.stats = DbStats(self._m)
 
         self.env.create_dir(dbname)
         self._recover()
@@ -267,8 +317,8 @@ class LsmDB:
         if not len(batch):
             return
         sequence = self.versions.last_sequence + 1
-        self.stats.writes += len(batch)
-        self.stats.write_bytes += batch.byte_size()
+        self._c["writes"].inc(len(batch))
+        self._c["write_bytes"].inc(batch.byte_size())
         self._log.add_record(batch.serialize(sequence))
         next_seq = batch.apply_to_memtable(self._mem, sequence)
         self.versions.last_sequence = next_seq - 1
@@ -282,6 +332,7 @@ class LsmDB:
                 # Real LevelDB blocks the writer here; inline we count the
                 # event and compact before proceeding.
                 self.stall_events += 1
+                self._c["stalls"].inc()
                 self.compact_once()
             self._flush_memtable()
         while self.versions.needs_compaction():
@@ -297,32 +348,35 @@ class LsmDB:
     def _flush_memtable(self) -> None:
         if not len(self._mem):
             return
-        self._imm = self._mem
-        self._mem = MemTable(self.icmp)
-        number = self.versions.new_file_number()
-        name = table_file_name(self.dbname, number)
-        dest = self.env.new_writable_file(name)
-        builder = TableBuilder(self.options, dest, self.icmp)
-        for internal_key, value in self._imm:
-            builder.add(internal_key, value)
-        stats = builder.finish()
-        dest.close()
-        self.stats.flushes += 1
-        self.stats.flush_bytes += stats.file_bytes
-        meta = FileMetaData(number, stats.file_bytes,
-                            builder.smallest_key, builder.largest_key)
-        edit = VersionEdit()
-        edit.add_file(0, meta)
-        self.versions.apply(edit)
-        self._open_reader(meta)
-        self._imm = None
-        self._write_manifest()
-        self._new_log()
-        # Retire WAL segments older than the new one.
-        for name in list(self.env.list_dir(self.dbname)):
-            log_num = parse_log_number(name)
-            if log_num is not None and log_num < self._log_number:
-                self.env.delete_file(f"{self.dbname}/{name}")
+        with self.tracer.span("flush", db=self.dbname) as span:
+            self._imm = self._mem
+            self._mem = MemTable(self.icmp)
+            number = self.versions.new_file_number()
+            name = table_file_name(self.dbname, number)
+            dest = self.env.new_writable_file(name)
+            builder = TableBuilder(self.options, dest, self.icmp)
+            for internal_key, value in self._imm:
+                builder.add(internal_key, value)
+            stats = builder.finish()
+            dest.close()
+            self._c["flushes"].inc()
+            self._c["flush_bytes"].inc(stats.file_bytes)
+            span.set(table=number, bytes=stats.file_bytes)
+            meta = FileMetaData(number, stats.file_bytes,
+                                builder.smallest_key, builder.largest_key)
+            edit = VersionEdit()
+            edit.add_file(0, meta)
+            self.versions.apply(edit)
+            self._open_reader(meta)
+            self._imm = None
+            self._write_manifest()
+            self._new_log()
+            # Retire WAL segments older than the new one.
+            for name in list(self.env.list_dir(self.dbname)):
+                log_num = parse_log_number(name)
+                if log_num is not None and log_num < self._log_number:
+                    self.env.delete_file(f"{self.dbname}/{name}")
+            self._refresh_level_gauges()
 
     # ------------------------------------------------------------------
     # Compaction
@@ -347,7 +401,9 @@ class LsmDB:
         """Pick and execute one merge compaction; returns False when no
         compaction is due."""
         self._check_open()
-        spec = self.versions.pick_compaction()
+        with self.tracer.span("compaction.pick", db=self.dbname) as span:
+            spec = self.versions.pick_compaction()
+            span.set(picked=spec is not None)
         if spec is None:
             return False
         self.run_compaction(spec)
@@ -356,6 +412,14 @@ class LsmDB:
     def run_compaction(self, spec: CompactionSpec) -> list[FileMetaData]:
         """Execute ``spec`` through the configured executor and install
         the result."""
+        with self.tracer.span("compaction", db=self.dbname,
+                              level=spec.level,
+                              output_level=spec.output_level,
+                              input_bytes=spec.total_input_bytes) as span:
+            return self._run_compaction(spec, span)
+
+    def _run_compaction(self, spec: CompactionSpec,
+                        span) -> list[FileMetaData]:
         input_tables = [self._open_reader(m) for m in spec.inputs]
         parent_tables = [self._open_reader(m) for m in spec.parents]
         if spec.level == 0:
@@ -367,33 +431,36 @@ class LsmDB:
             input_tables = [t for _, t in pairs]
         drop = self.versions.is_bottommost_level_for(spec)
         outputs = self._executor(spec, input_tables, parent_tables, drop)
-        self.stats.compactions += 1
-        self.stats.compaction_input_bytes += spec.total_input_bytes
-        self.stats.compaction_output_bytes += sum(
-            len(o.data) for o in outputs)
-        edit = VersionEdit()
-        for meta in spec.inputs:
-            edit.delete_file(spec.level, meta.number)
-        for meta in spec.parents:
-            edit.delete_file(spec.output_level, meta.number)
-        new_metas: list[FileMetaData] = []
-        for output in outputs:
-            number = self.versions.new_file_number()
-            name = table_file_name(self.dbname, number)
-            dest = self.env.new_writable_file(name)
-            dest.append(output.data)
-            dest.close()
-            meta = FileMetaData(number, len(output.data),
-                                output.smallest, output.largest)
-            edit.add_file(spec.output_level, meta)
-            new_metas.append(meta)
-        self.versions.apply(edit)
-        for meta in new_metas:
-            self._open_reader(meta)
-        for old in spec.inputs + spec.parents:
-            self._readers.pop(old.number, None)
-            self.env.delete_file(table_file_name(self.dbname, old.number))
-        self._write_manifest()
+        output_bytes = sum(len(o.data) for o in outputs)
+        self._c["compactions"].inc()
+        self._c["compaction_input_bytes"].inc(spec.total_input_bytes)
+        self._c["compaction_output_bytes"].inc(output_bytes)
+        span.set(output_bytes=output_bytes, output_tables=len(outputs))
+        with self.tracer.span("compaction.install"):
+            edit = VersionEdit()
+            for meta in spec.inputs:
+                edit.delete_file(spec.level, meta.number)
+            for meta in spec.parents:
+                edit.delete_file(spec.output_level, meta.number)
+            new_metas: list[FileMetaData] = []
+            for output in outputs:
+                number = self.versions.new_file_number()
+                name = table_file_name(self.dbname, number)
+                dest = self.env.new_writable_file(name)
+                dest.append(output.data)
+                dest.close()
+                meta = FileMetaData(number, len(output.data),
+                                    output.smallest, output.largest)
+                edit.add_file(spec.output_level, meta)
+                new_metas.append(meta)
+            self.versions.apply(edit)
+            for meta in new_metas:
+                self._open_reader(meta)
+            for old in spec.inputs + spec.parents:
+                self._readers.pop(old.number, None)
+                self.env.delete_file(table_file_name(self.dbname, old.number))
+            self._write_manifest()
+        self._refresh_level_gauges()
         return new_metas
 
     def compact_range(self) -> None:
@@ -433,13 +500,13 @@ class LsmDB:
         return self._get_at(key, sequence)
 
     def _get_at(self, key: bytes, snapshot: int) -> bytes:
-        self.stats.reads += 1
+        self._c["reads"].inc()
         try:
             value = self._mem.get(key, snapshot)
         except NotFoundError:
             raise NotFoundError(key) from None
         if value is not None:
-            self.stats.read_hits += 1
+            self._c["read_hits"].inc()
             return value
         if self._imm is not None:
             try:
@@ -447,7 +514,7 @@ class LsmDB:
             except NotFoundError:
                 raise NotFoundError(key) from None
             if value is not None:
-                self.stats.read_hits += 1
+                self._c["read_hits"].inc()
                 return value
         lookup = encode_internal_key(key, snapshot, 0x1)
         for _level, meta in self.versions.current.files_for_key(key):
@@ -463,7 +530,7 @@ class LsmDB:
             parsed = parse_internal_key(internal_key)
             if parsed.is_deletion:
                 raise NotFoundError(key)
-            self.stats.read_hits += 1
+            self._c["read_hits"].inc()
             return value
         raise NotFoundError(key)
 
@@ -535,6 +602,40 @@ class LsmDB:
     def level_sizes(self) -> list[int]:
         return [self.versions.current.level_bytes(level)
                 for level in range(NUM_LEVELS)]
+
+    def _refresh_level_gauges(self) -> None:
+        """Publish per-level file counts and sizes after shape changes."""
+        for level in range(NUM_LEVELS):
+            self._m.set_level(level,
+                              self.versions.current.num_files(level),
+                              self.versions.current.level_bytes(level))
+
+    def property(self, name: str) -> str:
+        """LevelDB-style ``GetProperty``.
+
+        Supported names: ``repro.stats`` (the human-readable report),
+        ``repro.num-files-at-level<N>``, and
+        ``repro.approximate-memory-usage`` (live memtable bytes).
+        Raises :class:`NotFoundError` for unknown properties.
+        """
+        self._check_open()
+        if name == "repro.stats":
+            return render_db_report(self)
+        prefix = "repro.num-files-at-level"
+        if name.startswith(prefix):
+            try:
+                level = int(name[len(prefix):])
+            except ValueError:
+                raise NotFoundError(name) from None
+            if not 0 <= level < NUM_LEVELS:
+                raise NotFoundError(name)
+            return str(self.versions.current.num_files(level))
+        if name == "repro.approximate-memory-usage":
+            usage = self._mem.approximate_memory_usage
+            if self._imm is not None:
+                usage += self._imm.approximate_memory_usage
+            return str(usage)
+        raise NotFoundError(name)
 
     def approximate_size(self, start: bytes, end: bytes) -> int:
         """Approximate on-disk bytes occupied by user keys in

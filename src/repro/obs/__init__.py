@@ -1,0 +1,143 @@
+"""Unified observability: metrics registry, span tracing, exposition.
+
+The paper's entire evaluation is internal measurement — per-phase
+compaction time, the PCIe share of offload time, per-module FPGA
+utilization, write-pause behavior.  This package is the telemetry
+substrate those numbers flow through:
+
+* :mod:`repro.obs.registry` — thread-safe counters / gauges /
+  fixed-bucket histograms, grouped into named families;
+* :mod:`repro.obs.names` — the canonical family table (``lsm_*``,
+  ``scheduler_*``, ``fpga_pcie_*``, ``fpga_pipeline_*``) and binders;
+* :mod:`repro.obs.tracing` — nested spans over wall-clock and simulated
+  time, streamed as JSONL;
+* :mod:`repro.obs.exposition` — Prometheus text format (and a parser);
+* :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` property.
+
+Instrumented components resolve their sinks in this order: an explicit
+``metrics=`` / ``tracer=`` constructor argument, then the process-wide
+pair installed by :func:`install` / :func:`scoped` (how the benchmark
+CLIs aggregate a whole run into one dump), else a private registry and
+the no-op tracer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.registry import (
+    BYTES_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    merge_counts,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    read_jsonl,
+    span_children,
+)
+from repro.obs.exposition import (
+    parse_prometheus_text,
+    to_prometheus_text,
+    write_prometheus,
+)
+from repro.obs import names
+from repro.obs.report import render_db_report
+
+_installed_registry: Optional[MetricsRegistry] = None
+_installed_tracer: Optional[Tracer] = None
+
+
+def install(registry: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None) -> tuple:
+    """Install a process-wide default registry/tracer; returns a token
+    for :func:`uninstall` (the previous pair)."""
+    global _installed_registry, _installed_tracer
+    token = (_installed_registry, _installed_tracer)
+    if registry is not None:
+        _installed_registry = registry
+    if tracer is not None:
+        _installed_tracer = tracer
+    return token
+
+
+def uninstall(token: tuple = (None, None)) -> None:
+    """Restore the pair captured by :func:`install`."""
+    global _installed_registry, _installed_tracer
+    _installed_registry, _installed_tracer = token
+
+
+@contextmanager
+def scoped(registry: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None) -> Iterator[None]:
+    """Temporarily install a default registry/tracer."""
+    token = install(registry=registry, tracer=tracer)
+    try:
+        yield
+    finally:
+        uninstall(token)
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The installed registry, or None (components then go private)."""
+    return _installed_registry
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The installed tracer, or the shared no-op tracer."""
+    return _installed_tracer if _installed_tracer is not None \
+        else NULL_TRACER
+
+
+def resolve_registry(metrics: Optional[MetricsRegistry]
+                     ) -> MetricsRegistry:
+    """Constructor helper: explicit argument > installed default > a
+    fresh private registry."""
+    if metrics is not None:
+        return metrics
+    installed = current_registry()
+    return installed if installed is not None else MetricsRegistry()
+
+
+def resolve_tracer(tracer) -> Tracer | NullTracer:
+    """Constructor helper: explicit argument > installed default >
+    no-op."""
+    return tracer if tracer is not None else current_tracer()
+
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "SECONDS_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current_registry",
+    "current_tracer",
+    "install",
+    "merge_counts",
+    "names",
+    "parse_prometheus_text",
+    "read_jsonl",
+    "render_db_report",
+    "resolve_registry",
+    "resolve_tracer",
+    "scoped",
+    "span_children",
+    "to_prometheus_text",
+    "uninstall",
+    "write_prometheus",
+]

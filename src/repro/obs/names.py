@@ -1,0 +1,266 @@
+"""Canonical metric families and per-subsystem binders.
+
+One table maps every family the repro emits to its kind, help text and
+(for histograms) buckets, so the Prometheus exposition is stable and the
+paper's figures have documented counterparts:
+
+* ``lsm_*``        — the key-value store (Fig 14/15 write path, stalls,
+  levels, block cache);
+* ``scheduler_*``  — Fig 6 routing and the per-phase offload time that
+  Table VIII decomposes;
+* ``fpga_pcie_*``  — the DMA traffic behind Table VIII's PCIe share;
+* ``fpga_pipeline_*`` — per-module busy/stall cycles and FIFO occupancy
+  behind Table V / Figs 9-13.
+
+The ``bind_*`` helpers hand instrumented components pre-created child
+metrics, so hot paths increment objects instead of doing name lookups.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    BYTES_BUCKETS,
+    SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+
+#: (name, kind, help, buckets-or-None)
+FAMILIES: tuple[tuple, ...] = (
+    # -- LSM store ----------------------------------------------------
+    ("lsm_writes_total", "counter",
+     "Write operations committed (batch entries).", None),
+    ("lsm_write_bytes_total", "counter",
+     "User bytes accepted by the write path.", None),
+    ("lsm_reads_total", "counter", "Point lookups issued.", None),
+    ("lsm_read_hits_total", "counter",
+     "Point lookups that found a live value.", None),
+    ("lsm_flushes_total", "counter",
+     "Memtable dumps to level-0 SSTables (compaction type 1).", None),
+    ("lsm_flush_bytes_total", "counter",
+     "Bytes written by memtable flushes.", None),
+    ("lsm_compactions_total", "counter",
+     "Merge compactions executed (compaction type 2).", None),
+    ("lsm_compaction_input_bytes_total", "counter",
+     "Bytes read by merge compactions.", None),
+    ("lsm_compaction_output_bytes_total", "counter",
+     "Bytes written by merge compactions.", None),
+    ("lsm_write_stalls_total", "counter",
+     "Writes that hit the L0 stop trigger (the paper's write pause).",
+     None),
+    ("lsm_level_files", "gauge",
+     "Live SSTable count per level.", None),
+    ("lsm_level_bytes", "gauge",
+     "Live SSTable bytes per level.", None),
+    ("lsm_block_cache_hits_total", "counter",
+     "Block cache hits.", None),
+    ("lsm_block_cache_misses_total", "counter",
+     "Block cache misses.", None),
+    ("lsm_block_cache_usage_bytes", "gauge",
+     "Bytes of payload currently cached.", None),
+    # -- Compaction scheduler (Fig 6 / Table VIII) --------------------
+    ("scheduler_tasks_total", "counter",
+     "Merge compactions by route (fpga|software).", None),
+    ("scheduler_input_bytes_total", "counter",
+     "Compaction input bytes by route.", None),
+    ("scheduler_phase_seconds_total", "counter",
+     "Modeled seconds per offload phase "
+     "(marshal|pcie_in|kernel|pcie_out|software).", None),
+    ("scheduler_task_input_bytes", "histogram",
+     "Distribution of per-task compaction input sizes.", BYTES_BUCKETS),
+    # -- PCIe link (Table VIII) ---------------------------------------
+    ("fpga_pcie_transfers_total", "counter",
+     "DMA transfers by direction (in|out).", None),
+    ("fpga_pcie_bytes_total", "counter",
+     "DMA payload bytes by direction.", None),
+    ("fpga_pcie_seconds_total", "counter",
+     "Modeled DMA seconds by direction.", None),
+    # -- FPGA pipeline (Table V / Figs 9-13) --------------------------
+    ("fpga_pipeline_runs_total", "counter",
+     "Kernel invocations timed by the pipeline simulator.", None),
+    ("fpga_pipeline_cycles_total", "counter",
+     "Total kernel cycles across runs.", None),
+    ("fpga_pipeline_busy_cycles_total", "counter",
+     "Busy cycles per module (decoder|comparer|value_bus|encoder|writer).",
+     None),
+    ("fpga_pipeline_stall_cycles_total", "counter",
+     "Stall cycles by kind (decoder_wait = Comparer starved, "
+     "backpressure = Decoder blocked on a full KV FIFO).", None),
+    ("fpga_pipeline_comparer_rounds_total", "counter",
+     "Selection rounds executed by the Comparer.", None),
+    ("fpga_pipeline_pairs_total", "counter",
+     "Pairs leaving the Comparer by outcome (transferred|dropped).", None),
+    ("fpga_pipeline_input_bytes_total", "counter",
+     "SSTable bytes consumed by the kernel.", None),
+    ("fpga_pipeline_output_bytes_total", "counter",
+     "SSTable bytes produced by the kernel.", None),
+    ("fpga_pipeline_kernel_seconds_total", "counter",
+     "Kernel cycles converted to seconds at the configured clock.", None),
+    ("fpga_pipeline_fifo_high_water", "gauge",
+     "High-water KV-FIFO occupancy per input (elements).", None),
+    ("fpga_pipeline_kernel_seconds", "histogram",
+     "Distribution of per-run kernel times.", SECONDS_BUCKETS),
+)
+
+_HELP = {name: (kind, help_text, buckets)
+         for name, kind, help_text, buckets in FAMILIES}
+
+
+def register_all(registry: MetricsRegistry) -> None:
+    """Pre-register every canonical family so exposition always shows the
+    complete metric surface, sampled or not."""
+    for name, kind, help_text, buckets in FAMILIES:
+        registry.describe(name, kind, help_text, buckets=buckets)
+
+
+def _counter(registry: MetricsRegistry, name: str, **labels):
+    kind, help_text, _ = _HELP[name]
+    assert kind == "counter", name
+    return registry.counter(name, help=help_text, **labels)
+
+
+def _gauge(registry: MetricsRegistry, name: str, **labels):
+    kind, help_text, _ = _HELP[name]
+    assert kind == "gauge", name
+    return registry.gauge(name, help=help_text, **labels)
+
+
+def _histogram(registry: MetricsRegistry, name: str, **labels):
+    kind, help_text, buckets = _HELP[name]
+    assert kind == "histogram", name
+    return registry.histogram(name, help=help_text, buckets=buckets,
+                              **labels)
+
+
+class LsmMetrics:
+    """The store's bound children.  ``counters[field]`` is keyed by the
+    short field names that :class:`repro.lsm.db.DbStats` exposes."""
+
+    def __init__(self, registry: MetricsRegistry, db: str, inst: str):
+        self.registry = registry
+        self.labels = {"db": db, "inst": inst}
+        self.counters = {
+            "writes": _counter(registry, "lsm_writes_total", **self.labels),
+            "write_bytes": _counter(
+                registry, "lsm_write_bytes_total", **self.labels),
+            "reads": _counter(registry, "lsm_reads_total", **self.labels),
+            "read_hits": _counter(
+                registry, "lsm_read_hits_total", **self.labels),
+            "flushes": _counter(
+                registry, "lsm_flushes_total", **self.labels),
+            "flush_bytes": _counter(
+                registry, "lsm_flush_bytes_total", **self.labels),
+            "compactions": _counter(
+                registry, "lsm_compactions_total", **self.labels),
+            "compaction_input_bytes": _counter(
+                registry, "lsm_compaction_input_bytes_total", **self.labels),
+            "compaction_output_bytes": _counter(
+                registry, "lsm_compaction_output_bytes_total", **self.labels),
+            "stalls": _counter(
+                registry, "lsm_write_stalls_total", **self.labels),
+            "block_cache_hits": _counter(
+                registry, "lsm_block_cache_hits_total", **self.labels),
+            "block_cache_misses": _counter(
+                registry, "lsm_block_cache_misses_total", **self.labels),
+        }
+        self.cache_usage = _gauge(
+            registry, "lsm_block_cache_usage_bytes", **self.labels)
+        self._level_files: dict[int, object] = {}
+        self._level_bytes: dict[int, object] = {}
+
+    def value(self, field: str) -> float:
+        return self.counters[field].value
+
+    def set_level(self, level: int, files: int, nbytes: int) -> None:
+        gauge_f = self._level_files.get(level)
+        if gauge_f is None:
+            gauge_f = self._level_files[level] = _gauge(
+                self.registry, "lsm_level_files",
+                level=str(level), **self.labels)
+        gauge_b = self._level_bytes.get(level)
+        if gauge_b is None:
+            gauge_b = self._level_bytes[level] = _gauge(
+                self.registry, "lsm_level_bytes",
+                level=str(level), **self.labels)
+        gauge_f.set(files)
+        gauge_b.set(nbytes)
+
+
+class SchedulerMetrics:
+    """The compaction scheduler's bound children."""
+
+    ROUTES = ("fpga", "software")
+    PHASES = ("marshal", "pcie_in", "kernel", "pcie_out", "software")
+
+    def __init__(self, registry: MetricsRegistry, inst: str):
+        self.registry = registry
+        self.labels = {"inst": inst}
+        self.tasks = {route: _counter(
+            registry, "scheduler_tasks_total", route=route, **self.labels)
+            for route in self.ROUTES}
+        self.input_bytes = {route: _counter(
+            registry, "scheduler_input_bytes_total", route=route,
+            **self.labels) for route in self.ROUTES}
+        self.phase_seconds = {phase: _counter(
+            registry, "scheduler_phase_seconds_total", phase=phase,
+            **self.labels) for phase in self.PHASES}
+        self.task_input_bytes = _histogram(
+            registry, "scheduler_task_input_bytes", **self.labels)
+
+
+class PcieMetrics:
+    """Per-device DMA counters."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.transfers = {d: _counter(
+            registry, "fpga_pcie_transfers_total", direction=d)
+            for d in ("in", "out")}
+        self.bytes = {d: _counter(
+            registry, "fpga_pcie_bytes_total", direction=d)
+            for d in ("in", "out")}
+        self.seconds = {d: _counter(
+            registry, "fpga_pcie_seconds_total", direction=d)
+            for d in ("in", "out")}
+
+    def record(self, direction: str, nbytes: int, seconds: float) -> None:
+        self.transfers[direction].inc()
+        self.bytes[direction].inc(nbytes)
+        self.seconds[direction].inc(seconds)
+
+
+def publish_timing_report(registry: MetricsRegistry, report,
+                          config) -> None:
+    """Fold one :class:`repro.fpga.pipeline_sim.TimingReport` into the
+    ``fpga_pipeline_*`` families."""
+    _counter(registry, "fpga_pipeline_runs_total").inc()
+    _counter(registry, "fpga_pipeline_cycles_total").inc(
+        report.total_cycles)
+    for module, cycles in (
+            ("decoder", report.decoder_busy_cycles),
+            ("comparer", report.comparer_busy_cycles),
+            ("value_bus", report.value_bus_busy_cycles),
+            ("encoder", report.encoder_busy_cycles),
+            ("writer", report.writer_busy_cycles)):
+        _counter(registry, "fpga_pipeline_busy_cycles_total",
+                 module=module).inc(cycles)
+    _counter(registry, "fpga_pipeline_stall_cycles_total",
+             kind="decoder_wait").inc(report.decoder_stall_cycles)
+    _counter(registry, "fpga_pipeline_stall_cycles_total",
+             kind="backpressure").inc(report.decoder_backpressure_cycles)
+    _counter(registry, "fpga_pipeline_comparer_rounds_total").inc(
+        report.comparer_rounds)
+    _counter(registry, "fpga_pipeline_pairs_total",
+             outcome="transferred").inc(report.pairs_transferred)
+    _counter(registry, "fpga_pipeline_pairs_total",
+             outcome="dropped").inc(report.pairs_dropped)
+    _counter(registry, "fpga_pipeline_input_bytes_total").inc(
+        report.input_bytes)
+    _counter(registry, "fpga_pipeline_output_bytes_total").inc(
+        report.output_bytes)
+    kernel_seconds = report.kernel_seconds(config)
+    _counter(registry, "fpga_pipeline_kernel_seconds_total").inc(
+        kernel_seconds)
+    _histogram(registry, "fpga_pipeline_kernel_seconds").observe(
+        kernel_seconds)
+    for input_no, occupancy in enumerate(report.fifo_high_water):
+        _gauge(registry, "fpga_pipeline_fifo_high_water",
+               input=str(input_no)).set_max(occupancy)

@@ -1,0 +1,75 @@
+"""Human-readable stats report — LevelDB's ``GetProperty("leveldb.stats")``
+idiom, rendered from the metric views.
+
+The report is deliberately built by iterating ``DbStats.as_dict()`` /
+``SchedulerStats.as_dict()`` rather than naming fields one by one, so a
+counter added to the registry shows up everywhere (CLI ``stats``, bench
+reports, ``db.property``) without touching this module.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float) and not float(value).is_integer():
+        return f"{value:.6f}"
+    return str(int(value))
+
+
+def _counter_block(title: str, counts: dict) -> list[str]:
+    lines = [title]
+    width = max((len(k) for k in counts), default=0)
+    for key, value in counts.items():
+        lines.append(f"  {key.ljust(width)}  {_fmt(value)}")
+    return lines
+
+
+def render_db_report(db, scheduler=None) -> str:
+    """The text behind ``LsmDB.property("repro.stats")``.
+
+    ``db`` is duck-typed (an :class:`repro.lsm.db.LsmDB`); ``scheduler``
+    defaults to the db's compaction executor when that executor carries
+    mergeable stats (the FPGA offload case).
+    """
+    stats = db.stats
+    lines = ["repro.stats", "", "                         Compactions",
+             "level   files     size(MB)"]
+    lines.append("-" * 27)
+    counts = db.level_file_counts()
+    sizes = db.level_sizes()
+    for level, (files, nbytes) in enumerate(zip(counts, sizes)):
+        # lowercase "level N" keys the CLI tests rely on
+        lines.append(f"level {level}   {files:5d} {nbytes / 1e6:12.2f}")
+    lines.append("")
+    lines.append(f"sequence: {db.versions.last_sequence}")
+    lines.append(f"write_amplification: {stats.write_amplification:.3f}")
+    lines.append("")
+    lines.extend(_counter_block("counters:", stats.as_dict()))
+
+    cache = getattr(db, "block_cache", None)
+    if cache is not None:
+        lines.append("")
+        lines.append(
+            f"block_cache: {cache.usage} bytes cached, "
+            f"hit_ratio {stats.block_cache_hit_ratio:.3f} "
+            f"({int(stats.block_cache_hits)} hits / "
+            f"{int(stats.block_cache_misses)} misses)")
+
+    if scheduler is None:
+        executor_stats = getattr(getattr(db, "_executor", None),
+                                 "stats", None)
+        if executor_stats is not None and hasattr(executor_stats,
+                                                  "as_dict"):
+            scheduler_stats = executor_stats
+        else:
+            scheduler_stats = None
+    else:
+        scheduler_stats = scheduler.stats
+    if scheduler_stats is not None:
+        lines.append("")
+        lines.extend(_counter_block("offload (scheduler):",
+                                    scheduler_stats.as_dict()))
+        lines.append(
+            f"  pcie_fraction_of_offload  "
+            f"{scheduler_stats.pcie_fraction_of_offload:.4f}")
+    return "\n".join(lines) + "\n"

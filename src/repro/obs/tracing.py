@@ -1,0 +1,262 @@
+"""Span-based tracing with a JSONL event log.
+
+A :class:`Tracer` records nested phases of the write path — write →
+flush → compaction pick → route → fpga kernel/pcie/marshal or software
+merge — against **both** clocks that matter in this repo:
+
+* **wall clock** (``time.perf_counter``): what the host actually spent;
+* **simulated time**: either read from a :class:`repro.sim.clock.
+  VirtualClock` attached to the tracer, or supplied as a *modeled*
+  duration by the cost models (PCIe transfer seconds, kernel cycles →
+  seconds) via :meth:`Tracer.phase`.
+
+Finished spans stream to a JSONL sink (one object per line, children
+before parents because spans are emitted at completion) and/or accumulate
+in memory for assertions.  The schema per line::
+
+    {"type": "span", "id": 7, "parent": 5, "name": "phase:kernel",
+     "start_wall": ..., "end_wall": ..., "wall_seconds": ...,
+     "start_sim": ..., "end_sim": ..., "sim_seconds": ...,
+     "attrs": {"level": 1, "route": "fpga"}}
+
+``sim_seconds`` is the modeled duration when one was recorded, else the
+simulated-clock interval, else ``null``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, Optional
+
+
+class Span:
+    """One traced phase.  Mutable until its ``with`` block exits."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "start_wall",
+                 "end_wall", "start_sim", "end_sim", "sim_seconds")
+
+    def __init__(self, span_id: int, parent_id: Optional[int], name: str,
+                 attrs: dict):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.start_wall = 0.0
+        self.end_wall = 0.0
+        self.start_sim: Optional[float] = None
+        self.end_sim: Optional[float] = None
+        self.sim_seconds: Optional[float] = None
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (route decision, byte counts)."""
+        self.attrs.update(attrs)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.end_wall - self.start_wall
+
+    def to_dict(self) -> dict:
+        sim_seconds = self.sim_seconds
+        if sim_seconds is None and self.start_sim is not None:
+            sim_seconds = (self.end_sim or self.start_sim) - self.start_sim
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "wall_seconds": self.wall_seconds,
+            "start_sim": self.start_sim,
+            "end_sim": self.end_sim,
+            "sim_seconds": sim_seconds,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Inert span handed out by :class:`NullTracer`; accepts the same
+    calls and discards them."""
+
+    __slots__ = ()
+    span_id = 0
+    parent_id = None
+    name = ""
+    sim_seconds = None
+    wall_seconds = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Do-nothing tracer: the default when no trace sink is installed,
+    so instrumentation costs one method call on hot paths."""
+
+    spans: list = []
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[_NullSpan]:
+        yield _NULL_SPAN
+
+    def phase(self, name: str, seconds: float, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_sim_span(self, name: str, sim_start: float, sim_end: float,
+                        **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects spans; optionally streams them to a JSONL file.
+
+    Parameters
+    ----------
+    sim_clock:
+        A ``repro.sim.clock.VirtualClock`` (anything with a ``.now``
+        float attribute); when present, spans record simulated start/end
+        timestamps alongside wall-clock ones.
+    sink_path / sink:
+        Stream finished spans to a file as JSON lines.  ``sink_path`` is
+        opened (and closed by :meth:`close`); ``sink`` is any writable
+        text handle the caller owns.
+    keep_spans:
+        Retain finished spans in :attr:`spans` (on by default; turn off
+        for long streaming runs to bound memory).
+    """
+
+    def __init__(self, sim_clock=None, sink_path: Optional[str] = None,
+                 sink: Optional[IO[str]] = None, keep_spans: bool = True):
+        self.sim_clock = sim_clock
+        self.spans: list[Span] = []
+        self.keep_spans = keep_spans
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._owns_sink = sink_path is not None
+        self._sink: Optional[IO[str]] = sink
+        if sink_path is not None:
+            self._sink = open(sink_path, "w")
+
+    # ------------------------------------------------------------------
+    # Span stack (per thread)
+    # ------------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _sim_now(self) -> Optional[float]:
+        return self.sim_clock.now if self.sim_clock is not None else None
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if self.keep_spans:
+                self.spans.append(span)
+            if self._sink is not None:
+                self._sink.write(json.dumps(span.to_dict()) + "\n")
+
+    # ------------------------------------------------------------------
+    # Recording API
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; attributes may be added via ``span.set``."""
+        parent = self.current_span
+        span = Span(next(self._ids),
+                    parent.span_id if parent else None, name, attrs)
+        span.start_wall = time.perf_counter()
+        span.start_sim = self._sim_now()
+        self._stack().append(span)
+        try:
+            yield span
+        finally:
+            self._stack().pop()
+            span.end_wall = time.perf_counter()
+            span.end_sim = self._sim_now()
+            self._record(span)
+
+    def phase(self, name: str, seconds: float, **attrs) -> Span:
+        """Record a *modeled* phase under the current span: a completed
+        child whose duration comes from a cost model (PCIe DMA time,
+        kernel cycles → seconds) rather than from a clock."""
+        parent = self.current_span
+        span = Span(next(self._ids),
+                    parent.span_id if parent else None, name, attrs)
+        now = time.perf_counter()
+        span.start_wall = span.end_wall = now
+        span.start_sim = span.end_sim = self._sim_now()
+        span.sim_seconds = float(seconds)
+        self._record(span)
+        return span
+
+    def record_sim_span(self, name: str, sim_start: float, sim_end: float,
+                        **attrs) -> Span:
+        """Record a completed span positioned on the simulated timeline
+        (used by the discrete-event system simulator, whose phases do
+        not occupy wall-clock time)."""
+        parent = self.current_span
+        span = Span(next(self._ids),
+                    parent.span_id if parent else None, name, attrs)
+        now = time.perf_counter()
+        span.start_wall = span.end_wall = now
+        span.start_sim = float(sim_start)
+        span.end_sim = float(sim_end)
+        span.sim_seconds = float(sim_end) - float(sim_start)
+        self._record(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> None:
+        """Dump retained spans as JSON lines."""
+        with open(path, "w") as handle:
+            for span in self.spans:
+                handle.write(json.dumps(span.to_dict()) + "\n")
+
+    def close(self) -> None:
+        if self._sink is not None and self._owns_sink:
+            self._sink.close()
+        self._sink = None
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load a trace file back into dicts (tests, analysis scripts)."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def span_children(events: list[dict], parent_id: int) -> list[dict]:
+    """Direct children of ``parent_id`` within one trace."""
+    return [e for e in events if e.get("parent") == parent_id]

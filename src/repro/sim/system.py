@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.errors import InvalidArgumentError
 from repro.fpga.config import CONFIG_9_INPUT, FpgaConfig
 from repro.fpga.engine import simulate_synthetic
@@ -253,7 +254,12 @@ class SystemSimulator:
         read_done = self.disk.reserve_read(start, task.input_bytes)
         write_done = self.disk.reserve_write(max(core_end, read_done),
                                              task.output_bytes)
-        return max(core_end, write_done)
+        finish = max(core_end, write_done)
+        obs.current_tracer().record_sim_span(
+            "sim.compaction", start, finish, route="software",
+            level=task.level, input_bytes=task.input_bytes,
+            on_writer_core=on_writer_core)
+        return finish
 
     def _run_fpga_task(self, task: ModelCompactionTask, now: float) -> float:
         config = self.config
@@ -276,7 +282,13 @@ class SystemSimulator:
         self.result.fpga_tasks += 1
         self.result.kernel_seconds += kernel
         self.result.pcie_seconds += pcie_in + pcie_out
-        return max(out_ready, write_done)
+        finish = max(out_ready, write_done)
+        obs.current_tracer().record_sim_span(
+            "sim.compaction", start, finish, route="fpga",
+            level=task.level, input_bytes=task.input_bytes,
+            kernel_seconds=kernel, pcie_seconds=pcie_in + pcie_out,
+            marshal_seconds=marshal)
+        return finish
 
     # ------------------------------------------------------------------
     # Foreground loop
@@ -344,6 +356,9 @@ class SystemSimulator:
             self._flush_done = flush_finish
             self.result.flush_seconds += flush_cpu
             self.result.memtables_flushed += 1
+            obs.current_tracer().record_sim_span(
+                "sim.flush", start, flush_finish,
+                bytes=self._l0_file_bytes)
             self.model.add_l0_file(self._l0_file_bytes)
             self._schedule_compactions(flush_finish)
 

@@ -57,3 +57,70 @@ class TestCounters:
         db.compact_range()
         # Data was flushed once and rewritten at least once.
         assert db.stats.write_amplification > 1.0
+
+    def test_stall_counter_tracks_l0_stop(self, options):
+        from repro.lsm.options import L0_STOP_TRIGGER
+
+        db = LsmDB("stalldb", options, env=MemEnv())
+        db.auto_compact = False
+        for batch in range(L0_STOP_TRIGGER):
+            for i in range(200):
+                db.put(f"k{batch:03d}{i:07d}".encode(), b"x" * 40)
+            db.flush()
+        assert db.versions.current.num_files(0) >= L0_STOP_TRIGGER
+        # Fill the memtable past the buffer size, then let one write run
+        # maintenance: full memtable + full L0 is the stop condition.
+        for i in range(600):
+            db.put(f"z{i:09d}".encode(), b"x" * 40)
+        db.auto_compact = True
+        db.put(b"trigger", b"x")
+        assert db.stats.stalls >= 1
+        assert db.stats.stalls == db.stall_events
+
+
+class TestCacheCounters:
+    def test_block_cache_hits_and_misses(self, db):
+        for i in range(500):
+            db.put(f"k{i:08d}".encode(), b"x" * 40)
+        db.flush()
+        db.get(b"k00000007")  # cold: miss
+        db.get(b"k00000007")  # warm: hit
+        assert db.stats.block_cache_misses >= 1
+        assert db.stats.block_cache_hits >= 1
+        assert db.stats.block_cache_hits == db.block_cache.hits
+        assert db.stats.block_cache_misses == db.block_cache.misses
+
+    def test_hit_ratio(self, db):
+        assert db.stats.block_cache_hit_ratio == 0.0
+        for i in range(500):
+            db.put(f"k{i:08d}".encode(), b"x" * 40)
+        db.flush()
+        for _ in range(5):
+            db.get(b"k00000007")
+        ratio = db.stats.block_cache_hit_ratio
+        hits, misses = db.stats.block_cache_hits, db.stats.block_cache_misses
+        assert ratio == hits / (hits + misses)
+        assert 0.0 < ratio < 1.0
+
+
+class TestDictViews:
+    def test_as_dict_covers_all_fields(self, db):
+        db.put(b"k", b"v")
+        db.get(b"k")
+        data = db.stats.as_dict()
+        assert set(data) == set(db.stats.FIELDS)
+        assert data["writes"] == 1
+        assert data["reads"] == 1
+        assert all(isinstance(v, int) for v in data.values())
+
+    def test_merge_sums_fieldwise(self, db):
+        from repro.lsm.db import DbStats
+
+        other = LsmDB("otherdb", Options(), env=MemEnv())
+        db.put(b"a", b"1")
+        other.put(b"b", b"22")
+        other.put(b"c", b"333")
+        merged = DbStats.merge(db.stats, other.stats)
+        assert merged["writes"] == 3
+        assert merged["write_bytes"] == (db.stats.write_bytes
+                                         + other.stats.write_bytes)

@@ -1,0 +1,119 @@
+"""End-to-end observability through the CLIs (the ISSUE's acceptance
+check): ``--metrics-out`` dumps parse, advertise all subsystem families,
+and trace spans nest with phase totals matching the metrics."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main as bench_main
+from repro.lsm.cli import main as lsm_main
+from repro.obs.exposition import parse_prometheus_text
+from repro.obs.tracing import read_jsonl
+
+
+@pytest.fixture(scope="module")
+def fig12_outputs(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fig12obs")
+    metrics_path = str(tmp / "m.prom")
+    trace_path = str(tmp / "t.jsonl")
+    assert bench_main(["fig12", "--scale", "0.05",
+                       "--metrics-out", metrics_path,
+                       "--trace-out", trace_path]) == 0
+    return metrics_path, trace_path
+
+
+class TestBenchAcceptance:
+    def test_metrics_dump_parses_with_all_families(self, fig12_outputs):
+        metrics_path, _ = fig12_outputs
+        with open(metrics_path) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        families = parsed["families"]
+        for prefix in ("lsm_", "scheduler_", "fpga_pipeline_"):
+            assert any(name.startswith(prefix) for name in families), prefix
+        assert parsed["samples"]["fpga_pipeline_runs_total"][()] > 0
+
+    def test_trace_spans_nest(self, fig12_outputs):
+        _, trace_path = fig12_outputs
+        events = read_jsonl(trace_path)
+        assert events, "trace is empty"
+        by_id = {e["id"]: e for e in events}
+        compactions = [e for e in events if e["name"] == "compaction"]
+        assert compactions
+        kernels = [e for e in events if e["name"] == "phase:kernel"]
+        assert kernels
+        for kernel in kernels:
+            assert by_id[kernel["parent"]]["name"] == "compaction"
+
+    def test_phase_totals_match_metrics_within_1pct(self, fig12_outputs):
+        metrics_path, trace_path = fig12_outputs
+        events = read_jsonl(trace_path)
+        traced = sum(e["sim_seconds"] for e in events
+                     if e["name"] == "phase:kernel")
+        with open(metrics_path) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        reported = sum(
+            parsed["samples"]["fpga_pipeline_kernel_seconds_total"].values())
+        assert reported > 0
+        assert traced == pytest.approx(reported, rel=0.01)
+
+
+class TestLsmCli:
+    def test_fill_and_compact_with_observability(self, tmp_path):
+        db = str(tmp_path / "db")
+        metrics_path = str(tmp_path / "m.prom")
+        trace_path = str(tmp_path / "t.jsonl")
+        for _ in range(4):
+            assert lsm_main(["fill", db, "--entries", "4000",
+                             "--value-size", "256"]) == 0
+        assert lsm_main(["compact", db, "--fpga", "4",
+                         "--metrics-out", metrics_path,
+                         "--trace-out", trace_path]) == 0
+
+        with open(metrics_path) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        samples = parsed["samples"]
+        tasks = samples["scheduler_tasks_total"]
+        assert sum(tasks.values()) >= 1
+        assert sum(samples["lsm_compactions_total"].values()) >= 1
+
+        events = read_jsonl(trace_path)
+        by_id = {e["id"]: e for e in events}
+        routes = [e for e in events if e["name"] == "compaction.route"]
+        assert routes
+        for route in routes:
+            assert by_id[route["parent"]]["name"] == "compaction"
+        phases = [e for e in events if e["name"].startswith("phase:")]
+        assert phases
+        traced = sum(p["sim_seconds"] for p in phases)
+        reported = sum(samples["scheduler_phase_seconds_total"].values())
+        assert traced == pytest.approx(reported, rel=0.01)
+
+    def test_stats_command_uses_property_report(self, tmp_path, capsys):
+        db = str(tmp_path / "db")
+        assert lsm_main(["fill", db, "--entries", "500"]) == 0
+        capsys.readouterr()
+        assert lsm_main(["stats", db]) == 0
+        out = capsys.readouterr().out
+        assert "level 0" in out
+        assert "sequence" in out
+        assert "block_cache" in out
+
+    def test_metrics_out_without_trace(self, tmp_path):
+        db = str(tmp_path / "db")
+        metrics_path = str(tmp_path / "m.prom")
+        assert lsm_main(["fill", db, "--entries", "200",
+                         "--metrics-out", metrics_path]) == 0
+        with open(metrics_path) as handle:
+            parsed = parse_prometheus_text(handle.read())
+        assert sum(parsed["samples"]["lsm_writes_total"].values()) == 200
+
+    def test_trace_is_valid_json_lines(self, tmp_path):
+        db = str(tmp_path / "db")
+        trace_path = str(tmp_path / "t.jsonl")
+        assert lsm_main(["fill", db, "--entries", "2000",
+                         "--trace-out", trace_path]) == 0
+        with open(trace_path) as handle:
+            for line in handle:
+                event = json.loads(line)
+                assert event["type"] == "span"

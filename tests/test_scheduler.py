@@ -101,6 +101,31 @@ class TestDbIntegration:
         assert stats.fpga_pcie_seconds > 0
         assert 0 < stats.pcie_fraction_of_offload < 0.5
 
+    def test_as_dict_and_merge(self):
+        from repro.host.scheduler import SchedulerStats
+
+        options = small_options()
+        device = FcaeDevice(CONFIG_9_INPUT, options)
+        scheduler = CompactionScheduler(device, options)
+        db = LsmDB("fdb", options, env=MemEnv(),
+                   compaction_executor=scheduler)
+        for i in range(3000):
+            db.put(f"k{i:012d}".encode(), b"v" * 64)
+        db.compact_range()
+
+        data = scheduler.stats.as_dict()
+        expected_keys = set(SchedulerStats.INT_FIELDS) \
+            | set(SchedulerStats.FLOAT_FIELDS)
+        assert set(data) == expected_keys
+        assert data["fpga_tasks"] == scheduler.stats.fpga_tasks
+        assert data["fpga_kernel_seconds"] \
+            == scheduler.stats.fpga_kernel_seconds
+
+        merged = SchedulerStats.merge(scheduler.stats, scheduler.stats)
+        assert merged["fpga_tasks"] == 2 * scheduler.stats.fpga_tasks
+        assert merged["fpga_kernel_seconds"] == pytest.approx(
+            2 * scheduler.stats.fpga_kernel_seconds)
+
 
 class TestVerification:
     def test_overlapping_outputs_detected(self):
