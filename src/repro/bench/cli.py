@@ -9,15 +9,32 @@ Usage::
     fcae-bench all --markdown results.md
     fcae-bench fig14 --scale 0.1 # smaller workloads for a quick pass
     fcae-bench fig12 --metrics-out m.prom --trace-out t.jsonl
+    fcae-bench fig12 --chrome-trace t.trace.json --profile p.json
+    fcae-bench fig12 --bench-json BENCH_fig12.json
 
 ``--metrics-out`` installs a process-wide metrics registry for the run
 and writes a Prometheus text-format dump; ``--trace-out`` streams every
 flush/compaction span (with modeled per-phase durations) as JSONL.
+
+``--chrome-trace`` records the event-level pipeline timeline (one track
+per module, per-input FIFO occupancy counters, host marshal/DMA phases)
+and writes Chrome trace-event JSON — open it in Perfetto or
+``chrome://tracing``.  ``--profile`` runs the critical-path attribution
+pass and writes a machine-readable bottleneck report (it also prints a
+summary).  ``--bench-json`` writes the regenerated tables as JSON for
+``tools/check_regression.py``.
+
+In ``all`` mode each experiment gets a **fresh** metrics registry and
+timeline, so one experiment's families cannot bleed into the next; the
+``--metrics-out`` / ``--chrome-trace`` / ``--profile`` paths are then
+suffixed per experiment (``m.prom`` → ``m.fig12.prom``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 
@@ -41,6 +58,7 @@ from repro.bench import (
     table8,
 )
 from repro.bench.common import ExperimentResult
+from repro.obs.profile import profile_from_registry, render_profile
 
 EXPERIMENTS = {
     "table5": table5.run,
@@ -71,6 +89,53 @@ ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
              "write_pause")
 
+#: BENCH_*.json schema version understood by tools/check_regression.py.
+BENCH_SCHEMA = 1
+
+
+def suffixed_path(path: str, suffix: str | None) -> str:
+    """``m.prom`` + ``fig12`` → ``m.fig12.prom`` (no-op without suffix)."""
+    if not suffix:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}.{suffix}{ext}" if ext else f"{path}.{suffix}"
+
+
+def _write_sinks(args, suffix: str | None, registry, timeline) -> int:
+    """Flush one experiment's metrics/trace/profile outputs; returns a
+    non-zero status on I/O failure."""
+    status = 0
+    if registry is not None and args.metrics_out:
+        path = suffixed_path(args.metrics_out, suffix)
+        try:
+            obs.write_prometheus(path, registry)
+            print(f"metrics written to {path}")
+        except OSError as error:
+            print(f"error: cannot write {path}: {error}", file=sys.stderr)
+            status = 2
+    if timeline is not None and args.chrome_trace:
+        path = suffixed_path(args.chrome_trace, suffix)
+        try:
+            timeline.write_chrome_trace(path)
+            print(f"chrome trace written to {path} "
+                  f"({len(timeline)} events)")
+        except OSError as error:
+            print(f"error: cannot write {path}: {error}", file=sys.stderr)
+            status = 2
+    if registry is not None and args.profile:
+        path = suffixed_path(args.profile, suffix)
+        profile = profile_from_registry(registry)
+        try:
+            with open(path, "w") as handle:
+                json.dump(profile, handle, indent=2)
+                handle.write("\n")
+            print(render_profile(profile))
+            print(f"profile written to {path}")
+        except OSError as error:
+            print(f"error: cannot write {path}: {error}", file=sys.stderr)
+            status = 2
+    return status
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -87,50 +152,87 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a Prometheus text-format metrics dump")
     parser.add_argument("--trace-out", metavar="PATH",
                         help="stream span traces as JSONL")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="record the pipeline event timeline and write "
+                             "Chrome trace-event JSON (Perfetto-loadable)")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="write the critical-path bottleneck report "
+                             "as JSON (implies event recording)")
+    parser.add_argument("--bench-json", metavar="PATH",
+                        help="write regenerated tables as machine-readable "
+                             "JSON for tools/check_regression.py")
     args = parser.parse_args(argv)
 
-    registry = tracer = None
-    token = None
-    if args.metrics_out or args.trace_out:
-        registry = obs.MetricsRegistry()
-        obs.names.register_all(registry)
-        if args.trace_out:
-            try:
-                tracer = obs.Tracer(sink_path=args.trace_out,
-                                    keep_spans=False)
-            except OSError as error:
-                print(f"error: cannot open {args.trace_out}: {error}",
-                      file=sys.stderr)
-                return 2
-        token = obs.install(registry=registry, tracer=tracer)
+    multi = args.experiment == "all"
+    experiment_names = ALL_ORDER if multi else (args.experiment,)
+    want_registry = bool(args.metrics_out or args.trace_out
+                         or args.chrome_trace or args.profile)
+    want_timeline = bool(args.chrome_trace or args.profile)
 
-    experiment_names = (ALL_ORDER if args.experiment == "all"
-                        else (args.experiment,))
+    tracer = None
+    if args.trace_out:
+        try:
+            tracer = obs.Tracer(sink_path=args.trace_out, keep_spans=False)
+        except OSError as error:
+            print(f"error: cannot open {args.trace_out}: {error}",
+                  file=sys.stderr)
+            return 2
+
+    bench_doc = None
+    if args.bench_json:
+        bench_doc = {"schema": BENCH_SCHEMA, "tool": "fcae-bench",
+                     "scale": args.scale, "experiments": {}}
+
     results: list[ExperimentResult] = []
     status = 0
     try:
         for name in experiment_names:
+            # A fresh registry/timeline per experiment: in `all` mode
+            # nothing bleeds between experiments, in single mode this is
+            # the only iteration.
+            registry = timeline = None
+            if want_registry:
+                registry = obs.MetricsRegistry()
+                obs.names.register_all(registry)
+            if want_timeline:
+                timeline = obs.TimelineRecorder()
+            token = None
+            if registry is not None or tracer is not None:
+                token = obs.install(registry=registry, tracer=tracer,
+                                    timeline=timeline)
             started = time.perf_counter()
-            result = EXPERIMENTS[name](scale=args.scale)
+            try:
+                result = EXPERIMENTS[name](scale=args.scale)
+            finally:
+                if token is not None:
+                    obs.uninstall(token)
             elapsed = time.perf_counter() - started
             results.append(result)
             print(result.format())
             print(f"[{name} regenerated in {elapsed:.1f}s]")
             print()
+            if bench_doc is not None:
+                bench_doc["experiments"][name] = {
+                    "title": result.title,
+                    "columns": [str(c) for c in result.columns],
+                    "rows": result.rows,
+                }
+            status |= _write_sinks(args, name if multi else None,
+                                   registry, timeline)
     finally:
-        if token is not None:
-            obs.uninstall(token)
         if tracer is not None:
             tracer.close()
             print(f"trace written to {args.trace_out}")
-        if registry is not None and args.metrics_out:
-            try:
-                obs.write_prometheus(args.metrics_out, registry)
-                print(f"metrics written to {args.metrics_out}")
-            except OSError as error:
-                print(f"error: cannot write {args.metrics_out}: {error}",
-                      file=sys.stderr)
-                status = 2
+    if bench_doc is not None:
+        try:
+            with open(args.bench_json, "w") as handle:
+                json.dump(bench_doc, handle, indent=2)
+                handle.write("\n")
+            print(f"bench results written to {args.bench_json}")
+        except OSError as error:
+            print(f"error: cannot write {args.bench_json}: {error}",
+                  file=sys.stderr)
+            status = 2
     if status:
         return status
     if args.markdown:

@@ -59,17 +59,34 @@ class TimingReport:
     encoder_busy_cycles: float = 0.0
     #: per-input high-water KV-FIFO occupancy, in elements
     fifo_high_water: list[int] = field(default_factory=list)
+    #: critical-path attribution of the run (a
+    #: :class:`repro.obs.profile.Attribution`), populated by
+    #: :meth:`PipelineTimer.finalize` when observability is enabled
+    attribution: object = None
 
     def kernel_seconds(self, config: FpgaConfig) -> float:
         return config.cycles_to_seconds(self.total_cycles)
 
+    #: ``utilization()`` keys, in reporting order.
+    UTILIZATION_FIELDS = ("decoder", "comparer", "value_bus", "encoder",
+                          "writer", "decoder_stall")
+
     def utilization(self) -> dict[str, float]:
-        """Busy fraction of each shared resource over the kernel run —
-        a coarse occupancy profile of the pipeline."""
+        """Busy fraction of each module over the kernel run — a coarse
+        occupancy profile of the pipeline.
+
+        ``decoder`` sums the per-input Decoder chains, so with ``N``
+        inputs it ranges up to ``N``; every other module is a single
+        resource bounded by 1.  ``decoder_stall`` is the fraction the
+        Comparer spent starved for a head key.
+        """
         if self.total_cycles <= 0:
-            return {"value_bus": 0.0, "writer": 0.0, "decoder_stall": 0.0}
+            return {name: 0.0 for name in self.UTILIZATION_FIELDS}
         return {
+            "decoder": self.decoder_busy_cycles / self.total_cycles,
+            "comparer": self.comparer_busy_cycles / self.total_cycles,
             "value_bus": self.value_bus_busy_cycles / self.total_cycles,
+            "encoder": self.encoder_busy_cycles / self.total_cycles,
             "writer": self.writer_busy_cycles / self.total_cycles,
             "decoder_stall": self.decoder_stall_cycles / self.total_cycles,
         }
@@ -105,14 +122,30 @@ class PipelineTimer:
 
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) defaults to the
     process-wide registry when one is installed; :meth:`finalize` then
-    publishes the run into the ``fpga_pipeline_*`` families."""
+    publishes the run into the ``fpga_pipeline_*`` families.
 
-    def __init__(self, config: FpgaConfig, metrics=None):
+    ``timeline`` (a :class:`repro.obs.TimelineRecorder`, defaulting to
+    the process-wide one) turns on **event-level recording**: every
+    decode, Comparer round, value-path move, encoder key pass and block
+    flush becomes an interval on a per-module track, and KV-FIFO
+    occupancy becomes per-input counter series.  Simulated cycles map to
+    trace microseconds at the configured clock (``us = cycles /
+    clock_mhz``); the run starts at the recorder's cursor
+    (``timeline_origin_us`` overrides) and :meth:`finalize` advances the
+    cursor past it, so consecutive runs and host phases share one
+    contiguous timeline.  When neither a timeline nor a registry is
+    attached the per-event cost is a single attribute check.
+    """
+
+    def __init__(self, config: FpgaConfig, metrics=None, timeline=None,
+                 timeline_origin_us: float | None = None):
         from repro import obs
 
         self.config = config
         self.metrics = (metrics if metrics is not None
                         else obs.current_registry())
+        self.timeline = (timeline if timeline is not None
+                         else obs.current_timeline())
         self._inputs = [_InputTimingState(config.kv_fifo_depth)
                         for _ in range(config.num_inputs)]
         self._t_comparer = 0.0
@@ -120,6 +153,35 @@ class PipelineTimer:
         self._t_encoder = 0.0
         self._t_writer = 0.0
         self.report = TimingReport()
+        #: (module, start_cycles, end_cycles) intervals for the
+        #: critical-path pass; collected whenever any sink is attached.
+        self._profile_intervals: list[tuple[str, float, float]] | None = (
+            [] if (self.metrics is not None or self.timeline is not None)
+            else None)
+        if self.timeline is not None:
+            self._origin_us = (timeline_origin_us
+                               if timeline_origin_us is not None
+                               else self.timeline.cursor_us)
+            self._us_per_cycle = 1.0 / config.clock_mhz
+
+    # ------------------------------------------------------------------
+    # Event recording (no-ops unless a sink is attached)
+    # ------------------------------------------------------------------
+
+    def _mark(self, module: str, track: str, name: str, start: float,
+              end: float, args: dict | None = None) -> None:
+        self._profile_intervals.append((module, start, end))
+        if self.timeline is not None:
+            self.timeline.interval(
+                "fpga", track, name,
+                self._origin_us + start * self._us_per_cycle,
+                self._origin_us + end * self._us_per_cycle, args)
+
+    def _mark_fifo(self, input_no: int, at: float, occupancy: int) -> None:
+        if self.timeline is not None:
+            self.timeline.counter(
+                "fpga", f"fifo[{input_no}]",
+                self._origin_us + at * self._us_per_cycle, occupancy)
 
     # ------------------------------------------------------------------
     # Decoder side
@@ -167,6 +229,12 @@ class PipelineTimer:
         state.decoder_clock = end
         state.pending.append(end)
         state.high_water = max(state.high_water, len(state.pending))
+        if self._profile_intervals is not None:
+            self._mark("decoder", f"decoder[{input_no}]", "decode",
+                       start, end,
+                       {"key_len": key_len, "value_len": value_len,
+                        "new_block": new_block})
+            self._mark_fifo(input_no, end, len(state.pending))
 
     # ------------------------------------------------------------------
     # Comparer / transfer / encoder side
@@ -201,6 +269,9 @@ class PipelineTimer:
         self._t_comparer = round_end
         self.report.comparer_rounds += 1
         self.report.comparer_busy_cycles += round_cycles
+        if self._profile_intervals is not None:
+            self._mark("comparer", "comparer", "round", round_start,
+                       round_end, {"winner": winner, "drop": drop})
 
         if drop:
             self.report.pairs_dropped += 1
@@ -229,8 +300,14 @@ class PipelineTimer:
         self.report.value_bus_busy_cycles += transfer + staging
         self._t_value_bus = end
         # Encoder key work overlaps the value drain on its own resource.
-        self._t_encoder = max(self._t_encoder, start) + key_len
+        encoder_start = max(self._t_encoder, start)
+        self._t_encoder = encoder_start + key_len
         self.report.encoder_busy_cycles += key_len
+        if self._profile_intervals is not None:
+            self._mark("value_bus", "value_bus", "move", start, end,
+                       {"value_len": value_len})
+            self._mark("encoder", "encoder", "encode_key", encoder_start,
+                       self._t_encoder)
         return end
 
     def block_flush(self, block_bytes: int) -> None:
@@ -238,10 +315,14 @@ class PipelineTimer:
         width = (self.config.w_out
                  if self.config.variant is PipelineVariant.FULL else 8)
         busy = block_bytes / width
-        self._t_writer = max(self._t_writer,
-                             max(self._t_value_bus, self._t_encoder)) + busy
+        flush_start = max(self._t_writer,
+                          max(self._t_value_bus, self._t_encoder))
+        self._t_writer = flush_start + busy
         self.report.writer_busy_cycles += busy
         self.report.output_bytes += block_bytes
+        if self._profile_intervals is not None:
+            self._mark("writer", "writer", "block_flush", flush_start,
+                       self._t_writer, {"block_bytes": block_bytes})
 
     def _pop_and_refill(self, input_no: int, slot_free: float) -> None:
         state = self._inputs[input_no]
@@ -249,21 +330,40 @@ class PipelineTimer:
             raise SimulationError(f"pop on empty FIFO for input {input_no}")
         state.pending.popleft()
         state.free_slots.append(slot_free)
+        if self._profile_intervals is not None:
+            self._mark_fifo(input_no, slot_free, len(state.pending))
 
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
 
     def finalize(self, input_bytes: int) -> TimingReport:
-        """Drain the pipeline, close the report, and (when a registry is
-        attached) publish the run's ``fpga_pipeline_*`` metrics."""
+        """Drain the pipeline, close the report, and publish: metrics to
+        the attached registry (``fpga_pipeline_*`` including the
+        bottleneck attribution), the run's enclosing ``kernel_run``
+        interval to the attached timeline."""
         self.report.input_bytes = input_bytes
         self.report.total_cycles = max(
             self._t_comparer, self._t_value_bus, self._t_encoder,
             self._t_writer)
         self.report.fifo_high_water = [state.high_water
                                        for state in self._inputs]
+        if self._profile_intervals is not None:
+            from repro.obs.profile import attribute_intervals
+            self.report.attribution = attribute_intervals(
+                self._profile_intervals, self.report.total_cycles)
         if self.metrics is not None:
             from repro.obs.names import publish_timing_report
+            from repro.obs.profile import publish_attribution
             publish_timing_report(self.metrics, self.report, self.config)
+            publish_attribution(self.metrics, self.report.attribution)
+        if self.timeline is not None:
+            end_us = (self._origin_us
+                      + self.report.total_cycles * self._us_per_cycle)
+            self.timeline.interval(
+                "fpga", "kernel", "kernel_run", self._origin_us, end_us,
+                {"cycles": self.report.total_cycles,
+                 "clock_mhz": self.config.clock_mhz,
+                 "bottleneck": self.report.attribution.bottleneck})
+            self.timeline.advance_to(end_us)
         return self.report

@@ -97,12 +97,38 @@ class FcaeDevice:
         """Offload one merge compaction.
 
         ``inputs[i]`` is input *i*'s SSTables in key order.
+
+        When a :class:`repro.obs.TimelineRecorder` is installed, the
+        host-side phases are merged into the same unified trace as the
+        kernel's pipeline events: ``marshal`` and the two DMAs become
+        intervals on the ``host`` process, laid out back-to-back on the
+        modeled clock, and the engine's kernel run lands between them —
+        exactly the marshal → pcie_in → kernel → pcie_out sequence the
+        scheduler's phase metrics aggregate.
         """
+        from repro import obs
+
+        timeline = obs.current_timeline()
+
         dram = Dram(size=self.dram_size)
         image = marshal_inputs(dram, self.config, inputs)
         input_bytes = image.total_bytes
         marshal_seconds = self.cpu_model.offload_seconds(input_bytes)
         pcie_in = self.pcie.transfer_seconds(input_bytes)
+
+        if timeline is not None:
+            t0 = timeline.cursor_us
+            setup, wire = self.pcie.transfer_breakdown(input_bytes)
+            timeline.interval(
+                "host", "scheduler", "marshal", t0,
+                t0 + marshal_seconds * 1e6, {"bytes": input_bytes})
+            timeline.interval(
+                "host", "pcie", "dma_in", t0 + marshal_seconds * 1e6,
+                t0 + (marshal_seconds + pcie_in) * 1e6,
+                {"bytes": input_bytes, "setup_us": setup * 1e6,
+                 "wire_us": wire * 1e6})
+            # The kernel run (timed inside the engine) starts here.
+            timeline.advance_to(t0 + (marshal_seconds + pcie_in) * 1e6)
 
         engine_result = self.engine.run(dram, image.layouts, drop_deletions)
 
@@ -110,6 +136,15 @@ class FcaeDevice:
         meta_out_image, output_bytes = write_outputs(
             dram, self.config, engine_result.outputs, output_base)
         pcie_out = self.pcie.transfer_seconds(output_bytes)
+
+        if timeline is not None:
+            t1 = timeline.cursor_us  # kernel end
+            setup, wire = self.pcie.transfer_breakdown(output_bytes)
+            timeline.interval(
+                "host", "pcie", "dma_out", t1, t1 + pcie_out * 1e6,
+                {"bytes": output_bytes, "setup_us": setup * 1e6,
+                 "wire_us": wire * 1e6})
+            timeline.advance_to(t1 + pcie_out * 1e6)
 
         if self._pcie_metrics is not None:
             self._pcie_metrics.record("in", input_bytes, pcie_in)

@@ -22,10 +22,18 @@ class PcieModel:
     #: Fixed DMA setup + completion cost per transfer, seconds.
     setup_seconds: float = 20e-6
 
-    def transfer_seconds(self, nbytes: int) -> float:
-        """One DMA of ``nbytes`` (either direction)."""
+    def transfer_breakdown(self, nbytes: int) -> tuple[float, float]:
+        """``(setup_seconds, wire_seconds)`` of one DMA — the split the
+        unified trace annotates each transfer with, so a timeline shows
+        whether a slow DMA was setup-dominated (many small transfers) or
+        bandwidth-dominated."""
         if nbytes < 0:
             raise ValueError("negative transfer size")
         if nbytes == 0:
-            return 0.0
-        return self.setup_seconds + nbytes / self.bandwidth
+            return (0.0, 0.0)
+        return (self.setup_seconds, nbytes / self.bandwidth)
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """One DMA of ``nbytes`` (either direction)."""
+        setup, wire = self.transfer_breakdown(nbytes)
+        return setup + wire

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.errors import FpgaProtocolError
 from repro.host.device import FcaeDevice
 from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
@@ -210,6 +211,15 @@ class CompactionScheduler:
         )
         self._m.phase_seconds["software"].inc(seconds)
         self.tracer.phase("phase:software", seconds)
+        timeline = obs.current_timeline()
+        if timeline is not None:
+            # Software merges join the unified trace on the host track.
+            t0 = timeline.cursor_us
+            timeline.interval(
+                "host", "scheduler", "software_merge", t0,
+                t0 + seconds * 1e6,
+                {"bytes": spec.total_input_bytes, "level": spec.level})
+            timeline.advance_to(t0 + seconds * 1e6)
         return stats.outputs
 
     # ------------------------------------------------------------------

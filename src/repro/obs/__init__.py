@@ -12,7 +12,11 @@ substrate those numbers flow through:
 * :mod:`repro.obs.tracing` — nested spans over wall-clock and simulated
   time, streamed as JSONL;
 * :mod:`repro.obs.exposition` — Prometheus text format (and a parser);
-* :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` property.
+* :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` property;
+* :mod:`repro.obs.timeline` — bounded-memory pipeline event intervals
+  with Chrome trace-event export (Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.profile` — critical-path attribution of kernel runs
+  (which module bounds throughput) and the ``--profile`` report.
 
 Instrumented components resolve their sinks in this order: an explicit
 ``metrics=`` / ``tracer=`` constructor argument, then the process-wide
@@ -51,35 +55,45 @@ from repro.obs.exposition import (
 )
 from repro.obs import names
 from repro.obs.report import render_db_report
+from repro.obs.timeline import TimelineRecorder
 
 _installed_registry: Optional[MetricsRegistry] = None
 _installed_tracer: Optional[Tracer] = None
+_installed_timeline: Optional[TimelineRecorder] = None
 
 
 def install(registry: Optional[MetricsRegistry] = None,
-            tracer: Optional[Tracer] = None) -> tuple:
-    """Install a process-wide default registry/tracer; returns a token
-    for :func:`uninstall` (the previous pair)."""
-    global _installed_registry, _installed_tracer
-    token = (_installed_registry, _installed_tracer)
+            tracer: Optional[Tracer] = None,
+            timeline: Optional[TimelineRecorder] = None) -> tuple:
+    """Install a process-wide default registry/tracer/timeline; returns
+    a token for :func:`uninstall` (the previous triple)."""
+    global _installed_registry, _installed_tracer, _installed_timeline
+    token = (_installed_registry, _installed_tracer, _installed_timeline)
     if registry is not None:
         _installed_registry = registry
     if tracer is not None:
         _installed_tracer = tracer
+    if timeline is not None:
+        _installed_timeline = timeline
     return token
 
 
-def uninstall(token: tuple = (None, None)) -> None:
-    """Restore the pair captured by :func:`install`."""
-    global _installed_registry, _installed_tracer
-    _installed_registry, _installed_tracer = token
+def uninstall(token: tuple = (None, None, None)) -> None:
+    """Restore the defaults captured by :func:`install`."""
+    global _installed_registry, _installed_tracer, _installed_timeline
+    # Accept the historical two-element token for compatibility.
+    registry, tracer = token[0], token[1]
+    timeline = token[2] if len(token) > 2 else None
+    _installed_registry, _installed_tracer = registry, tracer
+    _installed_timeline = timeline
 
 
 @contextmanager
 def scoped(registry: Optional[MetricsRegistry] = None,
-           tracer: Optional[Tracer] = None) -> Iterator[None]:
-    """Temporarily install a default registry/tracer."""
-    token = install(registry=registry, tracer=tracer)
+           tracer: Optional[Tracer] = None,
+           timeline: Optional[TimelineRecorder] = None) -> Iterator[None]:
+    """Temporarily install a default registry/tracer/timeline."""
+    token = install(registry=registry, tracer=tracer, timeline=timeline)
     try:
         yield
     finally:
@@ -89,6 +103,11 @@ def scoped(registry: Optional[MetricsRegistry] = None,
 def current_registry() -> Optional[MetricsRegistry]:
     """The installed registry, or None (components then go private)."""
     return _installed_registry
+
+
+def current_timeline() -> Optional[TimelineRecorder]:
+    """The installed event timeline, or None (recording disabled)."""
+    return _installed_timeline
 
 
 def current_tracer() -> Tracer | NullTracer:
@@ -124,8 +143,10 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Span",
+    "TimelineRecorder",
     "Tracer",
     "current_registry",
+    "current_timeline",
     "current_tracer",
     "install",
     "merge_counts",

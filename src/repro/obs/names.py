@@ -99,6 +99,13 @@ FAMILIES: tuple[tuple, ...] = (
      "High-water KV-FIFO occupancy per input (elements).", None),
     ("fpga_pipeline_kernel_seconds", "histogram",
      "Distribution of per-run kernel times.", SECONDS_BUCKETS),
+    ("fpga_pipeline_bottleneck_runs_total", "counter",
+     "Kernel runs by dominating module from the critical-path "
+     "attribution pass (decoder|comparer|value_bus|encoder|writer|"
+     "backpressure).", None),
+    ("fpga_pipeline_bottleneck_cycles_total", "counter",
+     "Kernel cycles attributed per module by the critical-path pass; "
+     "per run the module cycles partition total_cycles exactly.", None),
 )
 
 _HELP = {name: (kind, help_text, buckets)

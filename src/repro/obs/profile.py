@@ -1,0 +1,215 @@
+"""Critical-path attribution: which module bounds a kernel run.
+
+The paper's Table V analysis explains every measured cell by naming the
+module that bounds throughput at that (key, value) point — Data Block
+Decoder, Comparer, or the value path.  This pass recovers that story
+from a run's recorded pipeline intervals instead of analytic periods,
+so it stays truthful as the behavioral model grows.
+
+Method: sweep the union of the run's busy intervals; attribute each
+instant of kernel time to the **most downstream** module busy at that
+instant (``writer > value_bus > encoder > comparer > decoder``).  Busy
+time of an upstream stage that overlaps a downstream stage is hidden by
+it — the pipeline would not finish earlier if the upstream stage were
+faster during those cycles.  Instants when *no* module is busy are
+attributed to ``backpressure``: the pipeline is globally stalled on a
+dependency (a full KV FIFO gating the decoder while the Comparer
+starves, or start-up latency).  By construction the per-module fractions
+partition the run exactly, so they sum to 1.
+
+:func:`publish_attribution` folds a run's attribution into the
+``fpga_pipeline_bottleneck_*`` metric families, and
+:func:`profile_from_registry` renders the accumulated families (plus the
+host-side ``scheduler_*`` / ``fpga_pcie_*`` seconds) into the
+machine-readable report behind ``fcae-bench --profile``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Downstream-first precedence for the interval sweep.
+MODULE_PRECEDENCE = ("writer", "value_bus", "encoder", "comparer",
+                     "decoder")
+
+#: Every attribution class, in reporting order.
+CLASSES = MODULE_PRECEDENCE + ("backpressure",)
+
+_RANK = {module: rank for rank, module in enumerate(MODULE_PRECEDENCE)}
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Exact partition of one kernel run's cycles across the classes."""
+
+    #: cycles attributed per class; keys are :data:`CLASSES`.
+    cycles: dict[str, float]
+    total_cycles: float
+
+    @property
+    def fractions(self) -> dict[str, float]:
+        if self.total_cycles <= 0:
+            return {name: 0.0 for name in CLASSES}
+        return {name: self.cycles[name] / self.total_cycles
+                for name in CLASSES}
+
+    @property
+    def bottleneck(self) -> str:
+        """The dominating class (``idle`` for an empty run)."""
+        if self.total_cycles <= 0:
+            return "idle"
+        return max(CLASSES, key=lambda name: self.cycles[name])
+
+    def as_dict(self) -> dict:
+        return {
+            "total_cycles": self.total_cycles,
+            "bottleneck": self.bottleneck,
+            "cycles": dict(self.cycles),
+            "fractions": self.fractions,
+        }
+
+
+def attribute_intervals(intervals: Iterable[tuple[str, float, float]],
+                        total_cycles: float) -> Attribution:
+    """Sweep ``(module, start, end)`` busy intervals over
+    ``[0, total_cycles]`` and partition the run.
+
+    ``module`` must be one of :data:`MODULE_PRECEDENCE`; per-input
+    decoder tracks all map to ``decoder`` before calling.  Intervals may
+    overlap freely across modules (they do — that is the pipeline).
+    """
+    edges: list[tuple[float, int, int]] = []
+    for module, start, end in intervals:
+        start = max(0.0, min(start, total_cycles))
+        end = max(0.0, min(end, total_cycles))
+        if end <= start:
+            continue
+        rank = _RANK[module]
+        edges.append((start, 0, rank))   # 0 = open before close
+        edges.append((end, 1, rank))
+    edges.sort()
+
+    cycles = {name: 0.0 for name in CLASSES}
+    active = [0] * len(MODULE_PRECEDENCE)
+    cursor = 0.0
+    for at, closing, rank in edges:
+        if at > cursor:
+            owner = next((MODULE_PRECEDENCE[r]
+                          for r in range(len(active)) if active[r]),
+                         "backpressure")
+            cycles[owner] += at - cursor
+            cursor = at
+        active[rank] += -1 if closing else 1
+    if total_cycles > cursor:
+        cycles["backpressure"] += total_cycles - cursor
+    return Attribution(cycles=cycles, total_cycles=float(total_cycles))
+
+
+def publish_attribution(registry, attribution: Attribution) -> None:
+    """Fold one run into the ``fpga_pipeline_bottleneck_*`` families."""
+    from repro.obs.names import _counter
+
+    _counter(registry, "fpga_pipeline_bottleneck_runs_total",
+             module=attribution.bottleneck).inc()
+    for name, cycles in attribution.cycles.items():
+        _counter(registry, "fpga_pipeline_bottleneck_cycles_total",
+                 module=name).inc(cycles)
+
+
+# ----------------------------------------------------------------------
+# Aggregate profile report (fcae-bench --profile)
+# ----------------------------------------------------------------------
+
+def profile_from_registry(registry) -> dict:
+    """Machine-readable bottleneck/utilization report for one run's
+    accumulated registry: per-module busy and attributed cycles, the
+    run classification census, and the host-side phase breakdown."""
+    total_cycles = registry.sum_family("fpga_pipeline_cycles_total")
+    modules = {}
+    for name in CLASSES:
+        attributed = registry.get_value(
+            "fpga_pipeline_bottleneck_cycles_total", module=name)
+        entry = {
+            "attributed_cycles": attributed,
+            "attributed_fraction": (attributed / total_cycles
+                                    if total_cycles > 0 else 0.0),
+            "bound_runs": int(registry.get_value(
+                "fpga_pipeline_bottleneck_runs_total", module=name)),
+        }
+        if name != "backpressure":
+            entry["busy_cycles"] = registry.get_value(
+                "fpga_pipeline_busy_cycles_total", module=name)
+        modules[name] = entry
+    dominant = (max(CLASSES,
+                    key=lambda n: modules[n]["attributed_cycles"])
+                if total_cycles > 0 else "idle")
+    return {
+        "schema": 1,
+        "kernel": {
+            "runs": int(registry.sum_family("fpga_pipeline_runs_total")),
+            "total_cycles": total_cycles,
+            "kernel_seconds": registry.sum_family(
+                "fpga_pipeline_kernel_seconds_total"),
+            "bottleneck": dominant,
+            "modules": modules,
+            "stall_cycles": {
+                "decoder_wait": registry.get_value(
+                    "fpga_pipeline_stall_cycles_total", kind="decoder_wait"),
+                "backpressure": registry.get_value(
+                    "fpga_pipeline_stall_cycles_total", kind="backpressure"),
+            },
+        },
+        "host": {
+            "phase_seconds": {
+                phase: _sum_labeled(registry,
+                                    "scheduler_phase_seconds_total",
+                                    "phase", phase)
+                for phase in ("marshal", "pcie_in", "kernel", "pcie_out",
+                              "software")
+            },
+            "pcie_seconds": {
+                direction: _sum_labeled(registry, "fpga_pcie_seconds_total",
+                                        "direction", direction)
+                for direction in ("in", "out")
+            },
+        },
+    }
+
+
+def _sum_labeled(registry, family_name: str, label: str,
+                 value: str) -> float:
+    """Sum a family's children whose ``label`` equals ``value``
+    (ignoring other labels like ``inst``)."""
+    total = 0.0
+    for family in registry.collect():
+        if family.name != family_name:
+            continue
+        for key, child in family.children.items():
+            if (label, value) in key:
+                total += child.value
+    return total
+
+
+def render_profile(profile: dict) -> str:
+    """Short human-readable summary of :func:`profile_from_registry`."""
+    kernel = profile["kernel"]
+    lines = [
+        f"kernel runs: {kernel['runs']}, "
+        f"total cycles: {kernel['total_cycles']:.0f}, "
+        f"bottleneck: {kernel['bottleneck']}",
+    ]
+    for name in CLASSES:
+        entry = kernel["modules"][name]
+        lines.append(
+            f"  {name:<12} {entry['attributed_fraction']:6.1%} of cycles, "
+            f"bound {entry['bound_runs']} run(s)")
+    host = profile["host"]["phase_seconds"]
+    offload = sum(host[p] for p in ("marshal", "pcie_in", "kernel",
+                                    "pcie_out"))
+    if offload > 0 or host["software"] > 0:
+        lines.append(
+            f"host: offload {offload:.6f}s "
+            f"(pcie {host['pcie_in'] + host['pcie_out']:.6f}s), "
+            f"software {host['software']:.6f}s")
+    return "\n".join(lines)

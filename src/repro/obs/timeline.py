@@ -1,0 +1,195 @@
+"""Event-level timeline: bounded-memory intervals + Chrome trace export.
+
+Where :mod:`repro.obs.tracing` records coarse host *phases* (one span per
+compaction), this module records the pipeline's *concurrency structure*:
+one interval per decode, Comparer round, value-path move and block flush,
+plus counter series for KV-FIFO occupancy.  The export is the Chrome
+trace-event JSON format, loadable in Perfetto or ``chrome://tracing``,
+with one process per domain (``host``, ``fpga``) and one thread track
+per pipeline module (``decoder[i]``, ``comparer``, ``value_bus``,
+``encoder``, ``writer``, ``kernel``) or host phase (``scheduler``,
+``pcie``).
+
+All timestamps are **microseconds of modeled time**.  Producers convert
+their own clocks: the pipeline simulator maps cycles at the configured
+engine clock (``us = cycles / clock_mhz``), the host cost models map
+modeled seconds (``us = seconds * 1e6``).  A shared monotonic *cursor*
+stitches consecutive kernel runs and host phases into one contiguous
+timeline: each producer starts its intervals at :attr:`cursor_us` and
+calls :meth:`advance_to` when done.
+
+Memory is bounded by ``max_events``: once full, further events are
+dropped (counted in :attr:`dropped_events` and surfaced in the exported
+trace metadata) rather than growing without limit, so tracing a long
+benchmark run cannot exhaust the host.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Optional
+
+#: Default event capacity (~tens of MB of JSON when fully exported).
+DEFAULT_MAX_EVENTS = 250_000
+
+_INTERVAL = 0
+_COUNTER = 1
+
+
+class TimelineRecorder:
+    """Accumulates intervals and counter samples on named tracks.
+
+    A track is addressed as ``(process, track)`` — e.g. ``("fpga",
+    "decoder[0]")`` or ``("host", "pcie")``.  Counter series are
+    addressed as ``(process, series)`` and render as Chrome counter
+    tracks.  Thread-safe; producers only ever append.
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.dropped_events = 0
+        self._events: list[tuple] = []
+        self._cursor_us = 0.0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Cursor — the shared modeled clock
+    # ------------------------------------------------------------------
+
+    @property
+    def cursor_us(self) -> float:
+        """End of the last scheduled work on the modeled timeline; the
+        origin for the next kernel run or host phase."""
+        return self._cursor_us
+
+    def advance_to(self, t_us: float) -> None:
+        """Move the cursor forward (never backward)."""
+        with self._lock:
+            if t_us > self._cursor_us:
+                self._cursor_us = t_us
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def interval(self, process: str, track: str, name: str,
+                 start_us: float, end_us: float,
+                 args: Optional[dict] = None) -> None:
+        """One completed occupancy interval on ``(process, track)``."""
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self._events.append(
+                (_INTERVAL, process, track, name, start_us, end_us, args))
+
+    def counter(self, process: str, series: str, ts_us: float,
+                value: float) -> None:
+        """One sample of a counter series (FIFO occupancy)."""
+        with self._lock:
+            if len(self._events) >= self.max_events:
+                self.dropped_events += 1
+                return
+            self._events.append(
+                (_COUNTER, process, series, None, ts_us, ts_us, value))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def intervals(self, process: Optional[str] = None,
+                  track: Optional[str] = None) -> list[tuple]:
+        """``(process, track, name, start_us, end_us, args)`` tuples,
+        optionally filtered; counter samples are excluded."""
+        with self._lock:
+            return [event[1:] for event in self._events
+                    if event[0] == _INTERVAL
+                    and (process is None or event[1] == process)
+                    and (track is None or event[2] == track)]
+
+    def span_us(self) -> tuple[float, float]:
+        """``(first_start, last_end)`` over all recorded events."""
+        with self._lock:
+            if not self._events:
+                return (0.0, 0.0)
+            return (min(e[4] for e in self._events),
+                    max(e[5] for e in self._events))
+
+    # ------------------------------------------------------------------
+    # Chrome trace-event export
+    # ------------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Render as a Chrome trace-event JSON object.
+
+        Intervals become complete events (``"ph": "X"``), counter
+        samples become counter events (``"ph": "C"``); process and
+        thread metadata events name the tracks.  Events are sorted by
+        timestamp so every track is monotonic.
+        """
+        with self._lock:
+            events = list(self._events)
+            dropped = self.dropped_events
+
+        pids: dict[str, int] = {}
+        tids: dict[tuple[str, str], int] = {}
+        trace_events: list[dict] = []
+
+        def pid_for(process: str) -> int:
+            pid = pids.get(process)
+            if pid is None:
+                pid = pids[process] = len(pids) + 1
+                trace_events.append({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": process}})
+            return pid
+
+        def tid_for(process: str, track: str) -> int:
+            key = (process, track)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = sum(
+                    1 for p, _ in tids if p == process) + 1
+                trace_events.append({
+                    "name": "thread_name", "ph": "M",
+                    "pid": pid_for(process), "tid": tid,
+                    "args": {"name": track}})
+            return tid
+
+        body: list[dict] = []
+        for kind, process, track, name, start, end, payload in events:
+            pid = pid_for(process)
+            if kind == _INTERVAL:
+                event = {
+                    "name": name, "ph": "X", "pid": pid,
+                    "tid": tid_for(process, track),
+                    "ts": start, "dur": end - start,
+                }
+                if payload:
+                    event["args"] = payload
+            else:
+                event = {
+                    "name": track, "ph": "C", "pid": pid, "tid": 0,
+                    "ts": start, "args": {"value": payload},
+                }
+            body.append(event)
+        body.sort(key=lambda e: (e["ts"], e.get("dur", 0.0)))
+
+        trace: dict = {
+            "traceEvents": trace_events + body,
+            "displayTimeUnit": "ms",
+        }
+        if dropped:
+            trace["otherData"] = {"dropped_events": dropped}
+        return trace
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+            handle.write("\n")

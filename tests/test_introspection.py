@@ -44,9 +44,14 @@ class TestPipelineUtilization:
     def test_fractions_bounded(self):
         report = simulate_synthetic(CONFIG_2_INPUT, [1000, 1000], 16, 512)
         util = report.utilization()
-        assert set(util) == {"value_bus", "writer", "decoder_stall"}
-        for value in util.values():
-            assert 0 <= value <= 1.0
+        assert set(util) == {"decoder", "comparer", "value_bus", "encoder",
+                             "writer", "decoder_stall"}
+        # Single-resource modules are bounded by 1; the decoder fraction
+        # sums per-input chains, so it is bounded by N.
+        for name in ("comparer", "value_bus", "encoder", "writer",
+                     "decoder_stall"):
+            assert 0 <= util[name] <= 1.0
+        assert 0 <= util["decoder"] <= CONFIG_2_INPUT.num_inputs
 
     def test_value_bus_dominates_at_long_values(self):
         report = simulate_synthetic(CONFIG_2_INPUT, [1000, 1000], 16, 2048)
@@ -54,8 +59,20 @@ class TestPipelineUtilization:
         assert util["value_bus"] > 0.5
         assert util["value_bus"] > util["writer"]
 
+    def test_busy_fractions_surfaced(self):
+        report = simulate_synthetic(CONFIG_2_INPUT, [1000, 1000], 16, 64)
+        util = report.utilization()
+        assert util["decoder"] == pytest.approx(
+            report.decoder_busy_cycles / report.total_cycles)
+        assert util["comparer"] == pytest.approx(
+            report.comparer_busy_cycles / report.total_cycles)
+        assert util["encoder"] == pytest.approx(
+            report.encoder_busy_cycles / report.total_cycles)
+        # Small values keep the Comparer, not the value path, busiest.
+        assert util["comparer"] > util["value_bus"]
+
     def test_empty_report_safe(self):
         from repro.fpga.pipeline_sim import TimingReport
         util = TimingReport().utilization()
-        assert util == {"value_bus": 0.0, "writer": 0.0,
-                        "decoder_stall": 0.0}
+        assert set(util) == set(TimingReport.UTILIZATION_FIELDS)
+        assert all(value == 0.0 for value in util.values())

@@ -1,8 +1,13 @@
 """End-to-end observability through the CLIs (the ISSUE's acceptance
 check): ``--metrics-out`` dumps parse, advertise all subsystem families,
-and trace spans nest with phase totals matching the metrics."""
+and trace spans nest with phase totals matching the metrics; the
+event-timeline flags (``--chrome-trace``/``--profile``/``--bench-json``)
+produce valid artifacts that the tools under ``tools/`` accept."""
 
 import json
+import os
+import subprocess
+import sys
 
 import pytest
 
@@ -10,6 +15,14 @@ from repro.bench.cli import main as bench_main
 from repro.lsm.cli import main as lsm_main
 from repro.obs.exposition import parse_prometheus_text
 from repro.obs.tracing import read_jsonl
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_tool(name, *args):
+    return subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "tools", name), *args],
+        capture_output=True, text=True)
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +69,184 @@ class TestBenchAcceptance:
             parsed["samples"]["fpga_pipeline_kernel_seconds_total"].values())
         assert reported > 0
         assert traced == pytest.approx(reported, rel=0.01)
+
+
+@pytest.fixture(scope="module")
+def fig12_timeline_outputs(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("fig12timeline")
+    trace_path = str(tmp / "t.trace.json")
+    profile_path = str(tmp / "p.json")
+    bench_path = str(tmp / "BENCH_fig12.json")
+    assert bench_main(["fig12", "--scale", "0.05",
+                       "--chrome-trace", trace_path,
+                       "--profile", profile_path,
+                       "--bench-json", bench_path]) == 0
+    return trace_path, profile_path, bench_path
+
+
+class TestChromeTraceAcceptance:
+    """``fcae-bench fig12 --chrome-trace t.json`` must yield a valid
+    Chrome trace: parseable JSON, one named track per pipeline module
+    and per-input FIFO, non-overlapping per-track intervals, and kernel
+    spans within 1% of ``TimingReport.total_cycles`` at the clock."""
+
+    def test_trace_parses_with_module_and_fifo_tracks(
+            self, fig12_timeline_outputs):
+        trace_path, _, _ = fig12_timeline_outputs
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        events = trace["traceEvents"]
+        thread_tracks = {e["args"]["name"] for e in events
+                         if e["ph"] == "M" and e["name"] == "thread_name"}
+        # fig12 runs 2-input and 9-input engines: per-input decoders.
+        for i in range(9):
+            assert f"decoder[{i}]" in thread_tracks
+        for module in ("comparer", "value_bus", "encoder", "kernel"):
+            assert module in thread_tracks
+        counter_series = {e["name"] for e in events if e["ph"] == "C"}
+        assert {f"fifo[{i}]" for i in range(9)} <= counter_series
+
+    def test_intervals_non_overlapping_and_kernel_spans_match(
+            self, fig12_timeline_outputs):
+        trace_path, _, _ = fig12_timeline_outputs
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        last_end = {}
+        kernel_runs = 0
+        for event in trace["traceEvents"]:
+            if event["ph"] != "X":
+                continue
+            key = (event["pid"], event["tid"])
+            assert event["ts"] >= last_end.get(key, 0.0) - 1e-6
+            last_end[key] = event["ts"] + event["dur"]
+            if event["name"] == "kernel_run":
+                kernel_runs += 1
+                expected = (event["args"]["cycles"]
+                            / event["args"]["clock_mhz"])
+                assert event["dur"] == pytest.approx(expected, rel=0.01)
+        assert kernel_runs == 12  # 6 value lengths x 2 engines
+
+    def test_validate_trace_tool_accepts(self, fig12_timeline_outputs):
+        trace_path, _, _ = fig12_timeline_outputs
+        proc = run_tool("validate_trace.py", trace_path)
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_validate_trace_tool_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [{"ph": "X", "pid": 1, '
+                       '"name": "x", "ts": 5, "dur": -1}]}')
+        proc = run_tool("validate_trace.py", str(bad))
+        assert proc.returncode == 1
+
+    def test_profile_report_fractions_sum_to_one(
+            self, fig12_timeline_outputs):
+        _, profile_path, _ = fig12_timeline_outputs
+        with open(profile_path) as handle:
+            profile = json.load(handle)
+        modules = profile["kernel"]["modules"]
+        total = sum(m["attributed_fraction"] for m in modules.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+        assert profile["kernel"]["bottleneck"] in modules
+        assert sum(m["bound_runs"] for m in modules.values()) == 12
+
+
+class TestBenchRegressionTool:
+    def test_baseline_diffs_clean_against_itself(
+            self, fig12_timeline_outputs):
+        _, _, bench_path = fig12_timeline_outputs
+        proc = run_tool("check_regression.py", "--baseline", bench_path,
+                        "--run", bench_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_matches_committed_baseline(self, fig12_timeline_outputs):
+        _, _, bench_path = fig12_timeline_outputs
+        committed = os.path.join(REPO_ROOT, "benchmarks", "baselines",
+                                 "BENCH_fig12.json")
+        proc = run_tool("check_regression.py", "--baseline", committed,
+                        "--run", bench_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_drift_beyond_tolerance_fails(self, fig12_timeline_outputs,
+                                          tmp_path):
+        _, _, bench_path = fig12_timeline_outputs
+        with open(bench_path) as handle:
+            doc = json.load(handle)
+        doc["experiments"]["fig12"]["rows"][0][1] *= 1.5
+        drifted = tmp_path / "drifted.json"
+        drifted.write_text(json.dumps(doc))
+        proc = run_tool("check_regression.py", "--baseline", bench_path,
+                        "--run", str(drifted))
+        assert proc.returncode == 1
+        assert "drifted" in proc.stderr
+
+    def test_scale_mismatch_fails(self, fig12_timeline_outputs, tmp_path):
+        _, _, bench_path = fig12_timeline_outputs
+        with open(bench_path) as handle:
+            doc = json.load(handle)
+        doc["scale"] = 1.0
+        other = tmp_path / "other_scale.json"
+        other.write_text(json.dumps(doc))
+        proc = run_tool("check_regression.py", "--baseline", bench_path,
+                        "--run", str(other))
+        assert proc.returncode == 1
+
+
+class TestAllModeRegistryReset:
+    def test_families_do_not_bleed_between_experiments(self, tmp_path,
+                                                       monkeypatch):
+        """`all` mode must give each experiment a fresh registry: the
+        second experiment's dump must not contain samples produced by
+        the first."""
+        from repro import obs
+        from repro.bench import cli
+        from repro.bench.common import ExperimentResult
+
+        def fake_first(scale=1.0):
+            obs.current_registry().counter(
+                "fpga_pipeline_runs_total", inst="first").inc(7)
+            return ExperimentResult(name="first", title="first",
+                                    columns=["x"], rows=[[1]])
+
+        def fake_second(scale=1.0):
+            obs.current_registry().counter(
+                "lsm_writes_total", inst="second").inc(3)
+            return ExperimentResult(name="second", title="second",
+                                    columns=["x"], rows=[[2]])
+
+        monkeypatch.setitem(cli.EXPERIMENTS, "first", fake_first)
+        monkeypatch.setitem(cli.EXPERIMENTS, "second", fake_second)
+        monkeypatch.setattr(cli, "ALL_ORDER", ("first", "second"))
+
+        metrics_path = str(tmp_path / "m.prom")
+        assert bench_main(["all", "--metrics-out", metrics_path]) == 0
+
+        first_path = str(tmp_path / "m.first.prom")
+        second_path = str(tmp_path / "m.second.prom")
+        assert os.path.exists(first_path)
+        assert os.path.exists(second_path)
+        with open(first_path) as handle:
+            first = parse_prometheus_text(handle.read())
+        with open(second_path) as handle:
+            second = parse_prometheus_text(handle.read())
+        assert first["samples"]["fpga_pipeline_runs_total"][
+            (("inst", "first"),)] == 7
+        assert not any(key == (("inst", "first"),)
+                       for key in second["samples"].get(
+                           "fpga_pipeline_runs_total", {}))
+        assert second["samples"]["lsm_writes_total"][
+            (("inst", "second"),)] == 3
+
+    def test_single_mode_unsuffixed(self, tmp_path):
+        metrics_path = str(tmp_path / "m.prom")
+        assert bench_main(["table7", "--metrics-out", metrics_path]) == 0
+        assert os.path.exists(metrics_path)
+
+    def test_suffixed_path_helper(self):
+        from repro.bench.cli import suffixed_path
+        assert suffixed_path("m.prom", "fig12") == "m.fig12.prom"
+        assert suffixed_path("trace", "fig9") == "trace.fig9"
+        assert suffixed_path("m.prom", None) == "m.prom"
 
 
 class TestLsmCli:

@@ -1,0 +1,177 @@
+"""Event timeline: recorder semantics, Chrome export, and pipeline /
+host instrumentation stitching into one unified trace."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fpga.config import FpgaConfig
+from repro.fpga.engine import simulate_synthetic
+from repro.fpga.pipeline_sim import PipelineTimer
+from repro.obs.timeline import TimelineRecorder
+
+
+def config(**kwargs):
+    defaults = dict(num_inputs=2, value_width=16, w_in=64, w_out=64)
+    defaults.update(kwargs)
+    return FpgaConfig(**defaults)
+
+
+class TestRecorder:
+    def test_interval_and_counter_recording(self):
+        recorder = TimelineRecorder()
+        recorder.interval("fpga", "comparer", "round", 0.0, 2.0,
+                          {"winner": 1})
+        recorder.counter("fpga", "fifo[0]", 2.0, 1)
+        assert len(recorder) == 2
+        assert recorder.intervals() == [
+            ("fpga", "comparer", "round", 0.0, 2.0, {"winner": 1})]
+        assert recorder.span_us() == (0.0, 2.0)
+
+    def test_cursor_never_moves_backward(self):
+        recorder = TimelineRecorder()
+        recorder.advance_to(10.0)
+        recorder.advance_to(5.0)
+        assert recorder.cursor_us == 10.0
+
+    def test_bounded_memory_drops_and_counts(self):
+        recorder = TimelineRecorder(max_events=2)
+        for i in range(5):
+            recorder.interval("fpga", "t", "e", float(i), float(i + 1))
+        assert len(recorder) == 2
+        assert recorder.dropped_events == 3
+        trace = recorder.to_chrome_trace()
+        assert trace["otherData"]["dropped_events"] == 3
+
+    def test_chrome_export_structure(self):
+        recorder = TimelineRecorder()
+        recorder.interval("fpga", "comparer", "round", 1.0, 3.0)
+        recorder.interval("host", "pcie", "dma_in", 0.0, 1.0)
+        recorder.counter("fpga", "fifo[0]", 3.0, 1)
+        trace = recorder.to_chrome_trace()
+        events = trace["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metas
+                if m["name"] == "process_name"} == {"fpga", "host"}
+        assert {m["args"]["name"] for m in metas
+                if m["name"] == "thread_name"} == {"comparer", "pcie"}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in xs] == ["dma_in", "round"]  # ts-sorted
+        counters = [e for e in events if e["ph"] == "C"]
+        assert counters[0]["args"]["value"] == 1
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        recorder = TimelineRecorder()
+        recorder.interval("fpga", "kernel", "kernel_run", 0.0, 5.0)
+        path = str(tmp_path / "t.trace.json")
+        recorder.write_chrome_trace(path)
+        with open(path) as handle:
+            trace = json.load(handle)
+        assert any(e.get("name") == "kernel_run"
+                   for e in trace["traceEvents"])
+
+
+class TestPipelineInstrumentation:
+    def run_with_timeline(self, **synthetic_kwargs):
+        recorder = TimelineRecorder()
+        cfg = synthetic_kwargs.pop("config", config())
+        with obs.scoped(timeline=recorder):
+            report = simulate_synthetic(
+                cfg, synthetic_kwargs.pop("pairs", [200, 200]), 16, 256,
+                **synthetic_kwargs)
+        return recorder, report, cfg
+
+    def test_tracks_per_module_and_input(self):
+        recorder, _, _ = self.run_with_timeline()
+        tracks = {(proc, track)
+                  for proc, track, *_ in recorder.intervals()}
+        assert ("fpga", "decoder[0]") in tracks
+        assert ("fpga", "decoder[1]") in tracks
+        for module in ("comparer", "value_bus", "encoder", "kernel"):
+            assert ("fpga", module) in tracks
+
+    def test_span_matches_total_cycles_within_1pct(self):
+        recorder, report, cfg = self.run_with_timeline()
+        first, last = recorder.span_us()
+        expected_us = report.total_cycles / cfg.clock_mhz
+        assert last - first == pytest.approx(expected_us, rel=0.01)
+
+    def test_intervals_non_overlapping_within_each_track(self):
+        recorder, _, _ = self.run_with_timeline()
+        by_track = {}
+        for proc, track, _, start, end, _ in recorder.intervals():
+            by_track.setdefault((proc, track), []).append((start, end))
+        for spans in by_track.values():
+            spans.sort()
+            for (_, prev_end), (next_start, _) in zip(spans, spans[1:]):
+                assert next_start >= prev_end - 1e-9
+
+    def test_consecutive_runs_share_one_contiguous_timeline(self):
+        recorder = TimelineRecorder()
+        cfg = config()
+        with obs.scoped(timeline=recorder):
+            simulate_synthetic(cfg, [50, 50], 16, 256)
+            cursor_after_first = recorder.cursor_us
+            simulate_synthetic(cfg, [50, 50], 16, 256)
+        runs = recorder.intervals(track="kernel")
+        assert len(runs) == 2
+        assert runs[1][3] == pytest.approx(cursor_after_first)
+        assert runs[1][3] >= runs[0][4] - 1e-9  # second starts after first
+
+    def test_fifo_counter_bounded_by_depth(self):
+        depth = 3
+        recorder, _, _ = self.run_with_timeline(
+            config=config(kv_fifo_depth=depth))
+        trace = recorder.to_chrome_trace()
+        samples = [e for e in trace["traceEvents"]
+                   if e["ph"] == "C" and e["name"].startswith("fifo[")]
+        assert samples
+        assert all(0 <= e["args"]["value"] <= depth for e in samples)
+
+    def test_zero_cost_when_disabled(self):
+        timer = PipelineTimer(config())
+        assert timer.timeline is None
+        assert timer._profile_intervals is None
+        timer.decode_pair(0, 24, 64)
+        timer.comparer_round([0], 0, False, 24, 64)
+        report = timer.finalize(100)
+        assert report.attribution is None
+
+
+class TestHostMerging:
+    def test_device_phases_join_the_unified_trace(self, plain_options):
+        from repro.host.device import FcaeDevice
+        from repro.lsm.internal import InternalKeyComparator
+        from repro.lsm.sstable import TableReader
+        from repro.util.comparator import BytewiseComparator
+        from tests.conftest import build_table_image, make_entries
+
+        icmp = InternalKeyComparator(BytewiseComparator())
+
+        def reader_for(entries):
+            return TableReader(
+                build_table_image(entries, plain_options, icmp),
+                icmp, plain_options)
+
+        inputs = [[reader_for(make_entries(80, seed=1, seq_base=10_000))],
+                  [reader_for(make_entries(80, seed=2, seq_base=1))]]
+        recorder = TimelineRecorder()
+        with obs.scoped(timeline=recorder):
+            device = FcaeDevice(config(), plain_options,
+                                dram_size=1 << 26)
+            device.compact(inputs)
+        host_tracks = {track for _, track, *_ in
+                       recorder.intervals(process="host")}
+        assert host_tracks == {"scheduler", "pcie"}
+        names = {name for _, _, name, *_ in
+                 recorder.intervals(process="host")}
+        assert names == {"marshal", "dma_in", "dma_out"}
+        # marshal -> dma_in -> kernel -> dma_out ordering on one clock.
+        (kernel,) = recorder.intervals(process="fpga", track="kernel")
+        (dma_in,) = [i for i in recorder.intervals(process="host")
+                     if i[2] == "dma_in"]
+        (dma_out,) = [i for i in recorder.intervals(process="host")
+                      if i[2] == "dma_out"]
+        assert dma_in[4] <= kernel[3] + 1e-9   # dma_in ends before kernel
+        assert dma_out[3] >= kernel[4] - 1e-9  # dma_out starts after

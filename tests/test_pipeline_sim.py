@@ -75,6 +75,44 @@ class TestTimerMechanics:
         assert report.output_bytes == 4096
 
 
+class TestFifoBackpressure:
+    """§V-C accounting: with ``kv_fifo_depth=1`` the decoder is in
+    lockstep with consumption, so a slow value path shows up as decoder
+    backpressure, and the FIFO can never hold more than ``depth``."""
+
+    def test_depth_one_accumulates_backpressure(self):
+        cfg = config(kv_fifo_depth=1)
+        report = simulate_synthetic(cfg, [300, 300], 16, 2048)
+        assert report.decoder_backpressure_cycles > 0
+        # Backpressure grows with the workload.
+        longer = simulate_synthetic(cfg, [600, 600], 16, 2048)
+        assert (longer.decoder_backpressure_cycles
+                > report.decoder_backpressure_cycles)
+
+    def test_high_water_never_exceeds_depth(self):
+        for depth in (1, 2, 4):
+            cfg = config(kv_fifo_depth=depth)
+            report = simulate_synthetic(cfg, [200, 200], 16, 512)
+            assert report.fifo_high_water
+            assert all(0 < hw <= depth for hw in report.fifo_high_water)
+
+    def test_exceeding_lookahead_raises(self):
+        cfg = config(kv_fifo_depth=2)
+        timer = PipelineTimer(cfg)
+        timer.decode_pair(0, 24, 64)
+        timer.decode_pair(0, 24, 64)
+        with pytest.raises(SimulationError):
+            timer.decode_pair(0, 24, 64)
+
+    def test_deeper_fifo_reduces_backpressure(self):
+        shallow_cfg = config(kv_fifo_depth=1)
+        deep_cfg = config(kv_fifo_depth=8)
+        shallow = simulate_synthetic(shallow_cfg, [300, 300], 16, 1024)
+        deep = simulate_synthetic(deep_cfg, [300, 300], 16, 1024)
+        assert (deep.decoder_backpressure_cycles
+                <= shallow.decoder_backpressure_cycles)
+
+
 class TestSyntheticDriver:
     def test_speed_positive(self):
         cfg = config()

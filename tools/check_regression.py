@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Diff a ``fcae-bench --bench-json`` run against a committed baseline.
+
+Stdlib-only so CI can call it without installing the package::
+
+    python tools/check_regression.py \\
+        --baseline benchmarks/baselines/BENCH_fig12.json \\
+        --run BENCH_fig12.json [--rel-tol 0.05] [--abs-tol 1e-9]
+
+Every experiment present in the baseline must exist in the run with the
+same columns and row count; numeric cells must agree within the
+tolerance band ``|run - base| <= abs_tol + rel_tol * |base|``,
+non-numeric cells must match exactly.  The simulators are deterministic,
+so the default band is tight; it exists to absorb floating-point
+variation across Python versions, not to hide model drift.
+
+Exit status: 0 when everything is within tolerance (in particular, a run
+diffed against itself), 1 on any drift, 2 on malformed inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+SUPPORTED_SCHEMA = 1
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        doc = json.load(handle)
+    if doc.get("schema") != SUPPORTED_SCHEMA:
+        raise ValueError(f"{path}: unsupported schema {doc.get('schema')!r}")
+    if not isinstance(doc.get("experiments"), dict):
+        raise ValueError(f"{path}: missing experiments table")
+    return doc
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare(baseline: dict, run: dict, rel_tol: float,
+            abs_tol: float) -> list[str]:
+    """All drifts of ``run`` against ``baseline``, as human-readable
+    lines; empty means within tolerance."""
+    drifts: list[str] = []
+    if baseline.get("scale") != run.get("scale"):
+        drifts.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs run "
+            f"{run.get('scale')} (results are scale-dependent)")
+        return drifts
+
+    for name, base_exp in sorted(baseline["experiments"].items()):
+        run_exp = run["experiments"].get(name)
+        if run_exp is None:
+            drifts.append(f"{name}: missing from run")
+            continue
+        if base_exp["columns"] != run_exp["columns"]:
+            drifts.append(f"{name}: column mismatch "
+                          f"{base_exp['columns']} vs {run_exp['columns']}")
+            continue
+        base_rows, run_rows = base_exp["rows"], run_exp["rows"]
+        if len(base_rows) != len(run_rows):
+            drifts.append(f"{name}: {len(base_rows)} baseline rows vs "
+                          f"{len(run_rows)} run rows")
+            continue
+        for row_no, (base_row, run_row) in enumerate(
+                zip(base_rows, run_rows)):
+            for col_no, (base_cell, run_cell) in enumerate(
+                    zip(base_row, run_row)):
+                column = base_exp["columns"][col_no]
+                where = f"{name} row {row_no} [{column}]"
+                if _is_number(base_cell) and _is_number(run_cell):
+                    band = abs_tol + rel_tol * abs(base_cell)
+                    if abs(run_cell - base_cell) > band:
+                        drifts.append(
+                            f"{where}: {run_cell!r} drifted from baseline "
+                            f"{base_cell!r} (tolerance ±{band:g})")
+                elif base_cell != run_cell:
+                    drifts.append(
+                        f"{where}: {run_cell!r} != baseline {base_cell!r}")
+    return drifts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("--run", required=True,
+                        help="BENCH_*.json from the current run")
+    parser.add_argument("--rel-tol", type=float, default=0.05,
+                        help="relative tolerance per numeric cell "
+                             "(default 0.05)")
+    parser.add_argument("--abs-tol", type=float, default=1e-9,
+                        help="absolute tolerance per numeric cell "
+                             "(default 1e-9)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = load(args.baseline)
+        run = load(args.run)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        return 2
+
+    drifts = compare(baseline, run, args.rel_tol, args.abs_tol)
+    if drifts:
+        print(f"REGRESSION: {len(drifts)} drift(s) vs {args.baseline}",
+              file=sys.stderr)
+        for drift in drifts:
+            print(f"  - {drift}", file=sys.stderr)
+        return 1
+    n_cells = sum(len(exp["columns"]) * len(exp["rows"])
+                  for exp in baseline["experiments"].values())
+    print(f"OK: {args.run} within tolerance of {args.baseline} "
+          f"({len(baseline['experiments'])} experiment(s), "
+          f"{n_cells} cells, rel_tol={args.rel_tol}, "
+          f"abs_tol={args.abs_tol})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event file produced by ``fcae-bench
+--chrome-trace`` (stdlib only, so CI can run it without the package).
+
+Checks:
+
+* the file is well-formed JSON with a ``traceEvents`` list;
+* every event carries the required fields for its phase;
+* within each track (``pid``/``tid``), complete-event (``"ph": "X"``)
+  timestamps are monotonic and intervals do not overlap;
+* counter (``"ph": "C"``) series timestamps are monotonic;
+* every ``kernel_run`` event's duration matches its ``args.cycles``
+  converted at ``args.clock_mhz`` within 1% — the trace's span agrees
+  with the simulator's ``TimingReport.total_cycles``.
+
+Exit status 0 when the trace passes, 1 with a report when it does not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Slack for floating-point cycle → microsecond conversion.
+EPSILON_US = 1e-6
+
+
+def validate(trace: dict) -> list[str]:
+    errors: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    if not events:
+        return ["empty traceEvents"]
+
+    track_names: dict[tuple, str] = {}
+    last_end: dict[tuple, float] = {}
+    counter_last_ts: dict[tuple, float] = {}
+    kernel_runs = 0
+
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "C", "M"):
+            errors.append(f"event {index}: unknown phase {phase!r}")
+            continue
+        if "pid" not in event or "name" not in event:
+            errors.append(f"event {index}: missing pid/name")
+            continue
+        if phase == "M":
+            if event["name"] == "thread_name":
+                track_names[(event["pid"], event.get("tid"))] = \
+                    event["args"]["name"]
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            errors.append(f"event {index}: missing numeric ts")
+            continue
+
+        if phase == "C":
+            key = (event["pid"], event["name"])
+            if ts + EPSILON_US < counter_last_ts.get(key, float("-inf")):
+                errors.append(
+                    f"counter {event['name']!r}: ts {ts} goes backwards")
+            counter_last_ts[key] = max(counter_last_ts.get(key, ts), ts)
+            continue
+
+        # phase == "X"
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"event {index} ({event['name']!r}): bad dur")
+            continue
+        key = (event["pid"], event.get("tid"))
+        track = track_names.get(key, str(key))
+        if ts + EPSILON_US < last_end.get(key, float("-inf")):
+            errors.append(
+                f"track {track!r}: interval {event['name']!r} at ts={ts} "
+                f"overlaps previous end {last_end[key]}")
+        last_end[key] = max(last_end.get(key, ts + dur), ts + dur)
+
+        if event["name"] == "kernel_run":
+            kernel_runs += 1
+            args = event.get("args", {})
+            cycles = args.get("cycles")
+            clock_mhz = args.get("clock_mhz")
+            if cycles is None or not clock_mhz:
+                errors.append("kernel_run without cycles/clock_mhz args")
+            else:
+                expected_us = cycles / clock_mhz
+                if expected_us > 0 and \
+                        abs(dur - expected_us) > 0.01 * expected_us:
+                    errors.append(
+                        f"kernel_run span {dur:.3f}us deviates >1% from "
+                        f"{cycles} cycles at {clock_mhz} MHz "
+                        f"({expected_us:.3f}us)")
+
+    if kernel_runs == 0:
+        errors.append("no kernel_run events found")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace) as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"FAIL: cannot parse {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate(trace)
+    if errors:
+        print(f"FAIL: {args.trace}: {len(errors)} problem(s)",
+              file=sys.stderr)
+        for error in errors[:50]:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    n_events = len(trace["traceEvents"])
+    dropped = trace.get("otherData", {}).get("dropped_events", 0)
+    print(f"OK: {args.trace}: {n_events} events, "
+          f"{dropped} dropped, tracks monotonic, kernel spans consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
