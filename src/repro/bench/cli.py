@@ -41,6 +41,7 @@ import time
 from repro import obs
 from repro.bench import (
     ablation,
+    driver,
     near_storage,
     tiered,
     write_pause,
@@ -78,6 +79,7 @@ EXPERIMENTS = {
     "fig15d": fig15.run_d,
     "fig16": fig16.run,
     "ablation": ablation.run,
+    "driver": driver.run,
     "near_storage": near_storage.run,
     "tiered": tiered.run,
     "write_pause": write_pause.run,
@@ -87,7 +89,7 @@ EXPERIMENTS = {
 ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
-             "write_pause")
+             "write_pause", "driver")
 
 #: BENCH_*.json schema version understood by tools/check_regression.py.
 BENCH_SCHEMA = 1

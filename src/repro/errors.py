@@ -41,5 +41,14 @@ class FpgaProtocolError(ReproError):
     layout, misaligned data block memory, output overrun, ...)."""
 
 
+class FpgaTimeoutError(ReproError):
+    """The device did not complete an offloaded task within its deadline
+    (hung kernel, lost completion interrupt)."""
+
+
+class FpgaDmaError(FpgaProtocolError):
+    """A PCIe DMA transfer failed or delivered corrupt data."""
+
+
 class SimulationError(ReproError):
     """A discrete-event simulation reached an inconsistent state."""

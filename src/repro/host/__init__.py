@@ -8,19 +8,28 @@
   kernel -> DMA -> install, with a per-phase timing breakdown.
 * :mod:`repro.host.scheduler` — the compaction-thread workflow of Fig 6:
   offload merge compactions whose input count fits the engine's ``N``,
-  fall back to software otherwise, and account for the flush/kernel
-  overlap the co-design enables.
+  fall back to software otherwise (including on injected device faults,
+  after bounded retries), and account for the flush/kernel overlap the
+  co-design enables.
+* :mod:`repro.host.driver` — the asynchronous compaction driver: flush
+  worker plus ``num_units`` unit workers behind a bounded task queue.
+* :mod:`repro.host.faults` — deterministic fault injection for the
+  offload path.
 """
 
 from repro.host.device import DeviceResult, FcaeDevice
+from repro.host.driver import CompactionDriver
+from repro.host.faults import FaultInjector
 from repro.host.near_storage import NearStorageDevice, NearStorageResult
 from repro.host.pcie import PcieModel
 from repro.host.scheduler import CompactionScheduler, SchedulerStats
 from repro.host.splice import SplitTable, combine_regions, split_table_image
 
 __all__ = [
+    "CompactionDriver",
     "CompactionScheduler",
     "DeviceResult",
+    "FaultInjector",
     "FcaeDevice",
     "NearStorageDevice",
     "NearStorageResult",

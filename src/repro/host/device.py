@@ -76,11 +76,15 @@ class FcaeDevice:
                  pcie: PcieModel | None = None,
                  cpu_model: CpuCostModel | None = None,
                  dram_size: int = 16 * 1024 * 1024 * 1024,
-                 metrics=None):
+                 metrics=None, fault_injector=None):
         from repro import obs
         from repro.obs.names import PcieMetrics
 
         self.config = config
+        #: Optional :class:`repro.host.faults.FaultInjector`; when set,
+        #: ``compact`` consults it before touching device memory, so an
+        #: injected fault leaves no partial DMA/timeline state behind.
+        self.fault_injector = fault_injector
         self.options = options or Options()
         self.metrics = (metrics if metrics is not None
                         else obs.current_registry())
@@ -107,6 +111,11 @@ class FcaeDevice:
         scheduler's phase metrics aggregate.
         """
         from repro import obs
+
+        if self.fault_injector is not None:
+            self.fault_injector.check(
+                sum(len(t) for tables in inputs for t in tables
+                    if hasattr(t, "__len__")))
 
         timeline = obs.current_timeline()
 

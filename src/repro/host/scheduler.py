@@ -22,10 +22,11 @@ reconstructs exactly where offload time went.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro import obs
-from repro.errors import FpgaProtocolError
+from repro.errors import FpgaDmaError, FpgaProtocolError, FpgaTimeoutError
 from repro.host.device import FcaeDevice
 from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
 from repro.lsm.internal import InternalKeyComparator
@@ -49,7 +50,8 @@ class SchedulerStats:
     #: Integer routing fields and float phase-timing fields, in
     #: reporting order.
     INT_FIELDS = ("fpga_tasks", "software_tasks", "fpga_input_bytes",
-                  "software_input_bytes")
+                  "software_input_bytes", "fpga_faults", "fpga_retries",
+                  "fpga_fallbacks")
     FLOAT_FIELDS = ("fpga_kernel_seconds", "fpga_pcie_seconds",
                     "fpga_marshal_seconds", "software_seconds")
     FIELDS = INT_FIELDS + FLOAT_FIELDS
@@ -74,6 +76,18 @@ class SchedulerStats:
     @property
     def software_input_bytes(self) -> int:
         return int(self._metrics.input_bytes["software"].value)
+
+    @property
+    def fpga_faults(self) -> int:
+        return int(sum(c.value for c in self._metrics.faults.values()))
+
+    @property
+    def fpga_retries(self) -> int:
+        return int(self._metrics.retries.value)
+
+    @property
+    def fpga_fallbacks(self) -> int:
+        return int(self._metrics.fallbacks.value)
 
     @property
     def fpga_kernel_seconds(self) -> float:
@@ -129,16 +143,26 @@ class CompactionScheduler:
     receives every merge compaction the database picks.
     """
 
+    #: Device faults the retry/fallback machinery absorbs.  Anything
+    #: else (corruption, resource misconfiguration) still propagates.
+    RECOVERABLE_FAULTS = (FpgaProtocolError, FpgaTimeoutError)
+
     def __init__(self, device: FcaeDevice, options: Options | None = None,
                  cpu_model: CpuCostModel | None = None,
                  verify_outputs: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None):
+                 tracer=None,
+                 max_retries: int = 1,
+                 retry_backoff_seconds: float = 0.0,
+                 fallback_to_software: bool = True):
         self.device = device
         self.options = options or device.options
         self.comparator = InternalKeyComparator(self.options.comparator)
         self.cpu_model = cpu_model or device.cpu_model
         self.verify_outputs = verify_outputs
+        self.max_retries = max(0, max_retries)
+        self.retry_backoff_seconds = max(0.0, retry_backoff_seconds)
+        self.fallback_to_software = fallback_to_software
         self.metrics = resolve_registry(metrics)
         self.tracer = resolve_tracer(tracer)
         self._m = SchedulerMetrics(self.metrics,
@@ -162,12 +186,49 @@ class CompactionScheduler:
         self._m.task_input_bytes.observe(spec.total_input_bytes)
         with self.tracer.span("compaction.route", route=route,
                               level=spec.level,
-                              input_streams=spec.fpga_input_count()):
+                              input_streams=spec.fpga_input_count()) as span:
             if offload:
-                return self._run_fpga(spec, input_tables, parent_tables,
-                                      drop_deletions)
+                return self._run_fpga_with_recovery(
+                    spec, input_tables, parent_tables, drop_deletions, span)
             return self._run_software(spec, input_tables, parent_tables,
                                       drop_deletions)
+
+    def _run_fpga_with_recovery(self, spec: CompactionSpec,
+                                input_tables: list, parent_tables: list,
+                                drop_deletions: bool,
+                                span) -> list[OutputTable]:
+        """Offload with bounded retry + backoff; degrade to the software
+        merge when the device keeps failing (LUDA's CPU fallback)."""
+        attempt = 0
+        while True:
+            try:
+                return self._run_fpga(spec, input_tables, parent_tables,
+                                      drop_deletions)
+            except self.RECOVERABLE_FAULTS as error:
+                kind = self._fault_kind(error)
+                self._m.faults[kind].inc()
+                span.set(fault=kind, attempts=attempt + 1)
+                if attempt < self.max_retries:
+                    attempt += 1
+                    self._m.retries.inc()
+                    if self.retry_backoff_seconds:
+                        time.sleep(self.retry_backoff_seconds
+                                   * (2 ** (attempt - 1)))
+                    continue
+                if not self.fallback_to_software:
+                    raise
+                self._m.fallbacks.inc()
+                span.set(fallback=True)
+                return self._run_software(spec, input_tables,
+                                          parent_tables, drop_deletions)
+
+    @staticmethod
+    def _fault_kind(error: Exception) -> str:
+        if isinstance(error, FpgaTimeoutError):
+            return "timeout"
+        if isinstance(error, FpgaDmaError):
+            return "dma"
+        return "protocol"
 
     # ------------------------------------------------------------------
     # Paths

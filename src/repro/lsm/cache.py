@@ -4,10 +4,16 @@ Caches decompressed data blocks keyed by ``(file_number, block_offset)``.
 Capacity is accounted in bytes of cached payload.  Eviction is strict LRU,
 implemented over an ordered dict; hit/miss counters are exposed because
 the read-path experiments report them.
+
+The cache is thread-safe: readers on foreground threads and the
+background compaction driver's workers share one instance, so every
+structural operation holds a private lock (the bound obs counters carry
+their own registry lock).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -27,6 +33,7 @@ class LRUCache:
         self.capacity = capacity
         self._entries: OrderedDict[Hashable, bytes] = OrderedDict()
         self._usage = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self._hit_counter = hit_counter
@@ -42,13 +49,15 @@ class LRUCache:
         return self._usage
 
     def get(self, key: Hashable) -> Optional[bytes]:
-        value = self._entries.get(key)
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
         if value is None:
             self.misses += 1
             if self._miss_counter is not None:
                 self._miss_counter.inc()
             return None
-        self._entries.move_to_end(key)
         self.hits += 1
         if self._hit_counter is not None:
             self._hit_counter.inc()
@@ -57,25 +66,35 @@ class LRUCache:
     def put(self, key: Hashable, value: bytes) -> None:
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._usage -= len(self._entries.pop(key))
-        self._entries[key] = value
-        self._usage += len(value)
-        while self._usage > self.capacity and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._usage -= len(evicted)
+        if len(value) > self.capacity:
+            # An oversized value can never be resident: admitting it used
+            # to evict the whole cache and then the value itself.  Reject
+            # it up front without disturbing resident entries.
+            return
+        with self._lock:
+            if key in self._entries:
+                self._usage -= len(self._entries.pop(key))
+            self._entries[key] = value
+            self._usage += len(value)
+            while self._usage > self.capacity and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._usage -= len(evicted)
+            usage = self._usage
         if self._usage_gauge is not None:
-            self._usage_gauge.set(self._usage)
+            self._usage_gauge.set(usage)
 
     def erase(self, key: Hashable) -> None:
-        value = self._entries.pop(key, None)
-        if value is not None:
-            self._usage -= len(value)
-            if self._usage_gauge is not None:
-                self._usage_gauge.set(self._usage)
+        with self._lock:
+            value = self._entries.pop(key, None)
+            if value is not None:
+                self._usage -= len(value)
+            usage = self._usage
+        if value is not None and self._usage_gauge is not None:
+            self._usage_gauge.set(usage)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._usage = 0
+        with self._lock:
+            self._entries.clear()
+            self._usage = 0
         if self._usage_gauge is not None:
             self._usage_gauge.set(0)

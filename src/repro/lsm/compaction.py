@@ -20,6 +20,7 @@ from typing import Iterable, Iterator
 
 from repro.lsm.internal import (
     InternalKeyComparator,
+    MAX_SEQUENCE,
     extract_user_key,
     parse_internal_key,
 )
@@ -74,28 +75,50 @@ class CompactionStats:
 def merge_entries(sources: Iterable[Iterator[KVPair]],
                   comparator: InternalKeyComparator,
                   drop_deletions: bool,
-                  stats: CompactionStats | None = None) -> Iterator[KVPair]:
+                  stats: CompactionStats | None = None,
+                  smallest_snapshot: int | None = None) -> Iterator[KVPair]:
     """Merge + validity-check: yields surviving (internal key, value).
 
     Sources must be ordered so that for equal internal-key *user* parts the
     newer entry (higher sequence) is met first — the internal-key order
     guarantees this within and across sorted runs.
+
+    ``smallest_snapshot`` is the oldest live snapshot sequence.  An entry
+    is dropped only when a *newer* entry for the same user key is itself
+    at-or-below that sequence — i.e. every live snapshot still resolves to
+    the same version it saw before the compaction (LevelDB's
+    ``last_sequence_for_key`` rule).  ``None`` means no live snapshots:
+    only the newest version of each key survives.
     """
+    if smallest_snapshot is None:
+        # No live snapshots: any real sequence (< MAX_SEQUENCE) shadows
+        # older versions, so only the newest survives.
+        smallest_snapshot = MAX_SEQUENCE - 1
     last_user_key: bytes | None = None
+    # Sequence of the previous (newer) entry for the current user key;
+    # MAX_SEQUENCE marks "no newer entry seen yet".
+    last_sequence_for_key = MAX_SEQUENCE
     user_cmp = comparator.user_comparator.compare
     for internal_key, value in merging_iterator(sources, comparator.compare):
         if stats is not None:
             stats.input_pairs += 1
             stats.input_bytes += len(internal_key) + len(value)
         user_key = extract_user_key(internal_key)
-        if last_user_key is not None and user_cmp(user_key, last_user_key) == 0:
-            # Older version of a user key already emitted (or dropped).
+        if last_user_key is None or user_cmp(user_key, last_user_key) != 0:
+            last_user_key = user_key
+            last_sequence_for_key = MAX_SEQUENCE
+        parsed = parse_internal_key(internal_key)
+        if last_sequence_for_key <= smallest_snapshot:
+            # A newer version visible to the oldest snapshot shadows this
+            # one for every reader that can still exist.
+            last_sequence_for_key = parsed.sequence
             if stats is not None:
                 stats.dropped_shadowed += 1
             continue
-        last_user_key = user_key
-        parsed = parse_internal_key(internal_key)
-        if parsed.is_deletion and drop_deletions:
+        last_sequence_for_key = parsed.sequence
+        if (parsed.is_deletion and drop_deletions
+                and parsed.sequence <= smallest_snapshot):
+            # Tombstone invisible to no one (bottommost level): drop it.
             if stats is not None:
                 stats.dropped_tombstones += 1
             continue
@@ -140,15 +163,18 @@ def build_output_tables(entries: Iterator[KVPair], options: Options,
 
 def compact(sources: Iterable[Iterator[KVPair]], options: Options,
             comparator: InternalKeyComparator,
-            drop_deletions: bool = False) -> CompactionStats:
+            drop_deletions: bool = False,
+            smallest_snapshot: int | None = None) -> CompactionStats:
     """Run a full software compaction over ``sources``.
 
     Returns statistics whose ``outputs`` list holds the new table images
     with their key ranges — the same payload the FPGA's MetaOut memory
-    reports back to the host.
+    reports back to the host.  ``smallest_snapshot`` preserves versions
+    still visible to live snapshots (see :func:`merge_entries`).
     """
     stats = CompactionStats()
-    survivors = merge_entries(sources, comparator, drop_deletions, stats)
+    survivors = merge_entries(sources, comparator, drop_deletions, stats,
+                              smallest_snapshot=smallest_snapshot)
     stats.outputs = build_output_tables(survivors, options, comparator)
     return stats
 

@@ -7,16 +7,30 @@ the one FCAE offloads) run through a pluggable *compaction executor*, so
 the same database can be driven by the CPU reference merge or by the FPGA
 engine of :mod:`repro.host` without touching the storage format.
 
-Concurrency model: deliberately single-threaded and deterministic.  Real
-LevelDB interleaves foreground writes with a background thread; here the
-*functional* store runs maintenance inline (``auto_compact=True``) and all
-*timing* questions (write stalls, overlap of flush and FPGA kernels) are
-answered by the discrete-event simulator in :mod:`repro.sim`, which is the
-layer the paper's throughput experiments need.
+Concurrency model: two modes.
+
+* **Synchronous** (default): deterministic, effectively single-threaded —
+  maintenance runs inline inside ``write`` (``auto_compact=True``), as the
+  seed reproduction always did.  Timing questions are answered by the
+  discrete-event simulator in :mod:`repro.sim`.
+* **Background** (``background_compaction=True``): the paper's Fig 6
+  workflow on real threads.  A full memtable is swapped out under the DB
+  mutex and handed to :class:`repro.host.driver.CompactionDriver`; merge
+  compactions run on ``num_units`` worker threads fed by a bounded task
+  queue, and completions install version edits back under the mutex.  The
+  write path then throttles for real: LevelDB's L0 slowdown (per-write
+  sleep) and stop (block until an L0 compaction lands) triggers, with
+  stall durations published to the ``lsm_write_stall_seconds`` histogram.
+
+Either way every public operation is safe to call from multiple threads:
+state mutations hold ``_mutex``, scans capture an immutable version (plus
+materialized memtable contents when a driver is live) before iterating.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Callable, Iterator, Optional
 
 from repro.errors import DBStateError, NotFoundError
@@ -40,13 +54,20 @@ from repro.lsm.filenames import (
 from repro.lsm.internal import (
     InternalKeyComparator,
     MAX_SEQUENCE,
+    TYPE_DELETION,
+    TYPE_VALUE,
     encode_internal_key,
     extract_user_key,
     parse_internal_key,
 )
 from repro.lsm.iterator import merging_iterator
 from repro.lsm.memtable import MemTable
-from repro.lsm.options import L0_STOP_TRIGGER, NUM_LEVELS, Options
+from repro.lsm.options import (
+    L0_SLOWDOWN_TRIGGER,
+    L0_STOP_TRIGGER,
+    NUM_LEVELS,
+    Options,
+)
 from repro.lsm.sstable import TableBuilder, TableReader
 from repro.lsm.version import (
     CompactionSpec,
@@ -153,6 +174,15 @@ class LsmDB:
     tracer:
         A :class:`repro.obs.Tracer` for flush/compaction spans; defaults
         to the installed tracer, else a no-op.
+    background_compaction:
+        Run flushes and merge compactions on background threads via a
+        :class:`repro.host.driver.CompactionDriver`; the write path then
+        throttles (L0 slowdown/stop) instead of maintaining inline.
+        Mutually exclusive with inline ``auto_compact`` maintenance.
+    num_units:
+        Number of concurrent compaction workers (the paper's Compaction
+        Units) and the bound of the driver's task queue.  Only meaningful
+        with ``background_compaction=True``.
     """
 
     def __init__(self, dbname: str = "db", options: Optional[Options] = None,
@@ -160,7 +190,9 @@ class LsmDB:
                  compaction_executor: Optional[CompactionExecutor] = None,
                  auto_compact: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
-                 tracer=None):
+                 tracer=None,
+                 background_compaction: bool = False,
+                 num_units: int = 1):
         self.options = options or Options()
         self.env = env or MemEnv()
         self.dbname = dbname
@@ -188,10 +220,27 @@ class LsmDB:
         self._log_number = 0
         self.stall_events = 0
         self.stats = DbStats(self._m)
+        #: Re-entrant so the synchronous mode's inline maintenance can
+        #: nest public calls; the background workers never re-enter.
+        self._mutex = threading.RLock()
+        self._cond = threading.Condition(self._mutex)
+        #: Live snapshot sequences → refcount (satellite: snapshot
+        #: registry; compaction consults ``min``).
+        self._snapshots: dict[int, int] = {}
+        #: First unrecoverable background failure; surfaced to writers.
+        self._bg_error: Optional[BaseException] = None
+        #: Per-write sleep applied once when L0 crosses the slowdown
+        #: trigger (LevelDB uses 1ms; kept short for tests).
+        self.slowdown_sleep_seconds = 0.001
 
         self.env.create_dir(dbname)
         self._recover()
         self._new_log()
+
+        self._driver = None
+        if background_compaction:
+            from repro.host.driver import CompactionDriver
+            self._driver = CompactionDriver(self, num_units=num_units)
 
     # ------------------------------------------------------------------
     # Recovery & manifest
@@ -311,39 +360,156 @@ class LsmDB:
         batch.delete(key)
         self.write(batch)
 
+    def _check_bg_error(self) -> None:
+        if self._bg_error is not None:
+            raise DBStateError(
+                f"background maintenance failed: {self._bg_error!r}"
+            ) from self._bg_error
+
+    def _set_background_error(self, error: BaseException) -> None:
+        """Record the first background failure (mutex held) and wake any
+        throttled writers so they surface it instead of hanging."""
+        if self._bg_error is None:
+            self._bg_error = error
+        self._cond.notify_all()
+
     def write(self, batch: WriteBatch) -> None:
         """Commit a batch: WAL append, then memtable insert."""
         self._check_open()
         if not len(batch):
             return
-        sequence = self.versions.last_sequence + 1
-        self._c["writes"].inc(len(batch))
-        self._c["write_bytes"].inc(batch.byte_size())
-        self._log.add_record(batch.serialize(sequence))
-        next_seq = batch.apply_to_memtable(self._mem, sequence)
-        self.versions.last_sequence = next_seq - 1
-        if self.auto_compact:
-            self._maybe_maintain()
+        with self._mutex:
+            if self._driver is not None:
+                self._check_bg_error()
+                self._make_room_for_write()
+            sequence = self.versions.last_sequence + 1
+            self._c["writes"].inc(len(batch))
+            self._c["write_bytes"].inc(batch.byte_size())
+            self._log.add_record(batch.serialize(sequence))
+            next_seq = batch.apply_to_memtable(self._mem, sequence)
+            self.versions.last_sequence = next_seq - 1
+            if self._driver is not None:
+                if self.versions.needs_compaction():
+                    self._driver.kick()
+            elif self.auto_compact:
+                self._maybe_maintain()
+
+    def _make_room_for_write(self) -> None:
+        """LevelDB's ``MakeRoomForWrite``: real throttling for the
+        background mode (mutex held).
+
+        * L0 at the slowdown trigger → sleep once per write (gentle
+          backpressure that lets the compaction units gain ground);
+        * memtable full but the previous one still flushing → wait;
+        * memtable full and L0 at the stop trigger → block until an L0
+          compaction lands (counted as a stall, duration → histogram);
+        * otherwise swap the memtable and hand it to the flush worker.
+        """
+        allow_delay = True
+        while True:
+            self._check_bg_error()
+            mem_full = (self._mem.approximate_memory_usage
+                        >= self.options.write_buffer_size)
+            l0_files = self.versions.current.num_files(0)
+            if not mem_full:
+                if allow_delay and l0_files >= L0_SLOWDOWN_TRIGGER:
+                    allow_delay = False
+                    self._driver.kick()
+                    self._cond.wait(timeout=self.slowdown_sleep_seconds)
+                    continue
+                return
+            if self._imm is not None:
+                self._stall_until(
+                    lambda: self._imm is None,
+                    kick=self._driver.kick_flush, reason="imm_full")
+                continue
+            if l0_files >= L0_STOP_TRIGGER:
+                self._stall_until(
+                    lambda: (self.versions.current.num_files(0)
+                             < L0_STOP_TRIGGER),
+                    kick=lambda: self._driver.kick(level=0),
+                    reason="l0_stop")
+                continue
+            self._swap_memtable_locked()
+            return
+
+    def _stall_until(self, predicate, kick, reason: str) -> None:
+        """Block the writer until ``predicate`` holds (mutex held); the
+        whole episode is one stall observation."""
+        self.stall_events += 1
+        self._c["stalls"].inc()
+        start = time.perf_counter()
+        with self.tracer.span("write.stall", db=self.dbname, reason=reason):
+            while (not predicate() and self._bg_error is None
+                   and not self._closed):
+                kick()
+                self._cond.wait(timeout=0.05)
+        self._m.stall_seconds.observe(time.perf_counter() - start)
+        self._check_bg_error()
+
+    def _swap_memtable_locked(self) -> None:
+        """Make the active memtable immutable, rotate the WAL, and queue
+        the flush (mutex held, ``_imm`` must be empty)."""
+        self._imm = self._mem
+        self._mem = MemTable(self.icmp)
+        # New writes land in a fresh log; the old segment is retired only
+        # after the immutable memtable reaches level 0.
+        self._new_log()
+        self._driver.kick_flush()
 
     def _maybe_maintain(self) -> None:
+        """Inline maintenance for the synchronous mode.  Every episode
+        that does work blocks the foreground write, so its duration feeds
+        the same stall histogram the background mode's waits do — that is
+        the sync-vs-background comparison the driver bench reports."""
+        did_work = False
+        start = time.perf_counter()
         if (self._mem.approximate_memory_usage
                 >= self.options.write_buffer_size):
             if self.versions.current.num_files(0) >= L0_STOP_TRIGGER:
                 # Real LevelDB blocks the writer here; inline we count the
-                # event and compact before proceeding.
+                # event and clear level 0 specifically before proceeding
+                # (a generic pick could choose a deeper level and leave
+                # L0 over the trigger).
                 self.stall_events += 1
                 self._c["stalls"].inc()
-                self.compact_once()
+                while self.versions.current.num_files(0) >= L0_STOP_TRIGGER:
+                    spec = self.versions.pick_compaction(level=0)
+                    if spec is None:
+                        break
+                    self.run_compaction(spec)
+                did_work = True
             self._flush_memtable()
+            did_work = True
         while self.versions.needs_compaction():
             if not self.compact_once():
                 break
+            did_work = True
+        if did_work:
+            self._m.stall_seconds.observe(time.perf_counter() - start)
 
     def flush(self) -> None:
-        """Force the active memtable to a level-0 SSTable."""
+        """Force the active memtable to a level-0 SSTable.
+
+        In background mode this blocks until the flush worker has
+        installed the table (or surfaces the background error)."""
         self._check_open()
-        if len(self._mem):
-            self._flush_memtable()
+        with self._mutex:
+            if self._driver is not None:
+                if len(self._mem):
+                    while self._imm is not None and self._bg_error is None:
+                        self._driver.kick_flush()
+                        self._cond.wait(timeout=0.05)
+                    self._check_bg_error()
+                    if len(self._mem):
+                        self._swap_memtable_locked()
+                while self._imm is not None and self._bg_error is None:
+                    self._driver.kick_flush()
+                    self._cond.wait(timeout=0.05)
+                self._check_bg_error()
+                return
+            if len(self._mem):
+                self._flush_memtable()
 
     def _flush_memtable(self) -> None:
         if not len(self._mem):
@@ -351,32 +517,70 @@ class LsmDB:
         with self.tracer.span("flush", db=self.dbname) as span:
             self._imm = self._mem
             self._mem = MemTable(self.icmp)
-            number = self.versions.new_file_number()
-            name = table_file_name(self.dbname, number)
+            try:
+                self._build_imm_table(span)
+            except BaseException:
+                self._restore_imm_after_failed_flush()
+                raise
+            self._imm = None
+            self._write_manifest()
+            if self._log is not None:
+                # No active WAL during recovery replay: rotating there
+                # would retire segments that have not been replayed yet.
+                self._new_log()
+                self._retire_old_logs()
+            self._refresh_level_gauges()
+
+    def _build_imm_table(self, span) -> None:
+        """Dump ``_imm`` to a level-0 table and install it in the version
+        set.  On failure the partial table file is removed and the caller
+        restores the memtable."""
+        number = self.versions.new_file_number()
+        name = table_file_name(self.dbname, number)
+        try:
             dest = self.env.new_writable_file(name)
             builder = TableBuilder(self.options, dest, self.icmp)
             for internal_key, value in self._imm:
                 builder.add(internal_key, value)
             stats = builder.finish()
             dest.close()
-            self._c["flushes"].inc()
-            self._c["flush_bytes"].inc(stats.file_bytes)
-            span.set(table=number, bytes=stats.file_bytes)
             meta = FileMetaData(number, stats.file_bytes,
                                 builder.smallest_key, builder.largest_key)
             edit = VersionEdit()
             edit.add_file(0, meta)
             self.versions.apply(edit)
             self._open_reader(meta)
-            self._imm = None
-            self._write_manifest()
-            self._new_log()
-            # Retire WAL segments older than the new one.
-            for name in list(self.env.list_dir(self.dbname)):
-                log_num = parse_log_number(name)
-                if log_num is not None and log_num < self._log_number:
-                    self.env.delete_file(f"{self.dbname}/{name}")
-            self._refresh_level_gauges()
+        except BaseException:
+            if self.env.file_exists(name):
+                self.env.delete_file(name)
+            raise
+        self._c["flushes"].inc()
+        self._c["flush_bytes"].inc(stats.file_bytes)
+        span.set(table=number, bytes=stats.file_bytes)
+
+    def _restore_imm_after_failed_flush(self) -> None:
+        """A failed flush must not strand writes: fold whatever reached
+        the fresh active memtable back on top of the immutable one and
+        reinstate it as ``_mem``, so every committed write stays readable
+        and re-flushable (the WAL segment also still holds them)."""
+        restored = self._imm
+        if restored is None:
+            return
+        for internal_key, value in self._mem:
+            parsed = parse_internal_key(internal_key)
+            restored.add(parsed.sequence,
+                         TYPE_DELETION if parsed.is_deletion else TYPE_VALUE,
+                         extract_user_key(internal_key), value)
+        self._mem = restored
+        self._imm = None
+
+    def _retire_old_logs(self) -> None:
+        """Delete WAL segments older than the active one (their contents
+        are durable in level-0 tables now)."""
+        for name in list(self.env.list_dir(self.dbname)):
+            log_num = parse_log_number(name)
+            if log_num is not None and log_num < self._log_number:
+                self.env.delete_file(f"{self.dbname}/{name}")
 
     # ------------------------------------------------------------------
     # Compaction
@@ -401,9 +605,10 @@ class LsmDB:
         """Pick and execute one merge compaction; returns False when no
         compaction is due."""
         self._check_open()
-        with self.tracer.span("compaction.pick", db=self.dbname) as span:
-            spec = self.versions.pick_compaction()
-            span.set(picked=spec is not None)
+        with self._mutex:
+            with self.tracer.span("compaction.pick", db=self.dbname) as span:
+                spec = self.versions.pick_compaction()
+                span.set(picked=spec is not None)
         if spec is None:
             return False
         self.run_compaction(spec)
@@ -411,7 +616,13 @@ class LsmDB:
 
     def run_compaction(self, spec: CompactionSpec) -> list[FileMetaData]:
         """Execute ``spec`` through the configured executor and install
-        the result."""
+        the result.
+
+        The merge itself runs outside the DB mutex (so ``num_units``
+        background workers overlap with the write path and each other);
+        reader capture before and version-edit install after both hold
+        it.  Callers in background mode must guarantee the spec's files
+        are not concurrently compacted (the driver's busy-set does)."""
         with self.tracer.span("compaction", db=self.dbname,
                               level=spec.level,
                               output_level=spec.output_level,
@@ -420,52 +631,140 @@ class LsmDB:
 
     def _run_compaction(self, spec: CompactionSpec,
                         span) -> list[FileMetaData]:
-        input_tables = [self._open_reader(m) for m in spec.inputs]
-        parent_tables = [self._open_reader(m) for m in spec.parents]
-        if spec.level == 0:
-            # Newest-first so the merge meets newer versions first (the
-            # internal-key order already guarantees it; this keeps the
-            # tie-break rule aligned anyway).
-            pairs = sorted(zip(spec.inputs, input_tables),
-                           key=lambda p: p[0].number, reverse=True)
-            input_tables = [t for _, t in pairs]
-        drop = self.versions.is_bottommost_level_for(spec)
-        outputs = self._executor(spec, input_tables, parent_tables, drop)
-        output_bytes = sum(len(o.data) for o in outputs)
-        self._c["compactions"].inc()
-        self._c["compaction_input_bytes"].inc(spec.total_input_bytes)
-        self._c["compaction_output_bytes"].inc(output_bytes)
-        span.set(output_bytes=output_bytes, output_tables=len(outputs))
-        with self.tracer.span("compaction.install"):
-            edit = VersionEdit()
-            for meta in spec.inputs:
-                edit.delete_file(spec.level, meta.number)
-            for meta in spec.parents:
-                edit.delete_file(spec.output_level, meta.number)
-            new_metas: list[FileMetaData] = []
-            for output in outputs:
-                number = self.versions.new_file_number()
-                name = table_file_name(self.dbname, number)
-                dest = self.env.new_writable_file(name)
-                dest.append(output.data)
-                dest.close()
-                meta = FileMetaData(number, len(output.data),
-                                    output.smallest, output.largest)
-                edit.add_file(spec.output_level, meta)
-                new_metas.append(meta)
-            self.versions.apply(edit)
-            for meta in new_metas:
-                self._open_reader(meta)
-            for old in spec.inputs + spec.parents:
-                self._readers.pop(old.number, None)
-                self.env.delete_file(table_file_name(self.dbname, old.number))
-            self._write_manifest()
-        self._refresh_level_gauges()
+        with self._mutex:
+            input_tables = [self._open_reader(m) for m in spec.inputs]
+            parent_tables = [self._open_reader(m) for m in spec.parents]
+            if spec.level == 0:
+                # Newest-first so the merge meets newer versions first
+                # (the internal-key order already guarantees it; this
+                # keeps the tie-break rule aligned anyway).
+                pairs = sorted(zip(spec.inputs, input_tables),
+                               key=lambda p: p[0].number, reverse=True)
+                input_tables = [t for _, t in pairs]
+            drop = self.versions.is_bottommost_level_for(spec)
+            smallest_snapshot = self._smallest_live_snapshot()
+
+        if smallest_snapshot is not None:
+            # Live snapshots: route to the snapshot-preserving CPU merge
+            # (the FPGA engine keeps only the newest version per key, so
+            # offloading here could drop versions a snapshot still needs).
+            outputs = self._snapshot_merge(
+                spec, input_tables, parent_tables, drop, smallest_snapshot)
+            span.set(snapshot_merge=True,
+                     smallest_snapshot=smallest_snapshot)
+        else:
+            outputs = self._executor(spec, input_tables, parent_tables, drop)
+
+        with self._mutex:
+            output_bytes = sum(len(o.data) for o in outputs)
+            self._c["compactions"].inc()
+            self._c["compaction_input_bytes"].inc(spec.total_input_bytes)
+            self._c["compaction_output_bytes"].inc(output_bytes)
+            span.set(output_bytes=output_bytes, output_tables=len(outputs))
+            with self.tracer.span("compaction.install"):
+                edit = VersionEdit()
+                for meta in spec.inputs:
+                    edit.delete_file(spec.level, meta.number)
+                for meta in spec.parents:
+                    edit.delete_file(spec.output_level, meta.number)
+                new_metas: list[FileMetaData] = []
+                for output in outputs:
+                    number = self.versions.new_file_number()
+                    name = table_file_name(self.dbname, number)
+                    dest = self.env.new_writable_file(name)
+                    dest.append(output.data)
+                    dest.close()
+                    meta = FileMetaData(number, len(output.data),
+                                        output.smallest, output.largest)
+                    edit.add_file(spec.output_level, meta)
+                    new_metas.append(meta)
+                self.versions.apply(edit)
+                for meta in new_metas:
+                    self._open_reader(meta)
+                for old in spec.inputs + spec.parents:
+                    self._readers.pop(old.number, None)
+                    self.env.delete_file(
+                        table_file_name(self.dbname, old.number))
+                self._write_manifest()
+            self._refresh_level_gauges()
+            self._cond.notify_all()
         return new_metas
 
+    def _snapshot_merge(self, spec: CompactionSpec, input_tables: list,
+                        parent_tables: list, drop_deletions: bool,
+                        smallest_snapshot: int) -> list[OutputTable]:
+        """CPU merge that keeps, per user key, the newest version at or
+        below every live snapshot (LevelDB's ``last_sequence_for_key``
+        rule)."""
+        self._m.snapshot_merges.inc()
+        sources = make_compaction_sources(spec.level, input_tables,
+                                          parent_tables)
+        stats = compact(sources, self.options, self.icmp, drop_deletions,
+                        smallest_snapshot=smallest_snapshot)
+        return stats.outputs
+
+    def _background_flush(self) -> None:
+        """Flush worker entry point: dump ``_imm`` to a level-0 table.
+
+        The table build runs *without* the mutex (``_imm`` is immutable
+        by construction), so foreground writes proceed into the fresh
+        memtable meanwhile; only the version-edit install takes the lock.
+        On failure ``_imm`` stays set — its writes remain readable and
+        its WAL segment is retained — and the driver records the error.
+        """
+        with self._mutex:
+            imm = self._imm
+            if imm is None or self._closed:
+                return
+            number = self.versions.new_file_number()
+        with self.tracer.span("flush", db=self.dbname) as span:
+            name = table_file_name(self.dbname, number)
+            try:
+                dest = self.env.new_writable_file(name)
+                builder = TableBuilder(self.options, dest, self.icmp)
+                for internal_key, value in imm:
+                    builder.add(internal_key, value)
+                stats = builder.finish()
+                dest.close()
+            except BaseException:
+                if self.env.file_exists(name):
+                    self.env.delete_file(name)
+                raise
+            with self._mutex:
+                meta = FileMetaData(number, stats.file_bytes,
+                                    builder.smallest_key,
+                                    builder.largest_key)
+                edit = VersionEdit()
+                edit.add_file(0, meta)
+                self.versions.apply(edit)
+                self._open_reader(meta)
+                self._c["flushes"].inc()
+                self._c["flush_bytes"].inc(stats.file_bytes)
+                span.set(table=number, bytes=stats.file_bytes)
+                self._imm = None
+                self._write_manifest()
+                self._retire_old_logs()
+                self._refresh_level_gauges()
+                self._cond.notify_all()
+        if self.versions.needs_compaction():
+            self._driver.kick()
+
     def compact_range(self) -> None:
-        """Compact until no level is over budget (full maintenance)."""
+        """Compact until no level is over budget (full maintenance).
+
+        In background mode this drains the driver: it keeps kicking and
+        waiting until no compaction is due and all workers are idle."""
         self.flush()
+        if self._driver is not None:
+            with self._mutex:
+                while self._bg_error is None:
+                    if (not self.versions.needs_compaction()
+                            and self._driver.idle()):
+                        break
+                    self._driver.kick()
+                    self._cond.wait(timeout=0.05)
+                self._check_bg_error()
+            return
         while self.versions.needs_compaction():
             if not self.compact_once():
                 break
@@ -477,14 +776,38 @@ class LsmDB:
     def snapshot(self) -> "Snapshot":
         """Capture a read view at the current sequence number.
 
-        Later writes (and compactions of *newer* versions) do not affect
-        reads through the snapshot.  Note: like LevelDB without an
-        explicit snapshot registry, compaction may garbage-collect
-        versions older than the newest one — hold snapshots only across
-        read-only windows, or disable ``auto_compact``.
+        The snapshot is registered with the database: as long as it is
+        live, compaction keeps — for every user key — the newest version
+        at or below its sequence, so reads through the snapshot stay
+        correct across flushes and compactions (LevelDB's
+        ``last_sequence_for_key`` rule).  Release it with
+        :meth:`Snapshot.close` (or use it as a context manager) so
+        compaction can reclaim the old versions again.
         """
         self._check_open()
-        return Snapshot(self, self.versions.last_sequence)
+        with self._mutex:
+            sequence = self.versions.last_sequence
+            self._snapshots[sequence] = self._snapshots.get(sequence, 0) + 1
+            self._m.snapshots_live.set(sum(self._snapshots.values()))
+            return Snapshot(self, sequence)
+
+    def release_snapshot(self, snapshot: "Snapshot") -> None:
+        """Unregister ``snapshot``; idempotent."""
+        snapshot._check_owner(self)
+        with self._mutex:
+            if snapshot._released:
+                return
+            snapshot._released = True
+            count = self._snapshots.get(snapshot.sequence, 0)
+            if count <= 1:
+                self._snapshots.pop(snapshot.sequence, None)
+            else:
+                self._snapshots[snapshot.sequence] = count - 1
+            self._m.snapshots_live.set(sum(self._snapshots.values()))
+
+    def _smallest_live_snapshot(self) -> Optional[int]:
+        """Sequence of the oldest live snapshot (mutex held), or None."""
+        return min(self._snapshots) if self._snapshots else None
 
     def get(self, key: bytes, snapshot: "Snapshot | None" = None) -> bytes:
         """Return the value of ``key`` (newest, or as of ``snapshot``).
@@ -494,10 +817,10 @@ class LsmDB:
         self._check_open()
         if snapshot is not None:
             snapshot._check_owner(self)
-            sequence = snapshot.sequence
-        else:
-            sequence = self.versions.last_sequence
-        return self._get_at(key, sequence)
+        with self._mutex:
+            sequence = (snapshot.sequence if snapshot is not None
+                        else self.versions.last_sequence)
+            return self._get_at(key, sequence)
 
     def _get_at(self, key: bytes, snapshot: int) -> bytes:
         self._c["reads"].inc()
@@ -546,10 +869,6 @@ class LsmDB:
         self._check_open()
         if snapshot is not None:
             snapshot._check_owner(self)
-            visible_sequence = snapshot.sequence
-        else:
-            visible_sequence = self.versions.last_sequence
-        sources = []
         lookup = (encode_internal_key(start, MAX_SEQUENCE, 0x1)
                   if start is not None else None)
 
@@ -560,21 +879,34 @@ class LsmDB:
                     continue
                 yield internal_key, value
 
-        sources.append(mem_source(self._mem))
-        if self._imm is not None:
-            sources.append(mem_source(self._imm))
-        for level in range(NUM_LEVELS):
-            files = self.versions.current.files[level]
-            if level == 0:
-                ordered = sorted(files, key=lambda f: f.number, reverse=True)
+        with self._mutex:
+            visible_sequence = (snapshot.sequence if snapshot is not None
+                                else self.versions.last_sequence)
+            sources = []
+            if self._driver is not None:
+                # Background mode: the skiplist may be concurrently
+                # mutated, so snapshot the memtable contents up front.
+                # Table readers are immutable byte images, safe to keep.
+                sources.append(iter(list(mem_source(self._mem))))
+                if self._imm is not None:
+                    sources.append(iter(list(mem_source(self._imm))))
             else:
-                ordered = files
-            for meta in ordered:
-                reader = self._open_reader(meta)
-                if lookup is not None:
-                    sources.append(reader.iter_from(lookup))
+                sources.append(mem_source(self._mem))
+                if self._imm is not None:
+                    sources.append(mem_source(self._imm))
+            for level in range(NUM_LEVELS):
+                files = self.versions.current.files[level]
+                if level == 0:
+                    ordered = sorted(files, key=lambda f: f.number,
+                                     reverse=True)
                 else:
-                    sources.append(iter(reader))
+                    ordered = files
+                for meta in ordered:
+                    reader = self._open_reader(meta)
+                    if lookup is not None:
+                        sources.append(reader.iter_from(lookup))
+                    else:
+                        sources.append(iter(reader))
         user_cmp = self.options.comparator.compare
         last_user: Optional[bytes] = None
         for internal_key, value in merging_iterator(sources, self.icmp.compare):
@@ -596,12 +928,14 @@ class LsmDB:
     # ------------------------------------------------------------------
 
     def level_file_counts(self) -> list[int]:
-        return [self.versions.current.num_files(level)
-                for level in range(NUM_LEVELS)]
+        with self._mutex:
+            return [self.versions.current.num_files(level)
+                    for level in range(NUM_LEVELS)]
 
     def level_sizes(self) -> list[int]:
-        return [self.versions.current.level_bytes(level)
-                for level in range(NUM_LEVELS)]
+        with self._mutex:
+            return [self.versions.current.level_bytes(level)
+                    for level in range(NUM_LEVELS)]
 
     def _refresh_level_gauges(self) -> None:
         """Publish per-level file counts and sizes after shape changes."""
@@ -619,23 +953,24 @@ class LsmDB:
         Raises :class:`NotFoundError` for unknown properties.
         """
         self._check_open()
-        if name == "repro.stats":
-            return render_db_report(self)
-        prefix = "repro.num-files-at-level"
-        if name.startswith(prefix):
-            try:
-                level = int(name[len(prefix):])
-            except ValueError:
-                raise NotFoundError(name) from None
-            if not 0 <= level < NUM_LEVELS:
-                raise NotFoundError(name)
-            return str(self.versions.current.num_files(level))
-        if name == "repro.approximate-memory-usage":
-            usage = self._mem.approximate_memory_usage
-            if self._imm is not None:
-                usage += self._imm.approximate_memory_usage
-            return str(usage)
-        raise NotFoundError(name)
+        with self._mutex:
+            if name == "repro.stats":
+                return render_db_report(self)
+            prefix = "repro.num-files-at-level"
+            if name.startswith(prefix):
+                try:
+                    level = int(name[len(prefix):])
+                except ValueError:
+                    raise NotFoundError(name) from None
+                if not 0 <= level < NUM_LEVELS:
+                    raise NotFoundError(name)
+                return str(self.versions.current.num_files(level))
+            if name == "repro.approximate-memory-usage":
+                usage = self._mem.approximate_memory_usage
+                if self._imm is not None:
+                    usage += self._imm.approximate_memory_usage
+                return str(usage)
+            raise NotFoundError(name)
 
     def approximate_size(self, start: bytes, end: bytes) -> int:
         """Approximate on-disk bytes occupied by user keys in
@@ -650,8 +985,11 @@ class LsmDB:
         if user_cmp(start, end) >= 0:
             return 0
         total = 0
+        with self._mutex:
+            files_by_level = [list(self.versions.current.files[level])
+                              for level in range(NUM_LEVELS)]
         for level in range(NUM_LEVELS):
-            for meta in self.versions.current.files[level]:
+            for meta in files_by_level[level]:
                 file_small, file_large = meta.user_range()
                 if (user_cmp(file_large, start) < 0
                         or user_cmp(file_small, end) >= 0):
@@ -669,18 +1007,27 @@ class LsmDB:
 
     def table_reader(self, number: int) -> TableReader:
         """Open reader for file ``number`` (used by the FPGA host layer)."""
-        for level in range(NUM_LEVELS):
-            for meta in self.versions.current.files[level]:
-                if meta.number == number:
-                    return self._open_reader(meta)
+        with self._mutex:
+            for level in range(NUM_LEVELS):
+                for meta in self.versions.current.files[level]:
+                    if meta.number == number:
+                        return self._open_reader(meta)
         raise NotFoundError(f"table {number}")
 
     def close(self) -> None:
         if self._closed:
             return
-        if self._log_file is not None:
-            self._log_file.close()
-        self._closed = True
+        if self._driver is not None:
+            # Drain pending background work first (workers need the
+            # mutex, so this must run without holding it), then stop.
+            self._driver.close()
+        with self._mutex:
+            if self._closed:
+                return
+            if self._log_file is not None:
+                self._log_file.close()
+            self._closed = True
+            self._cond.notify_all()
 
     def __enter__(self) -> "LsmDB":
         return self
@@ -694,17 +1041,35 @@ class Snapshot:
 
     Carries the sequence number observed at creation; pass it to
     :meth:`LsmDB.get` / :meth:`LsmDB.scan` to read as of that point.
+    While live it pins its versions against compaction; release it with
+    :meth:`close` or by using it as a context manager.
     """
 
-    __slots__ = ("_db", "sequence")
+    __slots__ = ("_db", "sequence", "_released")
 
     def __init__(self, db: LsmDB, sequence: int):
         self._db = db
         self.sequence = sequence
+        self._released = False
+
+    def close(self) -> None:
+        """Release the snapshot's pin on old versions; idempotent."""
+        self._db.release_snapshot(self)
+
+    @property
+    def released(self) -> bool:
+        return self._released
 
     def _check_owner(self, db: LsmDB) -> None:
         if db is not self._db:
             raise DBStateError("snapshot belongs to a different database")
 
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:
-        return f"Snapshot(sequence={self.sequence})"
+        return (f"Snapshot(sequence={self.sequence}, "
+                f"released={self._released})")

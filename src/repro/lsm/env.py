@@ -14,6 +14,7 @@ WAL segments and MANIFEST files.
 from __future__ import annotations
 
 import os
+import threading
 from abc import ABC, abstractmethod
 from typing import Iterable
 
@@ -89,53 +90,66 @@ class _MemWritableFile(WritableFile):
 
 
 class MemEnv(Env):
-    """In-memory filesystem keyed by normalized path strings."""
+    """In-memory filesystem keyed by normalized path strings.
+
+    Directory-level operations (create/delete/rename/list) are guarded by
+    a lock so background flush/compaction workers can create and retire
+    files while another thread lists the directory.
+    """
 
     def __init__(self) -> None:
         self._files: dict[str, bytearray] = {}
         self._dirs: set[str] = set()
+        self._lock = threading.Lock()
 
     @staticmethod
     def _norm(name: str) -> str:
         return os.path.normpath(name)
 
     def new_writable_file(self, name: str) -> WritableFile:
-        return _MemWritableFile(self._files, self._norm(name))
+        with self._lock:
+            return _MemWritableFile(self._files, self._norm(name))
 
     def read_file(self, name: str) -> bytes:
         name = self._norm(name)
-        if name not in self._files:
-            raise NotFoundError(name)
-        return bytes(self._files[name])
+        with self._lock:
+            if name not in self._files:
+                raise NotFoundError(name)
+            return bytes(self._files[name])
 
     def file_exists(self, name: str) -> bool:
-        return self._norm(name) in self._files
+        with self._lock:
+            return self._norm(name) in self._files
 
     def file_size(self, name: str) -> int:
         name = self._norm(name)
-        if name not in self._files:
-            raise NotFoundError(name)
-        return len(self._files[name])
+        with self._lock:
+            if name not in self._files:
+                raise NotFoundError(name)
+            return len(self._files[name])
 
     def delete_file(self, name: str) -> None:
         name = self._norm(name)
-        if name not in self._files:
-            raise NotFoundError(name)
-        del self._files[name]
+        with self._lock:
+            if name not in self._files:
+                raise NotFoundError(name)
+            del self._files[name]
 
     def rename_file(self, src: str, dst: str) -> None:
         src, dst = self._norm(src), self._norm(dst)
-        if src not in self._files:
-            raise NotFoundError(src)
-        self._files[dst] = self._files.pop(src)
+        with self._lock:
+            if src not in self._files:
+                raise NotFoundError(src)
+            self._files[dst] = self._files.pop(src)
 
     def list_dir(self, path: str) -> list[str]:
         prefix = self._norm(path) + os.sep
         seen = set()
-        for name in self._files:
-            if name.startswith(prefix):
-                rest = name[len(prefix):]
-                seen.add(rest.split(os.sep, 1)[0])
+        with self._lock:
+            for name in self._files:
+                if name.startswith(prefix):
+                    rest = name[len(prefix):]
+                    seen.add(rest.split(os.sep, 1)[0])
         return sorted(seen)
 
     def create_dir(self, path: str) -> None:

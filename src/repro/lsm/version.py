@@ -206,11 +206,20 @@ class VersionSet:
         score, _ = self.compaction_score()
         return score >= 1.0
 
-    def pick_compaction(self) -> Optional["CompactionSpec"]:
-        """Choose inputs for the next merge compaction, or ``None``."""
-        score, level = self.compaction_score()
-        if score < 1.0:
-            return None
+    def pick_compaction(self, level: Optional[int] = None
+                        ) -> Optional["CompactionSpec"]:
+        """Choose inputs for the next merge compaction, or ``None``.
+
+        With ``level`` the pick is forced to that level regardless of
+        scores (the write path uses ``level=0`` to relieve an L0 stall —
+        the most urgent compaction elsewhere may not touch L0 at all).
+        """
+        if level is None:
+            score, level = self.compaction_score()
+            if score < 1.0:
+                return None
+        elif not 0 <= level < NUM_LEVELS - 1:
+            raise InvalidArgumentError(f"cannot compact level {level}")
         version = self.current
         if level == 0:
             base = list(version.files[0])

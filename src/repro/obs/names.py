@@ -47,6 +47,17 @@ FAMILIES: tuple[tuple, ...] = (
     ("lsm_write_stalls_total", "counter",
      "Writes that hit the L0 stop trigger (the paper's write pause).",
      None),
+    ("lsm_write_stall_seconds", "histogram",
+     "Foreground write-path time blocked on maintenance: inline "
+     "flush/compaction episodes in synchronous mode, waits on the "
+     "background driver (memtable handoff, L0 stop) otherwise.",
+     SECONDS_BUCKETS),
+    ("lsm_snapshots_live", "gauge",
+     "Snapshot handles currently registered (compaction preserves "
+     "versions visible to them).", None),
+    ("lsm_snapshot_merges_total", "counter",
+     "Merge compactions routed to the snapshot-preserving software "
+     "merge because live snapshots pinned old versions.", None),
     ("lsm_level_files", "gauge",
      "Live SSTable count per level.", None),
     ("lsm_level_bytes", "gauge",
@@ -67,6 +78,20 @@ FAMILIES: tuple[tuple, ...] = (
      "(marshal|pcie_in|kernel|pcie_out|software).", None),
     ("scheduler_task_input_bytes", "histogram",
      "Distribution of per-task compaction input sizes.", BYTES_BUCKETS),
+    ("scheduler_faults_total", "counter",
+     "Offload attempts that failed, by kind "
+     "(protocol|timeout|dma).", None),
+    ("scheduler_retries_total", "counter",
+     "FPGA offload attempts retried after a fault.", None),
+    ("scheduler_fallbacks_total", "counter",
+     "Offloaded tasks degraded to the software merge after the device "
+     "kept failing.", None),
+    # -- Background compaction driver (paper Fig 6's task queue) ------
+    ("driver_queue_depth", "gauge",
+     "Compaction tasks queued for the driver's units.", None),
+    ("driver_tasks_total", "counter",
+     "Tasks executed by the background driver, by kind "
+     "(flush|compaction).", None),
     # -- PCIe link (Table VIII) ---------------------------------------
     ("fpga_pcie_transfers_total", "counter",
      "DMA transfers by direction (in|out).", None),
@@ -171,6 +196,12 @@ class LsmMetrics:
         }
         self.cache_usage = _gauge(
             registry, "lsm_block_cache_usage_bytes", **self.labels)
+        self.stall_seconds = _histogram(
+            registry, "lsm_write_stall_seconds", **self.labels)
+        self.snapshots_live = _gauge(
+            registry, "lsm_snapshots_live", **self.labels)
+        self.snapshot_merges = _counter(
+            registry, "lsm_snapshot_merges_total", **self.labels)
         self._level_files: dict[int, object] = {}
         self._level_bytes: dict[int, object] = {}
 
@@ -212,6 +243,34 @@ class SchedulerMetrics:
             **self.labels) for phase in self.PHASES}
         self.task_input_bytes = _histogram(
             registry, "scheduler_task_input_bytes", **self.labels)
+        self.faults = {kind: _counter(
+            registry, "scheduler_faults_total", kind=kind, **self.labels)
+            for kind in ("protocol", "timeout", "dma")}
+        self.retries = _counter(
+            registry, "scheduler_retries_total", **self.labels)
+        self.fallbacks = _counter(
+            registry, "scheduler_fallbacks_total", **self.labels)
+
+
+class DriverMetrics:
+    """The background compaction driver's bound children."""
+
+    KINDS = ("flush", "compaction")
+
+    def __init__(self, registry: MetricsRegistry, inst: str):
+        self.registry = registry
+        self.labels = {"inst": inst}
+        self.queue_depth = _gauge(
+            registry, "driver_queue_depth", **self.labels)
+        self.tasks = {kind: _counter(
+            registry, "driver_tasks_total", kind=kind, **self.labels)
+            for kind in self.KINDS}
+
+
+def stall_histogram(registry: MetricsRegistry, **labels):
+    """Bind the write-stall duration histogram (shared by the functional
+    store and the discrete-event system simulator)."""
+    return _histogram(registry, "lsm_write_stall_seconds", **labels)
 
 
 class PcieMetrics:

@@ -62,6 +62,10 @@ class SystemConfig:
     #: compaction, the paper's §VII-C motivation for multi-input FCAE).
     compaction_style: str = "leveled"
     tier_fanout: int = 8
+    #: Concurrent Compaction Units on the card (fcae mode): each offloaded
+    #: task occupies the earliest-free unit, so tasks overlap up to this
+    #: many ways (PCIe and disk stay shared).
+    num_units: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in ("leveldb", "fcae"):
@@ -71,6 +75,8 @@ class SystemConfig:
         if self.compaction_style not in ("leveled", "tiered"):
             raise InvalidArgumentError(
                 f"unknown compaction style {self.compaction_style!r}")
+        if self.num_units < 1:
+            raise InvalidArgumentError("num_units must be >= 1")
 
 
 @dataclass
@@ -181,9 +187,15 @@ class SystemSimulator:
                                    elapsed_seconds=0.0)
         self._writer_clock = 0.0
         self._bg_clock = 0.0       # background core (baseline only)
-        self._fpga_clock = 0.0
+        # One clock per Compaction Unit; offloads take the earliest-free.
+        self._fpga_clocks = [0.0] * config.num_units
         self._flush_done = 0.0
         self._inflight: list[_Inflight] = []
+        registry = obs.current_registry()
+        self._stall_hist = None
+        if registry is not None:
+            from repro.obs.names import stall_histogram
+            self._stall_hist = stall_histogram(registry, sim=config.mode)
 
         entry_bytes = self.options.key_length + self.options.value_length
         self._entry_bytes = entry_bytes
@@ -212,6 +224,14 @@ class SystemSimulator:
         if not self._inflight:
             return None
         return min(job.finish for job in self._inflight)
+
+    def _record_stall(self, waited: float) -> None:
+        """One write-pause episode: result list + stall histogram."""
+        self.result.stall_seconds += waited
+        if waited > 0:
+            self.result.stall_waits.append(waited)
+            if self._stall_hist is not None:
+                self._stall_hist.observe(waited)
 
     # ------------------------------------------------------------------
     # Compaction execution backends
@@ -271,12 +291,14 @@ class SystemSimulator:
         pcie_out = config.pcie.transfer_seconds(task.output_bytes)
         marshal = self.cpu.offload_seconds(task.input_bytes)
 
-        start = max(now, self._fpga_clock)
+        unit = min(range(len(self._fpga_clocks)),
+                   key=self._fpga_clocks.__getitem__)
+        start = max(now, self._fpga_clocks[unit])
         read_done = self.disk.reserve_read(start, task.input_bytes)
         kernel_start = max(start + marshal, read_done) + pcie_in
         kernel_end = kernel_start + kernel
         out_ready = kernel_end + pcie_out
-        self._fpga_clock = out_ready
+        self._fpga_clocks[unit] = out_ready
         write_done = self.disk.reserve_write(out_ready, task.output_bytes)
 
         self.result.fpga_tasks += 1
@@ -284,7 +306,7 @@ class SystemSimulator:
         self.result.pcie_seconds += pcie_in + pcie_out
         finish = max(out_ready, write_done)
         obs.current_tracer().record_sim_span(
-            "sim.compaction", start, finish, route="fpga",
+            "sim.compaction", start, finish, route="fpga", unit=unit,
             level=task.level, input_bytes=task.input_bytes,
             kernel_seconds=kernel, pcie_seconds=pcie_in + pcie_out,
             marshal_seconds=marshal)
@@ -316,9 +338,7 @@ class SystemSimulator:
                     if finish is None:
                         break
                 waited = max(0.0, finish - self._writer_clock)
-                self.result.stall_seconds += waited
-                if waited > 0:
-                    self.result.stall_waits.append(waited)
+                self._record_stall(waited)
                 self._writer_clock = max(self._writer_clock, finish)
                 self._settle(self._writer_clock)
 
@@ -335,8 +355,7 @@ class SystemSimulator:
             # Swap: wait for the previous flush (one immutable memtable).
             if self._flush_done > self._writer_clock:
                 waited = self._flush_done - self._writer_clock
-                self.result.stall_seconds += waited
-                self.result.stall_waits.append(waited)
+                self._record_stall(waited)
                 self._writer_clock = self._flush_done
             self._settle(self._writer_clock)
 

@@ -78,9 +78,23 @@ class TestEviction:
     def test_entry_larger_than_capacity(self):
         cache = LRUCache(10)
         cache.put("huge", b"z" * 100)
-        # Nothing can hold it; the cache empties itself.
-        assert cache.usage <= 100  # transiently stored then evicted
-        assert len(cache) <= 1
+        # Nothing can hold it; the put is rejected outright.
+        assert cache.get("huge") is None
+        assert cache.usage == 0
+        assert len(cache) == 0
+
+    def test_oversized_put_keeps_existing_entries(self):
+        """Regression: an oversized value used to evict the whole cache
+        (and then itself) — it must leave resident entries alone."""
+        cache = LRUCache(50)
+        cache.put("a", b"x" * 20)
+        cache.put("b", b"y" * 20)
+        cache.put("huge", b"z" * 100)
+        assert cache.get("a") == b"x" * 20
+        assert cache.get("b") == b"y" * 20
+        assert cache.get("huge") is None
+        assert cache.usage == 40
+        assert len(cache) == 2
 
     def test_zero_capacity_stores_nothing(self):
         cache = LRUCache(0)
@@ -101,3 +115,34 @@ class TestCounters:
         cache.get("b")
         assert cache.hits == 2
         assert cache.misses == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get_erase(self):
+        """The cache is shared by background flush/compaction workers;
+        hammer it from several threads and check it stays consistent."""
+        import threading
+
+        cache = LRUCache(4096)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(400):
+                    k = f"k{(seed * 31 + i) % 64}"
+                    cache.put(k, bytes(32))
+                    cache.get(k)
+                    if i % 7 == 0:
+                        cache.erase(k)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert 0 <= cache.usage <= 4096
+        assert len(cache) <= 64

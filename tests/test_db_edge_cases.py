@@ -106,3 +106,62 @@ class TestAutoCompactOff:
         assert db.get(b"k00001500") == b"x" * 40  # served from memtable
         db.flush()
         assert db.level_file_counts()[0] == 1
+
+
+class FlakyEnv(MemEnv):
+    """MemEnv whose next ``new_writable_file`` calls fail on demand."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_next = 0
+
+    def new_writable_file(self, name):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            raise OSError(f"injected write failure for {name}")
+        return super().new_writable_file(name)
+
+
+class TestFlushFailure:
+    def test_failed_flush_strands_no_writes(self, options):
+        """A flush that dies mid-build must leave every committed write
+        readable and re-flushable (no data stranded in ``_imm``)."""
+        env = FlakyEnv()
+        db = LsmDB("flaky", options, env=env, auto_compact=False)
+        for i in range(200):
+            db.put(f"k{i:04d}".encode(), b"v" * 64)
+        env.fail_next = 1
+        with pytest.raises(OSError):
+            db.flush()
+        # All writes survived the failure...
+        assert db._imm is None
+        for i in range(0, 200, 13):
+            assert db.get(f"k{i:04d}".encode()) == b"v" * 64
+        assert len(dict(db.scan())) == 200
+        # ...and the retry flushes them to level 0.
+        db.flush()
+        assert db.versions.current.num_files(0) == 1
+        assert len(dict(db.scan())) == 200
+
+    def test_writes_after_failed_flush_not_lost(self, options):
+        env = FlakyEnv()
+        db = LsmDB("flaky2", options, env=env, auto_compact=False)
+        db.put(b"before", b"1")
+        env.fail_next = 1
+        with pytest.raises(OSError):
+            db.flush()
+        db.put(b"after", b"2")
+        db.flush()
+        assert db.get(b"before") == b"1"
+        assert db.get(b"after") == b"2"
+
+    def test_partial_table_file_removed(self, options):
+        env = FlakyEnv()
+        db = LsmDB("flaky3", options, env=env, auto_compact=False)
+        for i in range(50):
+            db.put(f"k{i:04d}".encode(), b"v" * 64)
+        before = set(env.list_dir("flaky3"))
+        env.fail_next = 1
+        with pytest.raises(OSError):
+            db.flush()
+        assert set(env.list_dir("flaky3")) == before

@@ -1,0 +1,331 @@
+"""Background compaction driver: concurrency, throttling, fault recovery.
+
+Covers the asynchronous write path end to end: flush/compaction workers
+installing under the DB mutex, real L0 throttling, concurrent readers
+and scanners against a writing database, and the scheduler's software
+fallback under injected device faults (no lost or duplicated keys, no
+exception ever reaching a writer).
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import DBStateError, NotFoundError
+from repro.fpga.config import CONFIG_9_INPUT
+from repro.host.device import FcaeDevice
+from repro.host.driver import CompactionDriver
+from repro.host.faults import FaultInjector
+from repro.host.scheduler import CompactionScheduler
+from repro.lsm.db import LsmDB
+from repro.lsm.env import MemEnv
+from repro.lsm.options import L0_STOP_TRIGGER, Options
+from repro.obs.registry import MetricsRegistry
+
+
+def small_options(**overrides):
+    base = dict(write_buffer_size=8 * 1024, sstable_size=8 * 1024,
+                max_level0_size=32 * 1024, compression="none",
+                value_length=64, bloom_bits_per_key=0)
+    base.update(overrides)
+    return Options(**base)
+
+
+def make_bg_db(name, num_units=1, **kwargs):
+    return LsmDB(name, small_options(), env=MemEnv(),
+                 metrics=MetricsRegistry(),
+                 background_compaction=True, num_units=num_units, **kwargs)
+
+
+def family_total(registry, name, **match):
+    """Sum a family's children whose labels contain ``match``."""
+    total = 0.0
+    for family in registry.collect():
+        if family.name != name:
+            continue
+        for child in family.children.values():
+            labels = dict(child.labels)
+            if all(labels.get(k) == v for k, v in match.items()):
+                total += child.value
+    return total
+
+
+def key(i):
+    return f"key{i:08d}".encode()
+
+
+def value(i):
+    return f"val{i:04d}".encode() * 8
+
+
+class TestBackgroundBasics:
+    @pytest.mark.parametrize("num_units", [1, 2],
+                             ids=["units1", "units2"])
+    def test_fillrandom_complete_and_sorted(self, num_units):
+        with make_bg_db("bg-basic", num_units) as db:
+            n = 1200
+            for i in range(n):
+                db.put(key(i * 37 % n), value(i * 37 % n))
+            db.compact_range()
+            scanned = list(db.scan())
+            assert len(scanned) == n
+            assert [k for k, _ in scanned] == sorted(k for k, _ in scanned)
+            for i in range(0, n, 97):
+                assert db.get(key(i)) == value(i)
+
+    def test_driver_metrics_and_stalls(self):
+        with make_bg_db("bg-metrics") as db:
+            for i in range(1500):
+                db.put(key(i), value(i))
+            db.compact_range()
+            assert family_total(db.metrics, "driver_tasks_total",
+                                kind="flush") > 0
+            assert family_total(db.metrics, "driver_tasks_total",
+                                kind="compaction") > 0
+            assert db.stats.flushes > 0
+            assert db.stats.compactions > 0
+            # Stall episodes (imm backlog / L0 stop) land in the
+            # histogram, one observation per episode.
+            assert db._m.stall_seconds.count == db.stall_events
+
+    def test_flush_blocks_until_installed(self):
+        with make_bg_db("bg-flush") as db:
+            for i in range(100):
+                db.put(key(i), value(i))
+            db.flush()
+            assert db._imm is None
+            assert db.versions.current.num_files(0) >= 1
+
+    def test_close_drains_pending_work(self):
+        db = make_bg_db("bg-close")
+        for i in range(800):
+            db.put(key(i), value(i))
+        db.close()
+        assert db._imm is None
+        with pytest.raises(DBStateError):
+            db.put(b"late", b"x")
+
+    def test_num_units_validation(self):
+        with pytest.raises(ValueError):
+            CompactionDriver(object(), num_units=0)
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("num_units", [1, 2],
+                             ids=["units1", "units2"])
+    def test_concurrent_put_get_scan(self, num_units):
+        db = make_bg_db("bg-conc", num_units)
+        n = 1500
+        errors = []
+        done = threading.Event()
+
+        def writer():
+            try:
+                for i in range(n):
+                    db.put(key(i), value(i))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+            finally:
+                done.set()
+
+        def reader():
+            try:
+                while not done.is_set():
+                    for i in range(0, n, 61):
+                        try:
+                            assert db.get(key(i)) == value(i)
+                        except NotFoundError:
+                            pass  # not written yet
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        def scanner():
+            try:
+                while not done.is_set():
+                    seen = [k for k, _ in db.scan()]
+                    assert seen == sorted(seen)
+                    assert len(seen) == len(set(seen))
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=scanner)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert errors == []
+        db.compact_range()
+        assert len(list(db.scan())) == n
+        for i in range(0, n, 41):
+            assert db.get(key(i)) == value(i)
+        db.close()
+
+    def test_scan_during_write_is_snapshot_consistent(self):
+        db = make_bg_db("bg-scan", num_units=2)
+        for i in range(400):
+            db.put(key(i), value(i))
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 400
+            while not stop.is_set():
+                db.put(key(i % 2000), value(i % 2000))
+                i += 1
+
+        def scanner():
+            try:
+                for _ in range(20):
+                    seen = list(db.scan(start=key(0), end=key(2000)))
+                    keys = [k for k, _ in seen]
+                    assert keys == sorted(keys)
+                    assert len(keys) == len(set(keys))
+                    # Everything loaded before the writer started must
+                    # stay visible in every scan.
+                    assert set(key(i) for i in range(400)) <= set(keys)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+            finally:
+                stop.set()
+
+        w = threading.Thread(target=writer)
+        s = threading.Thread(target=scanner)
+        w.start()
+        s.start()
+        s.join(timeout=120)
+        stop.set()
+        w.join(timeout=120)
+        assert errors == []
+        db.close()
+
+
+class TestThrottling:
+    def test_l0_stop_trigger_blocks_then_recovers(self):
+        """Drive L0 over the stop trigger with compactions disabled, then
+        let the driver relieve it: the writer must have stalled (counted
+        + histogram) and L0 must drop below the trigger."""
+        db = make_bg_db("bg-stop")
+        try:
+            # Stall the units by keeping the task queue unpicked: pause
+            # via monkeypatched pick returning None until released.
+            real_pick = db._driver._pick_locked
+            db._driver._pick_locked = lambda hint: None
+            for i in range(4000):
+                db.put(key(i), value(i))
+                if db.versions.current.num_files(0) >= L0_STOP_TRIGGER:
+                    break
+            assert db.versions.current.num_files(0) >= L0_STOP_TRIGGER
+            db._driver._pick_locked = real_pick
+            # The next memtable-filling writes hit the stop path, block,
+            # and resume once an L0 compaction lands.
+            for i in range(4000, 5200):
+                db.put(key(i), value(i))
+            assert db.stall_events > 0
+            assert db._m.stall_seconds.count > 0
+            db.compact_range()
+            assert db.versions.current.num_files(0) < L0_STOP_TRIGGER
+        finally:
+            db.close()
+
+
+class TestFaultInjection:
+    def _load(self, db, n):
+        for i in range(n):
+            db.put(key(i), value(i))
+        db.compact_range()
+
+    def test_every_nth_fpga_task_fails_no_lost_keys(self):
+        """Every 2nd offload raises; with retries disabled each fault
+        becomes one software fallback.  The resulting key space must be
+        identical to a software-only database and no exception may reach
+        a writer."""
+        n = 1800
+        options = small_options()
+
+        software = LsmDB("sw-ref", options, env=MemEnv(),
+                         metrics=MetricsRegistry(),
+                         background_compaction=True)
+        self._load(software, n)
+        reference = list(software.scan())
+        software.close()
+
+        injector = FaultInjector(protocol_error_every=2)
+        registry = MetricsRegistry()
+        device = FcaeDevice(CONFIG_9_INPUT, options, metrics=registry,
+                            fault_injector=injector)
+        scheduler = CompactionScheduler(device, options, metrics=registry,
+                                        max_retries=0)
+        faulty = LsmDB("fpga-faulty", options, env=MemEnv(),
+                       metrics=registry, compaction_executor=scheduler,
+                       background_compaction=True)
+        self._load(faulty, n)
+        result = list(faulty.scan())
+
+        assert result == reference
+        assert injector.injected_faults > 0
+        assert scheduler.stats.fpga_fallbacks == injector.injected_faults
+        assert scheduler.stats.fpga_faults == injector.injected_faults
+        assert family_total(registry, "scheduler_fallbacks_total") \
+            == injector.injected_faults
+        faulty.close()
+
+    def test_retries_absorb_periodic_faults(self):
+        """With one retry, an every-3rd-task fault schedule never needs
+        the software fallback (the retry is a new device task)."""
+        options = small_options()
+        injector = FaultInjector(timeout_every=3)
+        registry = MetricsRegistry()
+        device = FcaeDevice(CONFIG_9_INPUT, options, metrics=registry,
+                            fault_injector=injector)
+        scheduler = CompactionScheduler(device, options, metrics=registry,
+                                        max_retries=1)
+        db = LsmDB("fpga-retry", options, env=MemEnv(), metrics=registry,
+                   compaction_executor=scheduler,
+                   background_compaction=True)
+        self._load(db, 1200)
+        assert injector.injected_faults > 0
+        assert scheduler.stats.fpga_retries == injector.injected_faults
+        assert scheduler.stats.fpga_fallbacks == 0
+        assert len(list(db.scan())) == 1200
+        db.close()
+
+    def test_unrecoverable_failure_surfaces_as_db_error(self):
+        """A non-device error in the executor must park the DB in a
+        failed state (writers raise DBStateError), not hang or vanish."""
+        def broken_executor(spec, inputs, parents, drop):
+            raise RuntimeError("boom")
+
+        db = LsmDB("bg-broken", small_options(), env=MemEnv(),
+                   metrics=MetricsRegistry(),
+                   compaction_executor=broken_executor,
+                   background_compaction=True)
+        with pytest.raises(DBStateError):
+            for i in range(20_000):
+                db.put(key(i), value(i))
+        db.close()
+
+
+class TestStallComparison:
+    def test_background_stall_time_below_synchronous(self):
+        """The tentpole's headline: the same workload stalls the write
+        path strictly less with background compaction than with inline
+        maintenance."""
+        n = 2500
+
+        def run(**kwargs):
+            db = LsmDB("stall-cmp", small_options(), env=MemEnv(),
+                       metrics=MetricsRegistry(), **kwargs)
+            for i in range(n):
+                db.put(key(i), value(i))
+            stalled = db._m.stall_seconds.sum
+            count = db._m.stall_seconds.count
+            db.compact_range()
+            db.close()
+            return stalled, count
+
+        sync_stall, sync_count = run(auto_compact=True)
+        bg_stall, _bg_count = run(background_compaction=True, num_units=2)
+        assert sync_count > 0
+        assert bg_stall < sync_stall

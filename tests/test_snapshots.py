@@ -96,3 +96,133 @@ class TestSnapshotWithRange:
         db.put(b"x", b"1")
         second = db.snapshot()
         assert second.sequence > first.sequence
+
+
+class TestSnapshotRegistry:
+    def test_release_is_idempotent(self, db):
+        snap = db.snapshot()
+        assert not snap.released
+        snap.close()
+        assert snap.released
+        snap.close()  # no-op
+        assert db._smallest_live_snapshot() is None
+
+    def test_context_manager_releases(self, db):
+        db.put(b"k", b"v")
+        with db.snapshot() as snap:
+            assert db._smallest_live_snapshot() == snap.sequence
+        assert snap.released
+        assert db._smallest_live_snapshot() is None
+
+    def test_refcounted_same_sequence(self, db):
+        db.put(b"k", b"v")
+        first = db.snapshot()
+        second = db.snapshot()
+        assert first.sequence == second.sequence
+        first.close()
+        assert db._smallest_live_snapshot() == second.sequence
+        second.close()
+        assert db._smallest_live_snapshot() is None
+
+    def test_smallest_wins(self, db):
+        old = db.snapshot()
+        db.put(b"x", b"1")
+        new = db.snapshot()
+        assert db._smallest_live_snapshot() == old.sequence
+        old.close()
+        assert db._smallest_live_snapshot() == new.sequence
+        new.close()
+
+    def test_live_gauge(self, db):
+        a = db.snapshot()
+        b = db.snapshot()
+        assert db._m.snapshots_live.value == 2
+        a.close()
+        b.close()
+        assert db._m.snapshots_live.value == 0
+
+
+class TestSnapshotCompaction:
+    """Compaction must keep, per user key, the newest version at or
+    below every live snapshot (the removed 'read-only windows' caveat)."""
+
+    def _churn(self, db, rounds, payload):
+        for r in range(rounds):
+            for i in range(60):
+                db.put(f"k{i:03d}".encode(), payload(r, i))
+            db.flush()
+
+    def test_snapshot_survives_full_compaction(self, db):
+        for i in range(60):
+            db.put(f"k{i:03d}".encode(), b"old")
+        snap = db.snapshot()
+        self._churn(db, 4, lambda r, i: f"new{r}".encode())
+        db.compact_range()
+        assert db._m.snapshot_merges.value > 0
+        for i in range(60):
+            key = f"k{i:03d}".encode()
+            assert db.get(key, snapshot=snap) == b"old"
+            assert db.get(key) == b"new3"
+        snap.close()
+
+    def test_delete_under_snapshot_survives_compaction(self, db):
+        db.put(b"doomed", b"precious")
+        snap = db.snapshot()
+        db.delete(b"doomed")
+        self._churn(db, 3, lambda r, i: bytes(8))
+        db.compact_range()
+        assert db.get(b"doomed", snapshot=snap) == b"precious"
+        with pytest.raises(NotFoundError):
+            db.get(b"doomed")
+        snap.close()
+
+    def test_scan_at_snapshot_after_compaction(self, db):
+        for i in range(40):
+            db.put(f"k{i:03d}".encode(), b"v1")
+        snap = db.snapshot()
+        for i in range(40):
+            if i % 2:
+                db.delete(f"k{i:03d}".encode())
+            else:
+                db.put(f"k{i:03d}".encode(), b"v2")
+        db.compact_range()
+        then = dict(db.scan(snapshot=snap))
+        assert then == {f"k{i:03d}".encode(): b"v1" for i in range(40)}
+        now = dict(db.scan())
+        assert now == {f"k{i:03d}".encode(): b"v2"
+                       for i in range(0, 40, 2)}
+        snap.close()
+
+    def test_released_snapshot_lets_compaction_collect(self, db):
+        for i in range(60):
+            db.put(f"k{i:03d}".encode(), b"old")
+        snap = db.snapshot()
+        snap.close()
+        self._churn(db, 3, lambda r, i: b"new")
+        db.compact_range()
+        # No live snapshot: the newest-only merge ran, not the
+        # snapshot-preserving one.
+        assert db._m.snapshot_merges.value == 0
+
+    def test_snapshot_under_background_compaction(self, options):
+        from repro.obs.registry import MetricsRegistry
+
+        db = LsmDB("snap-bg", options, env=MemEnv(),
+                   metrics=MetricsRegistry(),
+                   background_compaction=True)
+        try:
+            for i in range(300):
+                db.put(f"k{i:04d}".encode(), b"old" * 8)
+            snap = db.snapshot()
+            for round_ in range(4):
+                for i in range(300):
+                    db.put(f"k{i:04d}".encode(),
+                           f"new{round_}".encode() * 8)
+            db.compact_range()
+            for i in range(0, 300, 23):
+                key = f"k{i:04d}".encode()
+                assert db.get(key, snapshot=snap) == b"old" * 8
+                assert db.get(key) == b"new3" * 8
+            snap.close()
+        finally:
+            db.close()

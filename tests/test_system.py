@@ -154,3 +154,28 @@ class TestYcsb:
     def test_all_workloads_non_regressing(self):
         for name in ("load", "a", "b", "c", "d", "e", "f"):
             assert self._speedup(name) >= 0.99, name
+
+
+class TestCompactionUnits:
+    def test_bad_num_units_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            SystemConfig(num_units=0)
+
+    def test_more_units_never_slower(self):
+        options = Options(value_length=512)
+        one = simulate_fillrandom(fcae_config(options, data=GB // 8,
+                                              num_units=1))
+        two = simulate_fillrandom(fcae_config(options, data=GB // 8,
+                                              num_units=2))
+        assert two.elapsed_seconds <= one.elapsed_seconds * 1.001
+        assert two.fpga_tasks == one.fpga_tasks
+
+    def test_units_reduce_stall_time(self):
+        """Extra units drain the compaction backlog faster, so the L0
+        stop/slowdown machinery bites less (or at worst the same)."""
+        options = Options(value_length=256)
+        one = simulate_fillrandom(fcae_config(options, data=GB // 8,
+                                              num_units=1))
+        four = simulate_fillrandom(fcae_config(options, data=GB // 8,
+                                               num_units=4))
+        assert four.stall_seconds <= one.stall_seconds * 1.001
