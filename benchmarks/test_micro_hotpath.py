@@ -1,0 +1,80 @@
+"""Gated hot-path microbenchmarks: the overhaul's speedup floors.
+
+Runs :mod:`repro.bench.hotpath` once and asserts each gated row's p50
+against the committed *seed* (pre-optimization) baseline in
+``benchmarks/baselines/BENCH_hotpath.json``:
+
+* ``crc32c_4k``    — >= 3x faster than seed (sliced/table CRC32C)
+* ``block_decode`` — >= 3x faster than seed (bulk zero-copy decode)
+* ``cpu_merge_4way`` — >= 1.5x faster than seed (whole-path effect)
+
+Every other row only has to be *no slower* than seed (within noise).
+The baseline file is the contract: re-baselining means deliberately
+committing new numbers, not silently absorbing a regression.
+
+These tests live in ``benchmarks/`` (excluded from the tier-1
+``pytest`` run) because wall-clock gates belong in the perf-smoke lane,
+not the functional one.  ``REPRO_HOTPATH_REPEAT``/``_WARMUP`` shrink
+them for CI quick mode.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import hotpath
+
+BASELINE = (pathlib.Path(__file__).parent / "baselines"
+            / "BENCH_hotpath.json")
+
+#: bench name -> minimum speedup over the seed baseline p50.
+SPEEDUP_FLOORS = {
+    "crc32c_4k": 3.0,
+    "block_decode": 3.0,
+    "cpu_merge_4way": 1.5,
+}
+#: Ungated rows may be up to this much slower than seed before failing
+#: (wall-clock noise allowance on a shared CI box).
+NOISE_REL_TOL = 0.35
+
+
+@pytest.fixture(scope="module")
+def measured():
+    doc = json.loads(BASELINE.read_text())
+    assert doc["scale"] == 1.0, "baseline recorded at scale 1.0"
+    base_exp = doc["experiments"]["hotpath"]
+    p50_col = base_exp["columns"].index("p50_us")
+    base = {row[0]: row[p50_col] for row in base_exp["rows"]}
+
+    result = hotpath.run(scale=1.0)
+    run_p50 = result.columns.index("p50_us")
+    run = {row[0]: row[run_p50] for row in result.rows}
+    return base, run
+
+
+def test_baseline_covers_all_benches(measured):
+    base, run = measured
+    assert set(base) == set(run), (
+        "bench set drifted from the committed baseline; re-baseline "
+        "with: PYTHONPATH=src python -m repro.bench hotpath "
+        "--bench-json benchmarks/baselines/BENCH_hotpath.json")
+
+
+@pytest.mark.parametrize("bench,floor", sorted(SPEEDUP_FLOORS.items()))
+def test_speedup_floor(measured, bench, floor):
+    base, run = measured
+    speedup = base[bench] / run[bench]
+    assert speedup >= floor, (
+        f"{bench}: {speedup:.2f}x over seed ({base[bench]}us -> "
+        f"{run[bench]}us), floor is {floor}x")
+
+
+def test_no_bench_slower_than_seed(measured):
+    base, run = measured
+    slower = {
+        bench: (base[bench], run[bench])
+        for bench in base
+        if run[bench] > base[bench] * (1 + NOISE_REL_TOL)
+    }
+    assert not slower, f"rows regressed below seed performance: {slower}"

@@ -42,6 +42,7 @@ from repro import obs
 from repro.bench import (
     ablation,
     driver,
+    hotpath,
     near_storage,
     tiered,
     write_pause,
@@ -80,6 +81,7 @@ EXPERIMENTS = {
     "fig16": fig16.run,
     "ablation": ablation.run,
     "driver": driver.run,
+    "hotpath": hotpath.run,
     "near_storage": near_storage.run,
     "tiered": tiered.run,
     "write_pause": write_pause.run,
@@ -89,10 +91,21 @@ EXPERIMENTS = {
 ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
-             "write_pause", "driver")
+             "write_pause", "driver", "hotpath")
 
 #: BENCH_*.json schema version understood by tools/check_regression.py.
 BENCH_SCHEMA = 1
+
+
+def wall_percentiles(samples: list[float]) -> tuple[float, float]:
+    """(p50, p95) of wall-time samples (nearest-rank p95)."""
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    p50 = (ordered[mid] if len(ordered) % 2
+           else (ordered[mid - 1] + ordered[mid]) / 2)
+    p95 = ordered[min(len(ordered) - 1,
+                      int(round(0.95 * (len(ordered) - 1))))]
+    return p50, p95
 
 
 def suffixed_path(path: str, suffix: str | None) -> str:
@@ -148,6 +161,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="workload scale factor (default 1.0)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timed runs per experiment; wall time is "
+                             "reported as p50/p95 over them (default 1)")
+    parser.add_argument("--warmup", type=int, default=0,
+                        help="untimed runs before the timed ones "
+                             "(default 0)")
     parser.add_argument("--markdown", metavar="PATH",
                         help="also write results as markdown")
     parser.add_argument("--metrics-out", metavar="PATH",
@@ -164,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="write regenerated tables as machine-readable "
                              "JSON for tools/check_regression.py")
     args = parser.parse_args(argv)
+    if args.repeat < 1 or args.warmup < 0:
+        parser.error("--repeat must be >= 1 and --warmup >= 0")
 
     multi = args.experiment == "all"
     experiment_names = ALL_ORDER if multi else (args.experiment,)
@@ -189,35 +210,49 @@ def main(argv: list[str] | None = None) -> int:
     status = 0
     try:
         for name in experiment_names:
-            # A fresh registry/timeline per experiment: in `all` mode
-            # nothing bleeds between experiments, in single mode this is
-            # the only iteration.
-            registry = timeline = None
-            if want_registry:
-                registry = obs.MetricsRegistry()
-                obs.names.register_all(registry)
-            if want_timeline:
-                timeline = obs.TimelineRecorder()
-            token = None
-            if registry is not None or tracer is not None:
-                token = obs.install(registry=registry, tracer=tracer,
-                                    timeline=timeline)
-            started = time.perf_counter()
-            try:
-                result = EXPERIMENTS[name](scale=args.scale)
-            finally:
-                if token is not None:
-                    obs.uninstall(token)
-            elapsed = time.perf_counter() - started
+            samples: list[float] = []
+            result = registry = timeline = None
+            for run_no in range(args.warmup + args.repeat):
+                # A fresh registry/timeline per run: in `all` mode nothing
+                # bleeds between experiments, across repeats each timed
+                # sample starts clean; sinks flush the final run only.
+                registry = timeline = None
+                if want_registry:
+                    registry = obs.MetricsRegistry()
+                    obs.names.register_all(registry)
+                if want_timeline:
+                    timeline = obs.TimelineRecorder()
+                token = None
+                if registry is not None or tracer is not None:
+                    token = obs.install(registry=registry, tracer=tracer,
+                                        timeline=timeline)
+                started = time.perf_counter()
+                try:
+                    result = EXPERIMENTS[name](scale=args.scale)
+                finally:
+                    if token is not None:
+                        obs.uninstall(token)
+                if run_no >= args.warmup:
+                    samples.append(time.perf_counter() - started)
+            p50, p95 = wall_percentiles(samples)
             results.append(result)
             print(result.format())
-            print(f"[{name} regenerated in {elapsed:.1f}s]")
+            if len(samples) > 1:
+                print(f"[{name} regenerated: wall p50 {p50:.2f}s / "
+                      f"p95 {p95:.2f}s over {len(samples)} runs"
+                      f" ({args.warmup} warmup)]")
+            else:
+                print(f"[{name} regenerated in {p50:.1f}s]")
             print()
             if bench_doc is not None:
                 bench_doc["experiments"][name] = {
                     "title": result.title,
                     "columns": [str(c) for c in result.columns],
                     "rows": result.rows,
+                    "wall_seconds": {"p50": round(p50, 6),
+                                     "p95": round(p95, 6),
+                                     "repeat": args.repeat,
+                                     "warmup": args.warmup},
                 }
             status |= _write_sinks(args, name if multi else None,
                                    registry, timeline)

@@ -1,0 +1,242 @@
+"""Hot-path microbenchmarks: real wall-clock time of the substrate the
+whole reproduction stands on.
+
+Unlike the paper-figure experiments (deterministic model output), these
+rows measure Python execution speed of the four hottest paths — CRC32C,
+varint decode, block codec, SSTable build/scan, the end-to-end CPU merge
+and the pipeline timing simulator — with a repeat/warmup harness that
+reports p50/p95 wall times instead of a single noisy sample.
+
+``fcae-bench hotpath --bench-json BENCH_hotpath.json`` emits the rows in
+the schema ``tools/check_regression.py`` understands; the committed
+baseline ``benchmarks/baselines/BENCH_hotpath.json`` holds the *seed*
+(pre-optimization) numbers, so ``check_regression.py --perf`` gates any
+future PR from regressing below seed performance, and
+``benchmarks/test_micro_hotpath.py`` asserts the overhaul's speedup
+floors against the same file.
+
+Environment knobs: ``REPRO_HOTPATH_REPEAT`` / ``REPRO_HOTPATH_WARMUP``
+override the per-bench sample counts (CI quick mode).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from statistics import median
+
+from repro.bench.common import ExperimentResult, scaled, two_input_config
+from repro.fpga.engine import CompactionEngine, simulate_synthetic
+from repro.lsm.block import Block, BlockBuilder
+from repro.lsm.compaction import _BufferFile, compact, table_sources
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder, TableReader
+from repro.util.comparator import BytewiseComparator
+from repro.util.crc32c import crc32c
+from repro.util.varint import decode_varint64, encode_varint64
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+#: Codec-focused options: no snappy (its cost is its own benchmark in
+#: the substrate suite) and no bloom filter, so the rows isolate the
+#: merge/block/crc paths this suite guards.
+OPTIONS = Options(compression="none", bloom_bits_per_key=0,
+                  sstable_size=1 << 20)
+
+DEFAULT_REPEAT = 7
+DEFAULT_WARMUP = 2
+
+
+def _sample(fn, repeat: int, warmup: int) -> tuple[float, float]:
+    """Wall-time ``fn`` ``repeat`` times after ``warmup`` throwaway runs;
+    returns ``(p50_seconds, p95_seconds)``."""
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    p50 = median(times)
+    p95 = times[min(len(times) - 1, int(round(0.95 * (len(times) - 1))))]
+    return p50, p95
+
+
+# ----------------------------------------------------------------------
+# Workload builders
+# ----------------------------------------------------------------------
+
+def _sorted_entries(count: int, seed: int, key_space: int = 10 ** 9,
+                    value_len: int = 100) -> list[tuple[bytes, bytes]]:
+    rng = random.Random(seed)
+    keys = sorted(rng.sample(range(key_space), count))
+    return [(encode_internal_key(f"{k:016d}".encode(), i + 1, TYPE_VALUE),
+             bytes(rng.randrange(256) for _ in range(4)) * (value_len // 4))
+            for i, k in enumerate(keys)]
+
+
+def _table_image(entries: list[tuple[bytes, bytes]]) -> bytes:
+    dest = _BufferFile()
+    builder = TableBuilder(OPTIONS, dest, ICMP)
+    for key, value in entries:
+        builder.add(key, value)
+    builder.finish()
+    return bytes(dest.data)
+
+
+def _merge_inputs(per_table: int, seed: int = 11
+                  ) -> tuple[list[bytes], int]:
+    """Four overlapping sorted runs with shadowed versions and
+    tombstones — the end-to-end CPU compaction workload."""
+    rng = random.Random(seed)
+    universe = rng.sample(range(10 ** 9), per_table * 3)
+    images = []
+    sequence = 1
+    for table_no in range(4):
+        picks = sorted(rng.sample(universe, per_table))
+        entries = []
+        for k in picks:
+            kind = TYPE_DELETION if rng.random() < 0.05 else TYPE_VALUE
+            value = (b"" if kind == TYPE_DELETION
+                     else (f"val-{k:016d}-".encode() * 8)[:96])
+            entries.append((encode_internal_key(
+                f"{k:016d}".encode(), sequence, kind), value))
+            sequence += 1
+        images.append(_table_image(entries))
+    return images, sum(len(img) for img in images)
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    repeat = int(os.environ.get("REPRO_HOTPATH_REPEAT", DEFAULT_REPEAT))
+    warmup = int(os.environ.get("REPRO_HOTPATH_WARMUP", DEFAULT_WARMUP))
+
+    result = ExperimentResult(
+        name="hotpath",
+        title="Hot-path microbenchmarks (p50/p95 wall time, "
+              f"repeat={repeat}, warmup={warmup})",
+        columns=["bench", "p50_us", "p95_us", "mb_per_s"],
+    )
+
+    (n_block, n_table, n_merge, n_varint,
+     n_pairs, n_tail) = scaled([256, 2000, 1000, 3000, 1500, 2400], scale)
+
+    # -- crc32c over a 4 KB block-sized payload ------------------------
+    payload = bytes(range(256)) * 16
+    _add(result, "crc32c_4k", lambda: crc32c(payload), len(payload),
+         repeat, warmup)
+
+    # -- bulk varint decode --------------------------------------------
+    rng = random.Random(5)
+    varints = [rng.randrange(1 << rng.choice((7, 14, 21, 35, 56)))
+               for _ in range(n_varint)]
+    stream = b"".join(encode_varint64(v) for v in varints)
+
+    def decode_stream():
+        offset = 0
+        end = len(stream)
+        while offset < end:
+            _, offset = decode_varint64(stream, offset)
+
+    _add(result, "varint_decode", decode_stream, len(stream),
+         repeat, warmup)
+
+    # -- block codec: full decode and seeks ----------------------------
+    block_entries = [(f"key{i:012d}".encode(), b"v" * 48)
+                     for i in range(n_block)]
+    builder = BlockBuilder(16)
+    for key, value in block_entries:
+        builder.add(key, value)
+    block_image = builder.finish()
+
+    def decode_block():
+        count = sum(1 for _ in Block(block_image))
+        assert count == n_block
+
+    _add(result, "block_decode", decode_block, len(block_image),
+         repeat, warmup)
+
+    probes = [block_entries[i][0]
+              for i in range(0, n_block, max(1, n_block // 32))]
+    cmp = BytewiseComparator()
+    block = Block(block_image)
+
+    def seek_block():
+        for probe in probes:
+            assert block.seek(probe, cmp) is not None
+
+    _add(result, "block_seek", seek_block,
+         len(probes) * len(block_image) // n_block, repeat, warmup)
+
+    # -- sstable build → scan ------------------------------------------
+    table_entries = _sorted_entries(n_table, seed=3, value_len=64)
+    entry_bytes = sum(len(k) + len(v) for k, v in table_entries)
+    _add(result, "sstable_build", lambda: _table_image(table_entries),
+         entry_bytes, repeat, warmup)
+
+    table_image = _table_image(table_entries)
+
+    def scan_table():
+        count = sum(1 for _ in TableReader(table_image, ICMP, OPTIONS))
+        assert count == n_table
+
+    _add(result, "sstable_scan", scan_table, len(table_image),
+         repeat, warmup)
+
+    # -- end-to-end CPU compaction of a 4-input merge ------------------
+    merge_images, merge_bytes = _merge_inputs(n_merge)
+    merge_readers = [TableReader(img, ICMP, OPTIONS)
+                     for img in merge_images]
+
+    def merge_4way():
+        stats = compact(table_sources(merge_readers), OPTIONS, ICMP,
+                        drop_deletions=True)
+        assert stats.input_pairs == 4 * n_merge
+
+    _add(result, "cpu_merge_4way", merge_4way, merge_bytes,
+         repeat, warmup)
+
+    # -- pipeline timing simulator -------------------------------------
+    config = two_input_config(16)
+    pair_bytes = (16 + 8 + 512 + 4) * 2 * n_pairs
+
+    def pipeline_sim():
+        report = simulate_synthetic(config, [n_pairs, n_pairs], 16, 512)
+        assert report.comparer_rounds == 2 * n_pairs
+
+    _add(result, "pipeline_sim", pipeline_sim, pair_bytes, repeat, warmup)
+
+    # -- functional engine with a long single-input tail ---------------
+    head = _table_image(_sorted_entries(max(1, n_tail // 12), seed=21,
+                                        key_space=10 ** 6, value_len=64))
+    tail = _table_image(_sorted_entries(n_tail, seed=22,
+                                        key_space=10 ** 9, value_len=64))
+    engine = CompactionEngine(two_input_config(16), OPTIONS)
+
+    def engine_tail():
+        engine.run_on_images([[head], [tail]])
+
+    _add(result, "engine_tail_run", engine_tail, len(head) + len(tail),
+         repeat, warmup)
+
+    result.notes.append(
+        "wall-clock rows; gate with tools/check_regression.py --perf "
+        "against benchmarks/baselines/BENCH_hotpath.json (seed numbers)")
+    return result
+
+
+def _add(result: ExperimentResult, name: str, fn, nbytes: int,
+         repeat: int, warmup: int) -> None:
+    p50, p95 = _sample(fn, repeat, warmup)
+    result.add_row(name, round(p50 * 1e6, 1), round(p95 * 1e6, 1),
+                   round(nbytes / p50 / 1e6, 2) if p50 > 0 else 0.0)

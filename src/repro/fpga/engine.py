@@ -26,7 +26,7 @@ from repro.fpga.config import FpgaConfig
 from repro.fpga.decoder import DecoderChain, SSTableLayout
 from repro.fpga.dram import Dram
 from repro.fpga.encoder import Encoder
-from repro.fpga.pipeline_sim import PipelineTimer, TimingReport
+from repro.fpga.pipeline_sim import PipelineTimer, TimingReport, replay_rounds
 from repro.fpga.resources import estimate_resources
 from repro.fpga.transfer import KeyValueTransfer
 from repro.lsm.compaction import OutputTable
@@ -121,37 +121,27 @@ class CompactionEngine:
         input_bytes = sum(t.index_size + t.data_size
                           for tables in inputs for t in tables)
 
-        def timed_chain(chain: DecoderChain, input_no: int):
-            for pair in chain:
-                timer.decode_pair(
-                    input_no,
-                    key_len=len(pair.internal_key),
-                    value_len=len(pair.value),
-                    new_block=pair.new_block,
-                    block_compressed_size=pair.block_compressed_size,
-                )
-                yield pair
-
         cursors = []
         for input_no, tables in enumerate(inputs):
             chain = DecoderChain(dram, tables, self.config, self.comparator)
-            cursors.append(_HeadCursor(timed_chain(chain, input_no),
-                                       input_no))
+            cursors.append(_HeadCursor(iter(chain), input_no))
+        for cursor in cursors:
+            if cursor.head is not None:
+                _time_decode(timer, cursor.input_no, cursor.head)
 
         live = [c for c in cursors if c.head is not None]
-        while live:
+        while len(live) > 1:
             heads = {c.input_no: c.head.internal_key for c in live}
             selection = comparer.round(heads)
             winner = next(c for c in live if c.input_no == selection.input_no)
             pair = winner.head
-            slot_free = timer.comparer_round(
+            timer.comparer_round(
                 live_inputs=list(heads),
                 winner=selection.input_no,
                 drop=selection.drop,
                 key_len=len(pair.internal_key),
                 value_len=len(pair.value),
             )
-            del slot_free  # timing side effect only
             if selection.drop:
                 transfer.pairs_dropped += 1
             else:
@@ -163,6 +153,13 @@ class CompactionEngine:
             winner.advance()
             if winner.head is None:
                 live = [c for c in live if c.input_no != winner.input_no]
+            else:
+                _time_decode(timer, winner.input_no, winner.head)
+        if live:
+            # Every remaining round has the same winner, so the timing
+            # collapses to uniform runs the timer extrapolates in closed
+            # form (see PipelineTimer.uniform_rounds).
+            _drain_single_input(live[0], comparer, transfer, encoder, timer)
 
         outputs = encoder.finish()
         timing = timer.finalize(input_bytes)
@@ -209,6 +206,51 @@ class CompactionEngine:
                 offset += (-offset) % self.config.w_in  # alignment
             layouts.append(table_layouts)
         return self.run(dram, layouts, drop_deletions)
+
+
+def _time_decode(timer: PipelineTimer, input_no: int, pair) -> None:
+    timer.decode_pair(
+        input_no,
+        key_len=len(pair.internal_key),
+        value_len=len(pair.value),
+        new_block=pair.new_block,
+        block_compressed_size=pair.block_compressed_size,
+    )
+
+
+def _drain_single_input(cursor: _HeadCursor, comparer: Comparer,
+                        transfer: KeyValueTransfer, encoder: Encoder,
+                        timer: PipelineTimer) -> None:
+    """Consume the last live input.
+
+    The functional pass (validity check, encode, block cuts) runs first,
+    recording each round's pair sizes, drop flag, flush bytes and refill
+    decode; the timing replay then batches runs of identical rounds
+    through the timer's closed-form fast path.  The replayed event
+    sequence is exactly what the per-pair loop would have issued.
+    """
+    input_no = cursor.input_no
+    rounds = []
+    while cursor.head is not None:
+        pair = cursor.head
+        selection = comparer.round({input_no: pair.internal_key})
+        flush_bytes = 0
+        if selection.drop:
+            transfer.pairs_dropped += 1
+        else:
+            transfer.pairs_forwarded += 1
+            transfer.value_bytes_forwarded += len(pair.value)
+            events = encoder.add(pair.internal_key, pair.value)
+            if events["block_flushed"]:
+                flush_bytes = events["block_bytes"]
+        cursor.advance()
+        nxt = cursor.head
+        refill = (None if nxt is None else
+                  (len(nxt.internal_key), len(nxt.value), nxt.new_block,
+                   nxt.block_compressed_size))
+        rounds.append((len(pair.internal_key), len(pair.value),
+                       selection.drop, flush_bytes, refill))
+    replay_rounds(timer, input_no, rounds)
 
 
 def _extract_index_image(image: bytes, reader: TableReader) -> bytes:
@@ -267,7 +309,7 @@ def simulate_synthetic(config: FpgaConfig, pairs_per_input: list[int],
             feed(input_no)
 
         live = [i for i, n in enumerate(remaining) if n > 0]
-        while live:
+        while len(live) > 1:
             winner = rng.choice(live)
             drop = rng.random() < drop_fraction
             timer.comparer_round(live, winner, drop, key_len, value_length)
@@ -275,6 +317,24 @@ def simulate_synthetic(config: FpgaConfig, pairs_per_input: list[int],
             feed(winner)
             if remaining[winner] == 0:
                 live.remove(winner)
+        if live:
+            # Single-input tail: record the remaining rounds (consuming
+            # the RNG exactly as the loop above would) and batch them
+            # through the timer's closed-form fast path.
+            winner = live[0]
+            tail = []
+            while remaining[winner] > 0:
+                rng.choice(live)
+                drop = rng.random() < drop_fraction
+                remaining[winner] -= 1
+                if decoded[winner] < pairs_per_input[winner]:
+                    new_block = decoded[winner] % pairs_per_block == 0
+                    refill = (key_len, value_length, new_block, block_size)
+                    decoded[winner] += 1
+                else:
+                    refill = None
+                tail.append((key_len, value_length, drop, 0, refill))
+            replay_rounds(timer, winner, tail)
 
         input_bytes = sum(pairs_per_input) * pair_file_bytes
         report = timer.finalize(input_bytes)

@@ -31,14 +31,6 @@ from repro.fpga.cost_model import comparer_period
 
 
 @dataclass
-class _PairSpec:
-    key_len: int
-    value_len: int
-    new_block: bool
-    block_compressed_size: int
-
-
-@dataclass
 class TimingReport:
     """Cycle totals for one kernel run."""
 
@@ -187,20 +179,21 @@ class PipelineTimer:
     # Decoder side
     # ------------------------------------------------------------------
 
-    def _decode_service(self, spec: _PairSpec) -> float:
+    def _decode_service(self, key_len: int, value_len: int, new_block: bool,
+                        block_compressed_size: int) -> float:
         config = self.config
         if config.variant is PipelineVariant.FULL:
-            cycles = spec.key_len + spec.value_len / config.value_width
+            cycles = key_len + value_len / config.value_width
         else:
-            cycles = float(spec.key_len + spec.value_len)
-        if spec.new_block:
+            cycles = float(key_len + value_len)
+        if new_block:
             cycles += config.dram_read_latency
             if config.variant is PipelineVariant.BASIC:
                 # Single read pointer: detour through the index block.
                 cycles += 2 * config.dram_read_latency + 24
             stream_width = (config.w_in
                             if config.variant is PipelineVariant.FULL else 1)
-            cycles += min(spec.block_compressed_size, 64) / stream_width
+            cycles += min(block_compressed_size, 64) / stream_width
         return cycles
 
     def decode_pair(self, input_no: int, key_len: int, value_len: int,
@@ -213,7 +206,6 @@ class PipelineTimer:
         is always available here.
         """
         state = self._inputs[input_no]
-        spec = _PairSpec(key_len, value_len, new_block, block_compressed_size)
         if not state.free_slots:
             raise SimulationError(
                 f"decoder for input {input_no} ran more than "
@@ -223,7 +215,8 @@ class PipelineTimer:
         # Time the decoder spent blocked on a full FIFO (backpressure).
         self.report.decoder_backpressure_cycles += max(
             0.0, slot_available - state.decoder_clock)
-        service = self._decode_service(spec)
+        service = self._decode_service(key_len, value_len, new_block,
+                                       block_compressed_size)
         self.report.decoder_busy_cycles += service
         end = start + service
         state.decoder_clock = end
@@ -334,6 +327,137 @@ class PipelineTimer:
             self._mark_fifo(input_no, slot_free, len(state.pending))
 
     # ------------------------------------------------------------------
+    # Closed-form fast path over uniform runs
+    # ------------------------------------------------------------------
+
+    #: Simulate at least this many rounds before trying to extrapolate —
+    #: below it the settle bookkeeping costs more than it saves.
+    _UNIFORM_MIN_ROUNDS = 8
+
+    def uniform_rounds(self, live_inputs: list[int], winner: int,
+                       rounds: int, key_len: int, value_len: int,
+                       drop: bool = False) -> float:
+        """Advance the model by ``rounds`` repetitions of
+        ``comparer_round(live_inputs, winner, drop, key_len, value_len)``
+        each followed by ``decode_pair(winner, key_len, value_len)`` —
+        i.e. a run of identical KV pairs where the winner's decoder
+        refills its FIFO after every selection.
+
+        The model is a max-plus recurrence, so once the per-round state
+        delta settles to a uniform shift (two consecutive rounds moving
+        every evolving clock — comparer, value bus, encoder, the
+        winner's decoder clock and its FIFO entries — by the same
+        amount, with the other inputs' constant head times no longer
+        binding) the remaining rounds are extrapolated in closed form,
+        by shift-invariance producing exactly the cycle counts the
+        per-pair event loop would.  Transients (FIFO filling, a FIFO
+        near full changing which ``max()`` binds) are simulated
+        per-pair, as is the whole run when timeline/profile
+        instrumentation is attached — event-level records stay exact.
+
+        Returns the last round's slot-free time, like
+        :meth:`comparer_round`.
+        """
+        slot_free = 0.0
+        if (self._profile_intervals is not None
+                or rounds < self._UNIFORM_MIN_ROUNDS):
+            for _ in range(rounds):
+                slot_free = self.comparer_round(live_inputs, winner, drop,
+                                                key_len, value_len)
+                self.decode_pair(winner, key_len, value_len)
+            return slot_free
+
+        state = self._inputs[winner]
+        others_ready = max(
+            (self.head_ready_time(i) for i in live_inputs if i != winner),
+            default=None)
+        prev_snap = None
+        prev_delta = None
+        done = 0
+        while done < rounds:
+            slot_free = self.comparer_round(live_inputs, winner, drop,
+                                            key_len, value_len)
+            self.decode_pair(winner, key_len, value_len)
+            done += 1
+            snap = self._uniform_snapshot(state, drop)
+            if prev_snap is not None:
+                delta = self._uniform_delta(prev_snap, snap)
+                if (delta is not None and delta == prev_delta
+                        and (others_ready is None
+                             or others_ready <= max(self._t_comparer,
+                                                    state.pending[0]))):
+                    # Settled: every future round repeats this shift, and
+                    # the other heads can never bind again (all clocks
+                    # only grow).  Extrapolate the rest in closed form.
+                    remaining = rounds - done
+                    if remaining:
+                        self._apply_uniform(state, drop, remaining, delta)
+                        slot_free += remaining * delta[0]
+                    return slot_free
+                prev_delta = delta
+            prev_snap = snap
+        return slot_free
+
+    def _uniform_snapshot(self, state: "_InputTimingState",
+                          drop: bool) -> tuple:
+        """Every evolving quantity of a uniform round, split into
+        time-like clocks (must all shift by one scalar) and accumulating
+        counters (must grow by a repeating increment)."""
+        times = (self._t_comparer, state.decoder_clock,
+                 *state.pending, *state.free_slots)
+        if not drop:
+            times += (self._t_value_bus, self._t_encoder)
+        report = self.report
+        counters = (report.decoder_stall_cycles,
+                    report.decoder_backpressure_cycles,
+                    report.comparer_busy_cycles,
+                    report.decoder_busy_cycles,
+                    report.value_bus_busy_cycles,
+                    report.encoder_busy_cycles)
+        return times, counters
+
+    @staticmethod
+    def _uniform_delta(prev: tuple, snap: tuple):
+        """The (scalar shift, counter increments) between two snapshots,
+        or ``None`` while the transient still moves clocks unevenly."""
+        prev_times, prev_counters = prev
+        times, counters = snap
+        if len(prev_times) != len(times):
+            return None
+        shift = times[0] - prev_times[0]
+        for before, after in zip(prev_times[1:], times[1:]):
+            if after - before != shift:
+                return None
+        return shift, tuple(after - before for before, after
+                            in zip(prev_counters, counters))
+
+    def _apply_uniform(self, state: "_InputTimingState", drop: bool,
+                       remaining: int, delta: tuple) -> None:
+        shift_per_round, counter_incs = delta
+        shift = remaining * shift_per_round
+        self._t_comparer += shift
+        if not drop:
+            self._t_value_bus += shift
+            self._t_encoder += shift
+        state.decoder_clock += shift
+        state.pending = deque(t + shift for t in state.pending)
+        state.free_slots = deque(t + shift for t in state.free_slots)
+        report = self.report
+        (stall, backpressure, comparer_busy, decoder_busy,
+         value_bus_busy, encoder_busy) = counter_incs
+        report.decoder_stall_cycles += remaining * stall
+        report.decoder_backpressure_cycles += remaining * backpressure
+        report.comparer_busy_cycles += remaining * comparer_busy
+        report.decoder_busy_cycles += remaining * decoder_busy
+        report.value_bus_busy_cycles += remaining * value_bus_busy
+        report.encoder_busy_cycles += remaining * encoder_busy
+        report.comparer_rounds += remaining
+        if drop:
+            report.pairs_dropped += remaining
+        else:
+            report.pairs_transferred += remaining
+
+    # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
 
@@ -367,3 +491,51 @@ class PipelineTimer:
                  "bottleneck": self.report.attribution.bottleneck})
             self.timeline.advance_to(end_us)
         return self.report
+
+
+#: One replayed selection round: the pair's sizes, whether the Comparer
+#: dropped it, the bytes of a data block flushed right after it (0 for
+#: none), and the refill decode issued after it — ``None`` when the
+#: input is exhausted, else ``(key_len, value_len, new_block,
+#: block_compressed_size)``.
+RoundSpec = tuple[int, int, bool, int, "tuple[int, int, bool, int] | None"]
+
+
+def replay_rounds(timer: PipelineTimer, input_no: int,
+                  rounds: list[RoundSpec]) -> None:
+    """Replay a single-input tail through the timer, batching runs of
+    identical rounds through :meth:`PipelineTimer.uniform_rounds`.
+
+    The event sequence is exactly the per-pair loop's — round, optional
+    block flush, refill decode, repeated — so cycle counts are identical;
+    runs are split wherever uniformity breaks (pair sizes or the drop
+    flag change, a block flushes, a refill crosses an input-block
+    boundary, or the input runs out).
+    """
+    live = [input_no]
+    n = len(rounds)
+    p = 0
+    while p < n:
+        key_len, value_len, drop, _, _ = rounds[p]
+        # Rounds p..q-1 can refill inside one uniform run; round q needs
+        # individual treatment (its flush, boundary refill, or the end).
+        q = p
+        while True:
+            _, _, _, flush, refill = rounds[q]
+            if (flush or refill is None or refill[2]
+                    or refill[0] != key_len or refill[1] != value_len):
+                break
+            if q + 1 >= n or rounds[q + 1][:3] != (key_len, value_len, drop):
+                break
+            q += 1
+        if q > p:
+            timer.uniform_rounds(live, input_no, q - p, key_len, value_len,
+                                 drop)
+        timer.comparer_round(live, input_no, drop, key_len, value_len)
+        _, _, _, flush, refill = rounds[q]
+        if flush:
+            timer.block_flush(flush)
+        if refill is not None:
+            timer.decode_pair(input_no, refill[0], refill[1], refill[2],
+                              refill[3])
+        p = q + 1

@@ -58,6 +58,9 @@ class CompactionDriver:
         self._closed = False
         #: File numbers owned by in-flight compactions (DB mutex held).
         self._busy: set[int] = set()
+        #: Lazily created pool for sub-compaction partitions.
+        self._partition_pool = None
+        self._pool_lock = threading.Lock()
         self._m = DriverMetrics(db.metrics,
                                 inst=db.metrics.instance_label())
         self._threads = [
@@ -197,6 +200,31 @@ class CompactionDriver:
                    for meta in spec.inputs + spec.parents)
 
     # ------------------------------------------------------------------
+    # Sub-compaction dispatch
+    # ------------------------------------------------------------------
+
+    def map_partitions(self, tasks: list) -> list:
+        """Run sub-compaction partition merges across the units.
+
+        ``tasks`` are zero-argument callables (one per key-range
+        partition, see :func:`repro.lsm.subcompaction.subcompact`);
+        results come back in task order.  Partitions share a pool of
+        ``num_units`` threads, so a partitioned merge occupies the same
+        parallel width as the paper's multiple Compaction Units.
+        """
+        if len(tasks) <= 1:
+            return [task() for task in tasks]
+        with self._pool_lock:
+            if self._partition_pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+                self._partition_pool = ThreadPoolExecutor(
+                    max_workers=self.num_units,
+                    thread_name_prefix=f"{self.db.dbname}-part")
+            pool = self._partition_pool
+        return [future.result()
+                for future in [pool.submit(task) for task in tasks]]
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
@@ -229,6 +257,10 @@ class CompactionDriver:
         self._stop.set()
         for thread in self._threads:
             thread.join(timeout=5.0)
+        with self._pool_lock:
+            if self._partition_pool is not None:
+                self._partition_pool.shutdown(wait=False)
+                self._partition_pool = None
 
     def __repr__(self) -> str:
         return (f"CompactionDriver(units={self.num_units}, "

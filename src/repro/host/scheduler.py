@@ -259,10 +259,17 @@ class CompactionScheduler:
     def _run_software(self, spec: CompactionSpec, input_tables: list,
                       parent_tables: list,
                       drop_deletions: bool) -> list[OutputTable]:
-        sources = make_compaction_sources(spec.level, input_tables,
-                                          parent_tables)
-        stats = compact(sources, self.options, self.comparator,
-                        drop_deletions)
+        if self.options.max_subcompactions > 1:
+            from repro.lsm.subcompaction import subcompact
+
+            stats = subcompact(spec.level, input_tables, parent_tables,
+                               self.options, self.comparator,
+                               drop_deletions)
+        else:
+            sources = make_compaction_sources(spec.level, input_tables,
+                                              parent_tables)
+            stats = compact(sources, self.options, self.comparator,
+                            drop_deletions)
         self._m.input_bytes["software"].inc(spec.total_input_bytes)
         seconds = self.cpu_model.compaction_seconds(
             spec.total_input_bytes,

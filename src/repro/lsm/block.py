@@ -11,14 +11,24 @@ a reader can binary-search the restart points and scan at most one
 interval.  This is LevelDB's exact layout — both SSTable data blocks and
 index blocks use it, and it is what the FPGA Data/Index Block Decoders
 parse.
+
+This module is on the hot path of every compaction and read, so the codec
+trades a little clarity for bulk decoding: the restart array is unpacked
+in a single ``struct`` call, the three per-entry varints take an inlined
+single-byte fast path (lengths < 128 cover virtually every real entry),
+and keys are rebuilt by slice concatenation instead of a mutable
+scratch ``bytearray``.  Block images may be ``bytes``, ``bytearray`` or
+``memoryview`` — decoding never copies the image, only the yielded
+entries are materialized as ``bytes``.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Iterator, Optional
 
 from repro.errors import CorruptionError
-from repro.util.coding import decode_fixed32, encode_fixed32
+from repro.util.coding import decode_fixed32
 from repro.util.comparator import Comparator
 from repro.util.varint import decode_varint32, encode_varint32
 
@@ -51,18 +61,30 @@ class BlockBuilder:
             raise ValueError("add after finish")
         shared = 0
         if self._counter < self._restart_interval:
-            min_len = min(len(self._last_key), len(key))
-            while shared < min_len and self._last_key[shared] == key[shared]:
-                shared += 1
+            last_key = self._last_key
+            min_len = min(len(last_key), len(key))
+            if last_key[:min_len] == key[:min_len]:
+                shared = min_len
+            else:
+                while last_key[shared] == key[shared]:
+                    shared += 1
         else:
             self._restarts.append(len(self._buffer))
             self._counter = 0
         non_shared = len(key) - shared
-        self._buffer += encode_varint32(shared)
-        self._buffer += encode_varint32(non_shared)
-        self._buffer += encode_varint32(len(value))
-        self._buffer += key[shared:]
-        self._buffer += value
+        value_len = len(value)
+        buffer = self._buffer
+        if shared < 0x80 and non_shared < 0x80 and value_len < 0x80:
+            # Single-byte varints: the overwhelmingly common case.
+            buffer.append(shared)
+            buffer.append(non_shared)
+            buffer.append(value_len)
+        else:
+            buffer += encode_varint32(shared)
+            buffer += encode_varint32(non_shared)
+            buffer += encode_varint32(value_len)
+        buffer += key[shared:]
+        buffer += value
         self._last_key = key
         self._counter += 1
 
@@ -71,11 +93,9 @@ class BlockBuilder:
         if self._finished:
             raise ValueError("finish called twice")
         self._finished = True
-        out = bytearray(self._buffer)
-        for restart in self._restarts:
-            out += encode_fixed32(restart)
-        out += encode_fixed32(len(self._restarts))
-        return bytes(out)
+        restarts = self._restarts
+        return bytes(self._buffer) + struct.pack(
+            f"<{len(restarts) + 1}I", *restarts, len(restarts))
 
     def reset(self) -> None:
         self._buffer.clear()
@@ -86,19 +106,31 @@ class BlockBuilder:
 
 
 class Block:
-    """Read-side view of a block image."""
+    """Read-side view of a block image.
 
-    def __init__(self, contents: bytes):
-        if len(contents) < 4:
+    ``contents`` may be ``bytes``, ``bytearray`` or ``memoryview``; the
+    image is never copied, and yielded keys/values are always ``bytes``.
+    """
+
+    __slots__ = ("_data", "_is_bytes", "_num_restarts", "_restarts_offset",
+                 "_restarts")
+
+    def __init__(self, contents):
+        size = len(contents)
+        if size < 4:
             raise CorruptionError("block too small for restart count")
         self._data = contents
-        self._num_restarts = decode_fixed32(contents, len(contents) - 4)
-        self._restarts_offset = len(contents) - 4 - 4 * self._num_restarts
+        self._is_bytes = isinstance(contents, bytes)
+        self._num_restarts = decode_fixed32(contents, size - 4)
+        self._restarts_offset = size - 4 - 4 * self._num_restarts
         if self._restarts_offset < 0 or self._num_restarts == 0:
             raise CorruptionError("bad restart array")
+        # One bulk unpack replaces a fixed32 decode per binary-search probe.
+        self._restarts = struct.unpack_from(
+            f"<{self._num_restarts}I", contents, self._restarts_offset)
 
     def _restart_point(self, index: int) -> int:
-        return decode_fixed32(self._data, self._restarts_offset + 4 * index)
+        return self._restarts[index]
 
     def _parse_entry(self, offset: int) -> tuple[int, int, int, int]:
         """Return (shared, non_shared, value_len, key_delta_offset)."""
@@ -111,17 +143,53 @@ class Block:
 
     def _iter_from_offset(self, offset: int,
                           last_key: bytes = b"") -> Iterator[tuple[bytes, bytes]]:
-        key = bytearray(last_key)
-        while offset < self._restarts_offset:
-            shared, non_shared, value_len, pos = self._parse_entry(offset)
-            if shared > len(key):
-                raise CorruptionError("shared prefix longer than previous key")
-            del key[shared:]
-            key += self._data[pos:pos + non_shared]
-            value_start = pos + non_shared
-            value = self._data[value_start:value_start + value_len]
-            yield bytes(key), bytes(value)
-            offset = value_start + value_len
+        data = self._data
+        limit = self._restarts_offset
+        materialize = not self._is_bytes
+        key = last_key
+        try:
+            while offset < limit:
+                # Inlined varint32 x3; multi-byte lengths fall back to the
+                # shared decoder.
+                byte = data[offset]
+                if byte < 0x80:
+                    shared = byte
+                    pos = offset + 1
+                else:
+                    shared, pos = decode_varint32(data, offset)
+                byte = data[pos]
+                if byte < 0x80:
+                    non_shared = byte
+                    pos += 1
+                else:
+                    non_shared, pos = decode_varint32(data, pos)
+                byte = data[pos]
+                if byte < 0x80:
+                    value_len = byte
+                    pos += 1
+                else:
+                    value_len, pos = decode_varint32(data, pos)
+                value_start = pos + non_shared
+                offset = value_start + value_len
+                if offset > limit:
+                    raise CorruptionError(
+                        "block entry overruns restart array")
+                if materialize:
+                    delta = bytes(data[pos:value_start])
+                    value = bytes(data[value_start:offset])
+                else:
+                    delta = data[pos:value_start]
+                    value = data[value_start:offset]
+                if shared:
+                    if shared > len(key):
+                        raise CorruptionError(
+                            "shared prefix longer than previous key")
+                    key = key[:shared] + delta
+                else:
+                    key = delta
+                yield key, value
+        except IndexError:
+            raise CorruptionError("truncated block entry") from None
 
     def __iter__(self) -> Iterator[tuple[bytes, bytes]]:
         """Yield ``(key, value)`` in stored order."""
@@ -130,7 +198,7 @@ class Block:
         yield from self._iter_from_offset(0)
 
     def _key_at_restart(self, index: int) -> bytes:
-        offset = self._restart_point(index)
+        offset = self._restarts[index]
         shared, non_shared, _, pos = self._parse_entry(offset)
         if shared != 0:
             raise CorruptionError("restart entry has shared bytes")
@@ -154,6 +222,7 @@ class Block:
                 lo = mid
             else:
                 hi = mid - 1
-        for key, value in self._iter_from_offset(self._restart_point(lo)):
-            if comparator.compare(key, target) >= 0:
+        compare = comparator.compare
+        for key, value in self._iter_from_offset(self._restarts[lo]):
+            if compare(key, target) >= 0:
                 yield key, value

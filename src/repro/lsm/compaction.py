@@ -15,18 +15,23 @@ streams of (internal key, value) pairs sorted newest-source-first, it:
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro.errors import CorruptionError
 from repro.lsm.internal import (
     InternalKeyComparator,
+    MARK_FIELDS_SIZE,
     MAX_SEQUENCE,
-    extract_user_key,
-    parse_internal_key,
+    TYPE_DELETION,
+    TYPE_VALUE,
 )
 from repro.lsm.iterator import KVPair, merging_iterator
 from repro.lsm.options import Options
 from repro.lsm.sstable import TableBuilder, TableStats
+
+_TRAILER = struct.Struct("<Q")
 
 
 class _BufferFile:
@@ -99,25 +104,38 @@ def merge_entries(sources: Iterable[Iterator[KVPair]],
     # MAX_SEQUENCE marks "no newer entry seen yet".
     last_sequence_for_key = MAX_SEQUENCE
     user_cmp = comparator.user_comparator.compare
+    bytewise = getattr(comparator, "_bytewise", False)
+    unpack_trailer = _TRAILER.unpack_from
     for internal_key, value in merging_iterator(sources, comparator.compare):
         if stats is not None:
             stats.input_pairs += 1
             stats.input_bytes += len(internal_key) + len(value)
-        user_key = extract_user_key(internal_key)
-        if last_user_key is None or user_cmp(user_key, last_user_key) != 0:
+        # Inlined parse_internal_key: this loop touches every input pair,
+        # so the dataclass allocation and double slicing are skipped.
+        if len(internal_key) < MARK_FIELDS_SIZE:
+            raise CorruptionError("internal key shorter than mark fields")
+        user_key = internal_key[:-MARK_FIELDS_SIZE]
+        trailer = unpack_trailer(internal_key,
+                                 len(internal_key) - MARK_FIELDS_SIZE)[0]
+        value_type = trailer & 0xFF
+        if value_type not in (TYPE_VALUE, TYPE_DELETION):
+            raise CorruptionError(f"unknown value type byte {value_type:#x}")
+        sequence = trailer >> 8
+        if last_user_key is None or (
+                user_key != last_user_key if bytewise
+                else user_cmp(user_key, last_user_key) != 0):
             last_user_key = user_key
             last_sequence_for_key = MAX_SEQUENCE
-        parsed = parse_internal_key(internal_key)
         if last_sequence_for_key <= smallest_snapshot:
             # A newer version visible to the oldest snapshot shadows this
             # one for every reader that can still exist.
-            last_sequence_for_key = parsed.sequence
+            last_sequence_for_key = sequence
             if stats is not None:
                 stats.dropped_shadowed += 1
             continue
-        last_sequence_for_key = parsed.sequence
-        if (parsed.is_deletion and drop_deletions
-                and parsed.sequence <= smallest_snapshot):
+        last_sequence_for_key = sequence
+        if (value_type == TYPE_DELETION and drop_deletions
+                and sequence <= smallest_snapshot):
             # Tombstone invisible to no one (bottommost level): drop it.
             if stats is not None:
                 stats.dropped_tombstones += 1

@@ -596,9 +596,29 @@ class LsmDB:
     def _cpu_executor(self, spec: CompactionSpec, input_tables: list,
                       parent_tables: list,
                       drop_deletions: bool) -> list[OutputTable]:
-        sources = make_compaction_sources(spec.level, input_tables,
-                                          parent_tables)
-        stats = compact(sources, self.options, self.icmp, drop_deletions)
+        return self._cpu_merge(spec, input_tables, parent_tables,
+                               drop_deletions, smallest_snapshot=None)
+
+    def _cpu_merge(self, spec: CompactionSpec, input_tables: list,
+                   parent_tables: list, drop_deletions: bool,
+                   smallest_snapshot: Optional[int]) -> list[OutputTable]:
+        """The CPU merge path, partitioned into sub-compactions when
+        ``Options.max_subcompactions`` allows (outputs are byte-identical
+        either way)."""
+        if self.options.max_subcompactions > 1:
+            from repro.lsm.subcompaction import subcompact
+
+            mapper = (self._driver.map_partitions
+                      if self._driver is not None else None)
+            stats = subcompact(spec.level, input_tables, parent_tables,
+                               self.options, self.icmp, drop_deletions,
+                               smallest_snapshot=smallest_snapshot,
+                               mapper=mapper)
+        else:
+            sources = make_compaction_sources(spec.level, input_tables,
+                                              parent_tables)
+            stats = compact(sources, self.options, self.icmp, drop_deletions,
+                            smallest_snapshot=smallest_snapshot)
         return stats.outputs
 
     def compact_once(self) -> bool:
@@ -697,11 +717,9 @@ class LsmDB:
         below every live snapshot (LevelDB's ``last_sequence_for_key``
         rule)."""
         self._m.snapshot_merges.inc()
-        sources = make_compaction_sources(spec.level, input_tables,
-                                          parent_tables)
-        stats = compact(sources, self.options, self.icmp, drop_deletions,
-                        smallest_snapshot=smallest_snapshot)
-        return stats.outputs
+        return self._cpu_merge(spec, input_tables, parent_tables,
+                               drop_deletions,
+                               smallest_snapshot=smallest_snapshot)
 
     def _background_flush(self) -> None:
         """Flush worker entry point: dump ``_imm`` to a level-0 table.

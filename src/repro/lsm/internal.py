@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.errors import CorruptionError
 from repro.util.coding import decode_fixed64, encode_fixed64
-from repro.util.comparator import Comparator
+from repro.util.comparator import BytewiseComparator, Comparator
 
 #: A live key/value entry.
 TYPE_VALUE = 0x1
@@ -93,16 +93,26 @@ class InternalKeyComparator(Comparator):
 
     def __init__(self, user_comparator: Comparator):
         self.user_comparator = user_comparator
+        # Bytewise user order lets compare() skip two dispatched calls on
+        # the merge hot path; any other comparator takes the generic path.
+        self._bytewise = type(user_comparator) is BytewiseComparator
 
     @property
     def name(self) -> str:
         return "leveldb.InternalKeyComparator"
 
     def compare(self, a: bytes, b: bytes) -> int:
-        result = self.user_comparator.compare(
-            extract_user_key(a), extract_user_key(b))
-        if result != 0:
-            return result
+        if len(a) < MARK_FIELDS_SIZE or len(b) < MARK_FIELDS_SIZE:
+            raise CorruptionError("internal key shorter than mark fields")
+        a_user = a[:-MARK_FIELDS_SIZE]
+        b_user = b[:-MARK_FIELDS_SIZE]
+        if self._bytewise:
+            if a_user != b_user:
+                return -1 if a_user < b_user else 1
+        else:
+            result = self.user_comparator.compare(a_user, b_user)
+            if result != 0:
+                return result
         a_trailer = decode_fixed64(a, len(a) - MARK_FIELDS_SIZE)
         b_trailer = decode_fixed64(b, len(b) - MARK_FIELDS_SIZE)
         if a_trailer > b_trailer:

@@ -37,7 +37,7 @@ from repro.lsm.options import Options
 from repro.util.coding import decode_fixed32, encode_fixed32
 from repro.util.comparator import Comparator
 from repro.util.crc32c import crc32c, mask_crc, unmask_crc
-from repro.util.varint import decode_varint64, encode_varint64
+from repro.util.varint import VarintCursor, encode_varint64
 
 TABLE_MAGIC = 0xDB4775248B80FB57
 FOOTER_SIZE = 48
@@ -59,9 +59,10 @@ class BlockHandle:
 
     @staticmethod
     def decode(buf: bytes, pos: int = 0) -> tuple["BlockHandle", int]:
-        offset, pos = decode_varint64(buf, pos)
-        size, pos = decode_varint64(buf, pos)
-        return BlockHandle(offset, size), pos
+        cursor = VarintCursor(buf, pos)
+        offset = cursor.next64()
+        size = cursor.next64()
+        return BlockHandle(offset, size), cursor.pos
 
 
 @dataclass
@@ -144,7 +145,9 @@ class TableBuilder:
         else:
             payload, block_type = contents, COMPRESSION_NONE
         handle = BlockHandle(self._offset, len(payload))
-        crc = mask_crc(crc32c(payload + bytes([block_type])))
+        # Extend the payload CRC with the type byte instead of copying the
+        # whole payload to concatenate one byte.
+        crc = mask_crc(crc32c(bytes((block_type,)), crc32c(payload)))
         self._dest.append(payload)
         self._dest.append(bytes([block_type]))
         self._dest.append(encode_fixed32(crc))
@@ -200,7 +203,11 @@ def _read_block(data: bytes, handle: BlockHandle, verify: bool) -> bytes:
     block_type = data[handle.offset + handle.size]
     if verify:
         stored = unmask_crc(decode_fixed32(data, handle.offset + handle.size + 1))
-        if crc32c(payload + bytes([block_type])) != stored:
+        # Payload and type byte are adjacent in the file: checksum them in
+        # place over one zero-copy view.
+        checked = crc32c(memoryview(data)[
+            handle.offset:handle.offset + handle.size + 1])
+        if checked != stored:
             raise CorruptionError("block checksum mismatch")
     if block_type == COMPRESSION_NONE:
         return payload

@@ -1,0 +1,235 @@
+"""Partitioned parallel sub-compactions.
+
+A merge compaction is an order-preserving map over disjoint user-key
+ranges: shadowing and tombstone dropping only ever relate versions of
+*one* user key, so splitting the key space at user-key boundaries, merging
+each partition independently, and splicing the survivor streams back in
+key order reproduces the single-unit merge exactly.  The output tables
+are built in one pass over the spliced stream, so the resulting images
+are **byte-identical** to the unpartitioned path — same block cuts, same
+table cuts, same checksums (tests assert file-content equality).
+
+Partition boundaries come from the inputs' index blocks: every index
+separator key is a cheap, already-materialized sample of the key
+distribution, so picking evenly spaced separators yields partitions of
+roughly equal data size without reading any data blocks (RocksDB's
+sub-compaction file-boundary heuristic, and the key-range partitioning
+LUDA applies to offloaded compaction).
+
+Execution modes, selected by :class:`repro.lsm.options.Options`:
+
+* ``max_subcompactions = 1`` — the classic single-unit streaming merge
+  (this module is bypassed entirely);
+* ``max_subcompactions > 1`` — partitions run serially, through a caller
+  supplied ``mapper`` (:meth:`repro.host.driver.CompactionDriver.
+  map_partitions` fans them out across the unit pool), or on a
+  ``ProcessPoolExecutor`` when ``subcompaction_processes`` is set, which
+  sidesteps the GIL for CPU-bound merges at the cost of shipping table
+  images to the workers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.lsm.compaction import (
+    CompactionStats,
+    build_output_tables,
+    merge_entries,
+)
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    MARK_FIELDS_SIZE,
+    MAX_SEQUENCE,
+    make_lookup_key,
+)
+from repro.lsm.iterator import KVPair
+from repro.lsm.options import Options
+
+#: Counter fields summed when partition stats are merged.
+_STAT_FIELDS = ("input_pairs", "output_pairs", "dropped_shadowed",
+                "dropped_tombstones", "input_bytes", "output_bytes")
+
+
+def partition_boundaries(tables: Iterable, icmp: InternalKeyComparator,
+                         max_partitions: int) -> list[bytes]:
+    """Pick up to ``max_partitions - 1`` user-key boundaries from the
+    tables' index blocks.
+
+    Returns user keys in ascending order; partition ``i`` covers user
+    keys in ``[boundaries[i-1], boundaries[i])`` (first/last ranges are
+    open-ended).  Any user key is a *correct* boundary — index separators
+    just make balanced ones — so callers never need to validate the
+    choice, only its ordering.
+    """
+    if max_partitions <= 1:
+        return []
+    candidates = set()
+    for table in tables:
+        for separator, _ in table.index_entries():
+            candidates.add(bytes(separator[:-MARK_FIELDS_SIZE]))
+    import functools
+    ucmp = icmp.user_comparator.compare
+    ordered = sorted(candidates, key=functools.cmp_to_key(ucmp))
+    if not ordered:
+        return []
+    count = min(max_partitions - 1, len(ordered))
+    picks = []
+    for i in range(1, count + 1):
+        pick = ordered[(i * len(ordered)) // (count + 1)]
+        if not picks or ucmp(picks[-1], pick) < 0:
+            picks.append(pick)
+    return picks
+
+
+def _clipped(tables: list, icmp: InternalKeyComparator,
+             start: Optional[bytes], end: Optional[bytes]) -> Iterator[KVPair]:
+    """Entries of a sorted run of tables with user key in ``[start, end)``.
+
+    ``start`` seeks through the index block (no scan of earlier blocks);
+    ``end`` stops the whole run at the first entry past the range, which
+    is valid because the concatenation of the tables is itself sorted.
+    """
+    ucmp = icmp.user_comparator.compare
+    seek = None if start is None else make_lookup_key(start, MAX_SEQUENCE)
+    for table in tables:
+        entries = iter(table) if seek is None else table.iter_from(seek)
+        for internal_key, value in entries:
+            if (end is not None
+                    and ucmp(internal_key[:-MARK_FIELDS_SIZE], end) >= 0):
+                return
+            yield internal_key, value
+
+
+def range_sources(level: int, input_tables: list, parent_tables: list,
+                  icmp: InternalKeyComparator, start: Optional[bytes],
+                  end: Optional[bytes]) -> list[Iterator[KVPair]]:
+    """``make_compaction_sources`` clipped to one partition's key range:
+    level-0 files stay independent sources; sorted runs concatenate."""
+    sources: list[Iterator[KVPair]] = []
+    if level == 0:
+        sources.extend(_clipped([t], icmp, start, end) for t in input_tables)
+    elif input_tables:
+        sources.append(_clipped(input_tables, icmp, start, end))
+    if parent_tables:
+        sources.append(_clipped(parent_tables, icmp, start, end))
+    return sources
+
+
+def merge_partition(level: int, input_tables: list, parent_tables: list,
+                    icmp: InternalKeyComparator, drop_deletions: bool,
+                    smallest_snapshot: Optional[int], start: Optional[bytes],
+                    end: Optional[bytes],
+                    stats: CompactionStats) -> list[KVPair]:
+    """Merge + validity-check one partition, materializing its survivors
+    (the splice needs every partition complete before encoding)."""
+    sources = range_sources(level, input_tables, parent_tables, icmp,
+                            start, end)
+    return list(merge_entries(sources, icmp, drop_deletions, stats,
+                              smallest_snapshot=smallest_snapshot))
+
+
+def _merge_partition_images(level: int, input_images: list[bytes],
+                            parent_images: list[bytes], options: Options,
+                            drop_deletions: bool,
+                            smallest_snapshot: Optional[int],
+                            start: Optional[bytes], end: Optional[bytes]
+                            ) -> tuple[list[KVPair], dict[str, int]]:
+    """Process-pool worker: rebuild readers from raw images (TableReader
+    is not picklable; images are) and merge one partition."""
+    from repro.lsm.sstable import TableReader
+
+    icmp = InternalKeyComparator(options.comparator)
+    input_tables = [TableReader(img, icmp, options) for img in input_images]
+    parent_tables = [TableReader(img, icmp, options) for img in parent_images]
+    stats = CompactionStats()
+    pairs = merge_partition(level, input_tables, parent_tables, icmp,
+                            drop_deletions, smallest_snapshot, start, end,
+                            stats)
+    return pairs, {name: getattr(stats, name) for name in _STAT_FIELDS}
+
+
+def _add_stats(total: CompactionStats, part: "CompactionStats | dict") -> None:
+    for name in _STAT_FIELDS:
+        value = (part[name] if isinstance(part, dict)
+                 else getattr(part, name))
+        setattr(total, name, getattr(total, name) + value)
+
+
+def subcompact(level: int, input_tables: list, parent_tables: list,
+               options: Options, icmp: InternalKeyComparator,
+               drop_deletions: bool = False,
+               smallest_snapshot: Optional[int] = None,
+               mapper: Optional[Callable[[list], list]] = None
+               ) -> CompactionStats:
+    """Run a merge compaction as partitioned sub-compactions.
+
+    Splits the key space into at most ``options.max_subcompactions``
+    partitions, merges each (serially, via ``mapper``, or on a process
+    pool per ``options.subcompaction_processes``), splices the survivor
+    streams in key order and encodes the output tables in one pass —
+    byte-identical to :func:`repro.lsm.compaction.compact` over the same
+    tables.
+
+    ``mapper`` takes a list of zero-argument callables and returns their
+    results in order; the compaction driver passes its unit pool's map.
+    """
+    stats = CompactionStats()
+    boundaries = partition_boundaries(
+        list(input_tables) + list(parent_tables), icmp,
+        options.max_subcompactions)
+    ranges = list(zip([None] + boundaries, boundaries + [None]))
+
+    if len(ranges) == 1:
+        # One partition: keep the streaming pipeline, nothing to splice.
+        survivors = merge_entries(
+            range_sources(level, input_tables, parent_tables, icmp,
+                          None, None),
+            icmp, drop_deletions, stats,
+            smallest_snapshot=smallest_snapshot)
+        stats.outputs = build_output_tables(survivors, options, icmp)
+        return stats
+
+    if options.subcompaction_processes:
+        from concurrent.futures import ProcessPoolExecutor
+
+        input_images = [t.image for t in input_tables]
+        parent_images = [t.image for t in parent_tables]
+        workers = min(len(ranges), options.max_subcompactions)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_merge_partition_images, level, input_images,
+                            parent_images, options, drop_deletions,
+                            smallest_snapshot, start, end)
+                for start, end in ranges
+            ]
+            parts = []
+            for future in futures:
+                pairs, part_stats = future.result()
+                parts.append(pairs)
+                _add_stats(stats, part_stats)
+    else:
+        def make_task(start, end):
+            def task():
+                part_stats = CompactionStats()
+                pairs = merge_partition(level, input_tables, parent_tables,
+                                        icmp, drop_deletions,
+                                        smallest_snapshot, start, end,
+                                        part_stats)
+                return pairs, part_stats
+            return task
+
+        tasks = [make_task(start, end) for start, end in ranges]
+        results = (mapper(tasks) if mapper is not None
+                   else [task() for task in tasks])
+        parts = []
+        for pairs, part_stats in results:
+            parts.append(pairs)
+            _add_stats(stats, part_stats)
+
+    def spliced() -> Iterator[KVPair]:
+        for pairs in parts:
+            yield from pairs
+
+    stats.outputs = build_output_tables(spliced(), options, icmp)
+    return stats

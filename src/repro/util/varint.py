@@ -43,16 +43,30 @@ def decode_varint32(buf, offset: int = 0) -> tuple[int, int]:
     """Decode a varint32 from ``buf`` starting at ``offset``.
 
     Returns ``(value, next_offset)``.  Raises :class:`CorruptionError` on a
-    truncated or overlong encoding.
+    truncated or overlong encoding.  ``buf`` may be ``bytes``,
+    ``bytearray`` or ``memoryview``; nothing is copied.
     """
+    try:
+        byte = buf[offset]
+    except IndexError:
+        raise CorruptionError("truncated or overlong varint") from None
+    if byte < 0x80:
+        return byte, offset + 1
     return _decode(buf, offset, MAX_VARINT32_BYTES, _UINT32_MAX)
 
 
 def decode_varint64(buf, offset: int = 0) -> tuple[int, int]:
     """Decode a varint64 from ``buf`` starting at ``offset``.
 
-    Returns ``(value, next_offset)``.
+    Returns ``(value, next_offset)``.  ``buf`` may be ``bytes``,
+    ``bytearray`` or ``memoryview``; nothing is copied.
     """
+    try:
+        byte = buf[offset]
+    except IndexError:
+        raise CorruptionError("truncated or overlong varint") from None
+    if byte < 0x80:
+        return byte, offset + 1
     return _decode(buf, offset, MAX_VARINT64_BYTES, _UINT64_MAX)
 
 
@@ -71,3 +85,60 @@ def _decode(buf, offset: int, max_bytes: int, max_value: int) -> tuple[int, int]
             return result, pos
         shift += 7
     raise CorruptionError("truncated or overlong varint")
+
+
+class VarintCursor:
+    """Cursor-style bulk varint decoder.
+
+    Sequential decode loops (block entries, block handles, WAL records)
+    pay one cursor construction instead of a ``(value, next_offset)``
+    tuple allocation and bounds setup per field.  The single-byte case —
+    virtually every length field in a block — is inlined; multi-byte
+    values fall back to the shared decoder.
+
+    ``buf`` may be ``bytes``, ``bytearray`` or ``memoryview``; the cursor
+    never copies it.  ``pos`` is public: callers may read it to slice
+    payload bytes and advance it with :meth:`skip`.
+    """
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf, pos: int = 0):
+        self.buf = buf
+        self.pos = pos
+
+    def next32(self) -> int:
+        """Decode the varint32 at the cursor and advance past it."""
+        buf = self.buf
+        pos = self.pos
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise CorruptionError("truncated or overlong varint") from None
+        if byte < 0x80:
+            self.pos = pos + 1
+            return byte
+        value, self.pos = _decode(buf, pos, MAX_VARINT32_BYTES, _UINT32_MAX)
+        return value
+
+    def next64(self) -> int:
+        """Decode the varint64 at the cursor and advance past it."""
+        buf = self.buf
+        pos = self.pos
+        try:
+            byte = buf[pos]
+        except IndexError:
+            raise CorruptionError("truncated or overlong varint") from None
+        if byte < 0x80:
+            self.pos = pos + 1
+            return byte
+        value, self.pos = _decode(buf, pos, MAX_VARINT64_BYTES, _UINT64_MAX)
+        return value
+
+    def skip(self, nbytes: int) -> None:
+        """Advance past ``nbytes`` payload bytes."""
+        self.pos += nbytes
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= len(self.buf)

@@ -8,6 +8,7 @@ exception ever reaching a writer).
 """
 
 import threading
+import time
 
 import pytest
 
@@ -217,11 +218,22 @@ class TestThrottling:
                 if db.versions.current.num_files(0) >= L0_STOP_TRIGGER:
                     break
             assert db.versions.current.num_files(0) >= L0_STOP_TRIGGER
-            db._driver._pick_locked = real_pick
+            # Keep the units paused until the writer actually blocks:
+            # releasing the pick first lets a queued token relieve L0
+            # before the next memtable fills, and no stall is recorded.
+            def release_after_stall():
+                while db.stall_events == 0 and not db._closed:
+                    time.sleep(0.001)
+                db._driver._pick_locked = real_pick
+                db._driver.kick(level=0)
+
+            releaser = threading.Thread(target=release_after_stall)
+            releaser.start()
             # The next memtable-filling writes hit the stop path, block,
             # and resume once an L0 compaction lands.
             for i in range(4000, 5200):
                 db.put(key(i), value(i))
+            releaser.join(timeout=30)
             assert db.stall_events > 0
             assert db._m.stall_seconds.count > 0
             db.compact_range()

@@ -1,0 +1,241 @@
+"""Partitioned sub-compactions must be byte-identical to the single-unit
+merge — file contents, not just key space — across level shapes,
+snapshots, tombstones, and every execution mode."""
+
+import random
+
+import pytest
+
+from repro.lsm.compaction import (
+    CompactionStats,
+    _BufferFile,
+    compact,
+    make_compaction_sources,
+)
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    TYPE_DELETION,
+    TYPE_VALUE,
+    encode_internal_key,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import TableBuilder, TableReader
+from repro.lsm.subcompaction import (
+    partition_boundaries,
+    subcompact,
+)
+from repro.errors import InvalidArgumentError
+from repro.util.comparator import BytewiseComparator
+
+ICMP = InternalKeyComparator(BytewiseComparator())
+
+
+def options(**kwargs) -> Options:
+    base = dict(compression="none", bloom_bits_per_key=0,
+                sstable_size=32 * 1024, block_size=1024)
+    base.update(kwargs)
+    return Options(**base)
+
+
+def build_table(entries, opts) -> TableReader:
+    dest = _BufferFile()
+    builder = TableBuilder(opts, dest, ICMP)
+    for key, value in entries:
+        builder.add(key, value)
+    builder.finish()
+    return TableReader(bytes(dest.data), ICMP, opts)
+
+
+def make_inputs(opts, seed=17, tables=4, per_table=400, tombstone_pct=0.08):
+    """Overlapping sorted runs from a shared key universe, with duplicate
+    user keys across tables (newer sequences in earlier tables) and a
+    sprinkle of tombstones."""
+    rng = random.Random(seed)
+    universe = [b"key%012d" % rng.randrange(10 ** 9) for _ in range(2000)]
+    sequence = 1
+    runs = []
+    for _ in range(tables):
+        chosen = sorted(set(rng.sample(universe, per_table)))
+        entries = []
+        for user_key in chosen:
+            if rng.random() < tombstone_pct:
+                entries.append((encode_internal_key(user_key, sequence,
+                                                    TYPE_DELETION), b""))
+            else:
+                value = bytes([rng.randrange(256)]) * rng.randrange(20, 120)
+                entries.append((encode_internal_key(user_key, sequence,
+                                                    TYPE_VALUE), value))
+            sequence += 1
+        runs.append(entries)
+    # Newest-first source order, like an L0 pick.
+    runs.reverse()
+    return [build_table(run, opts) for run in runs]
+
+
+def single_unit(level, input_tables, parent_tables, opts, drop_deletions,
+                smallest_snapshot=None) -> CompactionStats:
+    sources = make_compaction_sources(level, input_tables, parent_tables)
+    return compact(sources, opts, ICMP, drop_deletions,
+                   smallest_snapshot=smallest_snapshot)
+
+
+def assert_byte_identical(reference: CompactionStats,
+                          partitioned: CompactionStats) -> None:
+    assert [o.data for o in partitioned.outputs] == \
+           [o.data for o in reference.outputs]
+    for name in ("input_pairs", "output_pairs", "dropped_shadowed",
+                 "dropped_tombstones", "input_bytes", "output_bytes"):
+        assert getattr(partitioned, name) == getattr(reference, name), name
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("max_subcompactions", [2, 3, 8])
+    def test_l0_merge(self, max_subcompactions):
+        opts = options(max_subcompactions=max_subcompactions)
+        tables = make_inputs(opts)
+        reference = single_unit(0, tables, [], opts, drop_deletions=True)
+        partitioned = subcompact(0, tables, [], opts, ICMP,
+                                 drop_deletions=True)
+        assert_byte_identical(reference, partitioned)
+
+    def test_sorted_level_with_parents(self):
+        """Level-1 inputs and level-2 parents are each a disjoint sorted
+        run (split across files); user keys overlap between the runs."""
+        opts = options(max_subcompactions=4)
+        rng = random.Random(23)
+        universe = sorted({b"key%012d" % rng.randrange(10 ** 9)
+                           for _ in range(1200)})
+        newer = [(encode_internal_key(k, 10_000 + i, TYPE_VALUE),
+                  b"new" * rng.randrange(5, 30))
+                 for i, k in enumerate(rng.sample(universe, 500))]
+        older = [(encode_internal_key(k, 1 + i, TYPE_VALUE),
+                  b"old" * rng.randrange(5, 30))
+                 for i, k in enumerate(rng.sample(universe, 700))]
+        newer.sort(key=lambda e: e[0])
+        older.sort(key=lambda e: e[0])
+        inputs = [build_table(newer[:250], opts), build_table(newer[250:], opts)]
+        parents = [build_table(older[:230], opts),
+                   build_table(older[230:460], opts),
+                   build_table(older[460:], opts)]
+        reference = single_unit(1, inputs, parents, opts,
+                                drop_deletions=False)
+        partitioned = subcompact(1, inputs, parents, opts, ICMP,
+                                 drop_deletions=False)
+        assert reference.dropped_shadowed > 0
+        assert_byte_identical(reference, partitioned)
+
+    def test_snapshot_preserving_merge(self):
+        """A live snapshot keeps older versions; partitioning must
+        preserve exactly the same survivors."""
+        opts = options(max_subcompactions=4)
+        tables = make_inputs(opts, seed=41, tombstone_pct=0.15)
+        smallest_snapshot = 600  # mid-run: both rules exercised
+        reference = single_unit(0, tables, [], opts, drop_deletions=True,
+                                smallest_snapshot=smallest_snapshot)
+        partitioned = subcompact(0, tables, [], opts, ICMP,
+                                 drop_deletions=True,
+                                 smallest_snapshot=smallest_snapshot)
+        assert reference.dropped_tombstones > 0
+        assert_byte_identical(reference, partitioned)
+
+    def test_tombstones_kept_above_bottommost(self):
+        opts = options(max_subcompactions=3)
+        tables = make_inputs(opts, seed=5, tombstone_pct=0.25)
+        reference = single_unit(0, tables, [], opts, drop_deletions=False)
+        partitioned = subcompact(0, tables, [], opts, ICMP,
+                                 drop_deletions=False)
+        assert_byte_identical(reference, partitioned)
+
+    def test_more_partitions_than_boundaries(self):
+        """A tiny input yields fewer separators than requested
+        partitions; the splice must still be exact."""
+        opts = options(max_subcompactions=16)
+        tiny = [build_table(
+            [(encode_internal_key(b"k%04d" % i, i + 1, TYPE_VALUE), b"v")
+             for i in range(8)], opts)]
+        reference = single_unit(0, tiny, [], opts, drop_deletions=True)
+        partitioned = subcompact(0, tiny, [], opts, ICMP,
+                                 drop_deletions=True)
+        assert_byte_identical(reference, partitioned)
+
+    def test_mapper_dispatch(self):
+        """Results must come back in partition order even when the
+        mapper runs tasks out of order (as a thread pool may)."""
+        opts = options(max_subcompactions=4)
+        tables = make_inputs(opts, seed=9)
+
+        calls = {"tasks": 0}
+
+        def reversed_mapper(tasks):
+            calls["tasks"] = len(tasks)
+            results = [None] * len(tasks)
+            for i in reversed(range(len(tasks))):
+                results[i] = tasks[i]()
+            return results
+
+        reference = single_unit(0, tables, [], opts, drop_deletions=True)
+        partitioned = subcompact(0, tables, [], opts, ICMP,
+                                 drop_deletions=True,
+                                 mapper=reversed_mapper)
+        assert calls["tasks"] > 1
+        assert_byte_identical(reference, partitioned)
+
+    def test_process_pool_path(self):
+        """The ProcessPoolExecutor path ships images to workers and must
+        still splice byte-identically."""
+        opts = options(max_subcompactions=2, subcompaction_processes=True)
+        tables = make_inputs(opts, seed=31, tables=2, per_table=120)
+        reference = single_unit(0, tables, [], opts, drop_deletions=True)
+        partitioned = subcompact(0, tables, [], opts, ICMP,
+                                 drop_deletions=True)
+        assert_byte_identical(reference, partitioned)
+
+
+class TestBoundaries:
+    def test_boundaries_sorted_and_bounded(self):
+        opts = options()
+        tables = make_inputs(opts, seed=3)
+        for limit in (2, 3, 7, 64):
+            bounds = partition_boundaries(tables, ICMP, limit)
+            assert len(bounds) <= limit - 1
+            assert bounds == sorted(bounds)
+            assert len(set(bounds)) == len(bounds)
+
+    def test_no_partitioning_when_single(self):
+        opts = options()
+        tables = make_inputs(opts, seed=3, tables=1, per_table=50)
+        assert partition_boundaries(tables, ICMP, 1) == []
+
+
+class TestDbIntegration:
+    def test_db_compaction_with_subcompactions(self, tmp_path):
+        """End-to-end: two DBs fed identically, one partitioned — every
+        key readable and the same level contents."""
+        from repro.lsm.db import LsmDB
+
+        results = {}
+        for label, extra in (("single", {}),
+                             ("partitioned", {"max_subcompactions": 4})):
+            opts = Options(compression="none", bloom_bits_per_key=0,
+                           write_buffer_size=64 * 1024,
+                           sstable_size=32 * 1024, **extra)
+            with LsmDB(str(tmp_path / label), options=opts) as db:
+                for i in range(3000):
+                    db.put(b"key%06d" % (i % 900), b"v%06d" % i)
+                db.compact_range()
+                results[label] = {
+                    "scan": list(db.scan()),
+                    "levels": db.level_file_counts(),
+                }
+        assert results["single"]["scan"] == results["partitioned"]["scan"]
+        assert results["single"]["levels"] == results["partitioned"]["levels"]
+
+
+class TestOptionsValidation:
+    def test_rejects_zero_subcompactions(self):
+        with pytest.raises(InvalidArgumentError):
+            Options(max_subcompactions=0)
+
+    def test_rejects_processes_without_partitions(self):
+        with pytest.raises(InvalidArgumentError):
+            Options(subcompaction_processes=True)

@@ -14,6 +14,14 @@ non-numeric cells must match exactly.  The simulators are deterministic,
 so the default band is tight; it exists to absorb floating-point
 variation across Python versions, not to hide model drift.
 
+``--perf`` switches to wall-clock mode for hot-path baselines
+(``BENCH_hotpath.json``): only ``p50_us`` columns are compared, the
+check is one-sided (only *slower* than baseline fails — being faster is
+the point), and rows are matched by their first cell (the bench name)
+so reordering or extra benches in the run never spuriously fail.  The
+committed hot-path baseline records *seed* (pre-optimization) numbers,
+so the gate catches a PR that gives the speedups back.
+
 Exit status: 0 when everything is within tolerance (in particular, a run
 diffed against itself), 1 on any drift, 2 on malformed inputs.
 """
@@ -84,6 +92,50 @@ def compare(baseline: dict, run: dict, rel_tol: float,
     return drifts
 
 
+def compare_perf(baseline: dict, run: dict, rel_tol: float,
+                 abs_tol: float) -> list[str]:
+    """One-sided wall-clock comparison: each baseline row's ``p50_us``
+    must not be exceeded by the matching run row (matched by bench
+    name) beyond the tolerance band.  Faster is always fine."""
+    drifts: list[str] = []
+    if baseline.get("scale") != run.get("scale"):
+        drifts.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs run "
+            f"{run.get('scale')} (wall times are scale-dependent)")
+        return drifts
+
+    for name, base_exp in sorted(baseline["experiments"].items()):
+        run_exp = run["experiments"].get(name)
+        if run_exp is None:
+            drifts.append(f"{name}: missing from run")
+            continue
+        try:
+            base_p50 = base_exp["columns"].index("p50_us")
+            run_p50 = run_exp["columns"].index("p50_us")
+        except ValueError:
+            drifts.append(f"{name}: no p50_us column "
+                          f"(not a hot-path experiment?)")
+            continue
+        run_by_bench = {row[0]: row for row in run_exp["rows"]}
+        for base_row in base_exp["rows"]:
+            bench = base_row[0]
+            run_row = run_by_bench.get(bench)
+            if run_row is None:
+                drifts.append(f"{name}/{bench}: missing from run")
+                continue
+            base_cell, run_cell = base_row[base_p50], run_row[run_p50]
+            if not (_is_number(base_cell) and _is_number(run_cell)):
+                drifts.append(f"{name}/{bench}: non-numeric p50_us "
+                              f"({base_cell!r} vs {run_cell!r})")
+                continue
+            band = abs_tol + rel_tol * abs(base_cell)
+            if run_cell > base_cell + band:
+                drifts.append(
+                    f"{name}/{bench}: p50 {run_cell}us slower than "
+                    f"baseline {base_cell}us (allowed +{band:g}us)")
+    return drifts
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True,
@@ -96,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--abs-tol", type=float, default=1e-9,
                         help="absolute tolerance per numeric cell "
                              "(default 1e-9)")
+    parser.add_argument("--perf", action="store_true",
+                        help="wall-clock mode: compare only p50_us, "
+                             "one-sided (slower fails), rows matched by "
+                             "bench name")
     args = parser.parse_args(argv)
 
     try:
@@ -105,13 +161,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ERROR: {error}", file=sys.stderr)
         return 2
 
-    drifts = compare(baseline, run, args.rel_tol, args.abs_tol)
+    if args.perf:
+        drifts = compare_perf(baseline, run, args.rel_tol, args.abs_tol)
+    else:
+        drifts = compare(baseline, run, args.rel_tol, args.abs_tol)
     if drifts:
         print(f"REGRESSION: {len(drifts)} drift(s) vs {args.baseline}",
               file=sys.stderr)
         for drift in drifts:
             print(f"  - {drift}", file=sys.stderr)
         return 1
+    if args.perf:
+        n_rows = sum(len(exp["rows"])
+                     for exp in baseline["experiments"].values())
+        print(f"OK: {args.run} p50 no slower than {args.baseline} "
+              f"({n_rows} bench(es), rel_tol={args.rel_tol})")
+        return 0
     n_cells = sum(len(exp["columns"]) * len(exp["rows"])
                   for exp in baseline["experiments"].values())
     print(f"OK: {args.run} within tolerance of {args.baseline} "
