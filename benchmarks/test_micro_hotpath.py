@@ -38,6 +38,14 @@ SPEEDUP_FLOORS = {
 #: (wall-clock noise allowance on a shared CI box).
 NOISE_REL_TOL = 0.35
 
+#: The disabled flight-recorder's per-op residue (NullJournal call +
+#: windows-off guard) must stay below this fraction of the bare put/get
+#: loop — "near zero cost when observability is off".
+OBS_DISABLED_MAX_FRACTION = 0.02
+#: Enabled windows + journal may not slow the put/get loop by more than
+#: this factor.
+OBS_ENABLED_MAX_SLOWDOWN = 1.6
+
 
 @pytest.fixture(scope="module")
 def measured():
@@ -68,6 +76,23 @@ def test_speedup_floor(measured, bench, floor):
     assert speedup >= floor, (
         f"{bench}: {speedup:.2f}x over seed ({base[bench]}us -> "
         f"{run[bench]}us), floor is {floor}x")
+
+
+def test_obs_overhead_near_zero_when_disabled(measured):
+    _, run = measured
+    ceiling = max(OBS_DISABLED_MAX_FRACTION * run["obs_put_get_off"], 50.0)
+    assert run["obs_overhead"] <= ceiling, (
+        f"disabled-path obs residue {run['obs_overhead']}us exceeds "
+        f"{ceiling:.0f}us ({OBS_DISABLED_MAX_FRACTION:.0%} of the bare "
+        f"put/get loop at {run['obs_put_get_off']}us)")
+
+
+def test_obs_enabled_cost_bounded(measured):
+    _, run = measured
+    slowdown = run["obs_put_get_on"] / run["obs_put_get_off"]
+    assert slowdown <= OBS_ENABLED_MAX_SLOWDOWN, (
+        f"windows+journal slow the put/get loop {slowdown:.2f}x "
+        f"(bound {OBS_ENABLED_MAX_SLOWDOWN}x)")
 
 
 def test_no_bench_slower_than_seed(measured):

@@ -123,8 +123,12 @@ def _write_sinks(args, suffix: str | None, registry, timeline) -> int:
     if registry is not None and args.metrics_out:
         path = suffixed_path(args.metrics_out, suffix)
         try:
-            obs.write_prometheus(path, registry)
+            obs.write_prometheus(path, registry,
+                                 overwrite=args.overwrite)
             print(f"metrics written to {path}")
+        except FileExistsError as error:
+            print(f"error: {error}", file=sys.stderr)
+            status = 2
         except OSError as error:
             print(f"error: cannot write {path}: {error}", file=sys.stderr)
             status = 2
@@ -172,7 +176,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="write a Prometheus text-format metrics dump")
     parser.add_argument("--trace-out", metavar="PATH",
-                        help="stream span traces as JSONL")
+                        help="stream span traces as JSONL (appends)")
+    parser.add_argument("--events-out", metavar="PATH",
+                        help="stream flight-recorder events (flushes, "
+                             "compactions, stalls, faults) as JSONL "
+                             "(appends)")
+    parser.add_argument("--overwrite", action="store_true",
+                        help="replace an existing --metrics-out file "
+                             "instead of failing")
     parser.add_argument("--chrome-trace", metavar="PATH",
                         help="record the pipeline event timeline and write "
                              "Chrome trace-event JSON (Perfetto-loadable)")
@@ -200,6 +211,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: cannot open {args.trace_out}: {error}",
                   file=sys.stderr)
             return 2
+    events = None
+    if args.events_out:
+        try:
+            events = obs.EventJournal(sink_path=args.events_out,
+                                      keep_events=False)
+        except OSError as error:
+            print(f"error: cannot open {args.events_out}: {error}",
+                  file=sys.stderr)
+            return 2
 
     bench_doc = None
     if args.bench_json:
@@ -223,9 +243,10 @@ def main(argv: list[str] | None = None) -> int:
                 if want_timeline:
                     timeline = obs.TimelineRecorder()
                 token = None
-                if registry is not None or tracer is not None:
+                if (registry is not None or tracer is not None
+                        or events is not None):
                     token = obs.install(registry=registry, tracer=tracer,
-                                        timeline=timeline)
+                                        timeline=timeline, events=events)
                 started = time.perf_counter()
                 try:
                     result = EXPERIMENTS[name](scale=args.scale)
@@ -260,6 +281,9 @@ def main(argv: list[str] | None = None) -> int:
         if tracer is not None:
             tracer.close()
             print(f"trace written to {args.trace_out}")
+        if events is not None:
+            events.close()
+            print(f"events written to {args.events_out}")
     if bench_doc is not None:
         try:
             with open(args.bench_json, "w") as handle:

@@ -5,7 +5,9 @@ Unlike the paper-figure experiments (deterministic model output), these
 rows measure Python execution speed of the four hottest paths — CRC32C,
 varint decode, block codec, SSTable build/scan, the end-to-end CPU merge
 and the pipeline timing simulator — with a repeat/warmup harness that
-reports p50/p95 wall times instead of a single noisy sample.
+reports p50/p95 wall times instead of a single noisy sample.  The
+``obs_*`` rows bound the flight recorder's cost: put/get loops with
+observability off vs on, plus the disabled path's per-op residue.
 
 ``fcae-bench hotpath --bench-json BENCH_hotpath.json`` emits the rows in
 the schema ``tools/check_regression.py`` understands; the committed
@@ -30,6 +32,7 @@ from repro.bench.common import ExperimentResult, scaled, two_input_config
 from repro.fpga.engine import CompactionEngine, simulate_synthetic
 from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.compaction import _BufferFile, compact, table_sources
+from repro.lsm.db import LsmDB
 from repro.lsm.internal import (
     InternalKeyComparator,
     TYPE_DELETION,
@@ -38,6 +41,7 @@ from repro.lsm.internal import (
 )
 from repro.lsm.options import Options
 from repro.lsm.sstable import TableBuilder, TableReader
+from repro.obs.events import NullJournal
 from repro.util.comparator import BytewiseComparator
 from repro.util.crc32c import crc32c
 from repro.util.varint import decode_varint64, encode_varint64
@@ -128,8 +132,8 @@ def run(scale: float = 1.0) -> ExperimentResult:
         columns=["bench", "p50_us", "p95_us", "mb_per_s"],
     )
 
-    (n_block, n_table, n_merge, n_varint,
-     n_pairs, n_tail) = scaled([256, 2000, 1000, 3000, 1500, 2400], scale)
+    (n_block, n_table, n_merge, n_varint, n_pairs, n_tail,
+     n_obs) = scaled([256, 2000, 1000, 3000, 1500, 2400, 1200], scale)
 
     # -- crc32c over a 4 KB block-sized payload ------------------------
     payload = bytes(range(256)) * 16
@@ -227,6 +231,55 @@ def run(scale: float = 1.0) -> ExperimentResult:
         engine.run_on_images([[head], [tail]])
 
     _add(result, "engine_tail_run", engine_tail, len(head) + len(tail),
+         repeat, warmup)
+
+    # -- observability overhead on the put/get path --------------------
+    # Same put+get loop against two memtable-only stores: one with the
+    # flight recorder off (default options) and one with the journal and
+    # latency windows on.  `obs_overhead` measures the *disabled* path's
+    # residue — the NullJournal call and the windows-off guard that every
+    # operation pays even when nothing is recording.
+    obs_pairs = [(f"obs{i:012d}".encode(), b"x" * 64)
+                 for i in range(n_obs)]
+    obs_nbytes = sum(len(k) + len(v) for k, v in obs_pairs)
+
+    def _obs_db(**obs_options) -> LsmDB:
+        # 64 MB buffer: the loop never flushes, isolating the per-op
+        # instrumentation cost from maintenance work.
+        db = LsmDB("hotpath-obs", Options(write_buffer_size=64 << 20,
+                                          compression="none",
+                                          **obs_options))
+        for key, value in obs_pairs:
+            db.put(key, value)
+        return db
+
+    db_off = _obs_db()
+    db_on = _obs_db(event_journal=True, latency_window_seconds=300.0)
+
+    def _put_get(db: LsmDB):
+        def fn():
+            for key, value in obs_pairs:
+                db.put(key, value)
+                db.get(key)
+        return fn
+
+    _add(result, "obs_put_get_off", _put_get(db_off), 2 * obs_nbytes,
+         repeat, warmup)
+    _add(result, "obs_put_get_on", _put_get(db_on), 2 * obs_nbytes,
+         repeat, warmup)
+
+    null_journal = db_off.events
+    windows = db_off._windows
+    assert isinstance(null_journal, NullJournal) and windows is None
+
+    def disabled_obs_primitives():
+        for _ in range(n_obs):
+            if windows is not None:
+                raise AssertionError("windows unexpectedly enabled")
+            null_journal.emit("flush_start")
+            null_journal.emit("flush_finish")
+
+    _add(result, "obs_overhead", disabled_obs_primitives, 0,
          repeat, warmup)
 
     result.notes.append(

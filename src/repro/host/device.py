@@ -118,6 +118,11 @@ class FcaeDevice:
                     if hasattr(t, "__len__")))
 
         timeline = obs.current_timeline()
+        # The trace id propagated through the driver's task queue: stamp
+        # it on the DMA/marshal intervals so Perfetto can correlate one
+        # compaction's host spans with its timeline intervals.
+        ctx = obs.current_tracer().current_context()
+        trace_id = ctx.trace_id if ctx is not None else None
 
         dram = Dram(size=self.dram_size)
         image = marshal_inputs(dram, self.config, inputs)
@@ -130,12 +135,13 @@ class FcaeDevice:
             setup, wire = self.pcie.transfer_breakdown(input_bytes)
             timeline.interval(
                 "host", "scheduler", "marshal", t0,
-                t0 + marshal_seconds * 1e6, {"bytes": input_bytes})
+                t0 + marshal_seconds * 1e6,
+                {"bytes": input_bytes, "trace": trace_id})
             timeline.interval(
                 "host", "pcie", "dma_in", t0 + marshal_seconds * 1e6,
                 t0 + (marshal_seconds + pcie_in) * 1e6,
                 {"bytes": input_bytes, "setup_us": setup * 1e6,
-                 "wire_us": wire * 1e6})
+                 "wire_us": wire * 1e6, "trace": trace_id})
             # The kernel run (timed inside the engine) starts here.
             timeline.advance_to(t0 + (marshal_seconds + pcie_in) * 1e6)
 
@@ -152,7 +158,7 @@ class FcaeDevice:
             timeline.interval(
                 "host", "pcie", "dma_out", t1, t1 + pcie_out * 1e6,
                 {"bytes": output_bytes, "setup_us": setup * 1e6,
-                 "wire_us": wire * 1e6})
+                 "wire_us": wire * 1e6, "trace": trace_id})
             timeline.advance_to(t1 + pcie_out * 1e6)
 
         if self._pcie_metrics is not None:

@@ -39,8 +39,10 @@ from repro.lsm.options import L0_STOP_TRIGGER
 from repro.lsm.version import CompactionSpec
 from repro.obs.names import DriverMetrics
 
-#: Queue token for "no level preference" (tokens are ints; the L0 stall
-#: path enqueues ``0`` to force level-0 relief).
+#: Level value for "no level preference" (the L0 stall path enqueues
+#: ``0`` to force level-0 relief).  Queue tokens are ``(level,
+#: trace_context)`` tuples so the trace minted at the kicking write
+#: follows the task onto the worker thread.
 _ANY_LEVEL = -1
 
 
@@ -52,8 +54,8 @@ class CompactionDriver:
             raise ValueError("num_units must be >= 1")
         self.db = db
         self.num_units = num_units
-        self._tasks: queue.Queue[int] = queue.Queue(maxsize=num_units)
-        self._flush_q: queue.Queue[int] = queue.Queue(maxsize=1)
+        self._tasks: queue.Queue[tuple] = queue.Queue(maxsize=num_units)
+        self._flush_q: queue.Queue[tuple] = queue.Queue(maxsize=1)
         self._stop = threading.Event()
         self._closed = False
         #: File numbers owned by in-flight compactions (DB mutex held).
@@ -78,23 +80,26 @@ class CompactionDriver:
     # Submission (called with the DB mutex held, except from workers)
     # ------------------------------------------------------------------
 
-    def kick(self, level: int | None = None) -> None:
+    def kick(self, level: int | None = None, ctx=None) -> None:
         """Queue one compaction token; drops silently when the unit
-        queue is full (a later completion re-kicks)."""
+        queue is full (a later completion re-kicks).  ``ctx`` is a
+        :class:`repro.obs.TraceContext` the worker re-activates, so the
+        compaction's spans stitch under the kicking write's trace."""
         if self._stop.is_set() or self._closed:
             return
         try:
-            self._tasks.put_nowait(_ANY_LEVEL if level is None else level)
+            self._tasks.put_nowait(
+                (_ANY_LEVEL if level is None else level, ctx))
         except queue.Full:
             return
         self._m.queue_depth.set(self._tasks.qsize())
 
-    def kick_flush(self) -> None:
+    def kick_flush(self, ctx=None) -> None:
         """Queue the flush token (idempotent: one immutable memtable)."""
         if self._stop.is_set() or self._closed:
             return
         try:
-            self._flush_q.put_nowait(0)
+            self._flush_q.put_nowait((0, ctx))
         except queue.Full:
             pass
 
@@ -124,9 +129,11 @@ class CompactionDriver:
             token = self._next(self._flush_q)
             if token is None:
                 return
+            _, ctx = token
             self._m.tasks["flush"].inc()
             try:
-                db._background_flush()
+                with db.tracer.activate(ctx):
+                    db._background_flush()
             except Exception as error:  # noqa: BLE001 — reported, not lost
                 with db._mutex:
                     db._set_background_error(error)
@@ -141,9 +148,11 @@ class CompactionDriver:
             token = self._next(self._tasks)
             if token is None:
                 return
+            level, ctx = token
             self._m.queue_depth.set(self._tasks.qsize())
             try:
-                self._run_one(None if token == _ANY_LEVEL else token)
+                with db.tracer.activate(ctx):
+                    self._run_one(None if level == _ANY_LEVEL else level)
             except Exception as error:  # noqa: BLE001 — reported, not lost
                 with db._mutex:
                     db._set_background_error(error)
@@ -171,7 +180,9 @@ class CompactionDriver:
                 for meta in spec.inputs + spec.parents:
                     self._busy.discard(meta.number)
         if db.versions.needs_compaction():
-            self.kick()
+            # Still inside the worker's activated context: a cascading
+            # compaction stays on the trace that triggered this one.
+            self.kick(ctx=db.tracer.current_context())
 
     def _pick_locked(self, level_hint: int | None) -> CompactionSpec | None:
         """Choose a compaction for the current version (DB mutex held).
@@ -248,7 +259,7 @@ class CompactionDriver:
             if imm_pending:
                 # Re-queue directly: self._closed suppresses kick_flush.
                 try:
-                    self._flush_q.put_nowait(0)
+                    self._flush_q.put_nowait((0, None))
                 except queue.Full:
                     pass
             elif self.idle():

@@ -22,6 +22,7 @@ reconstructs exactly where offload time went.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Optional
 
@@ -32,9 +33,15 @@ from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
 from repro.lsm.internal import InternalKeyComparator
 from repro.lsm.options import Options
 from repro.lsm.version import CompactionSpec
-from repro.obs import merge_counts, resolve_registry, resolve_tracer
+from repro.obs import (
+    merge_counts,
+    resolve_events,
+    resolve_registry,
+    resolve_tracer,
+)
 from repro.obs.names import SchedulerMetrics
 from repro.obs.registry import MetricsRegistry
+from repro.obs.window import WindowedHistogram, publish_window
 from repro.sim.cpu import CpuCostModel
 
 
@@ -152,9 +159,11 @@ class CompactionScheduler:
                  verify_outputs: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer=None,
+                 events=None,
                  max_retries: int = 1,
                  retry_backoff_seconds: float = 0.0,
-                 fallback_to_software: bool = True):
+                 fallback_to_software: bool = True,
+                 task_window_seconds: float = 60.0):
         self.device = device
         self.options = options or device.options
         self.comparator = InternalKeyComparator(self.options.comparator)
@@ -165,9 +174,26 @@ class CompactionScheduler:
         self.fallback_to_software = fallback_to_software
         self.metrics = resolve_registry(metrics)
         self.tracer = resolve_tracer(tracer)
+        self.events = resolve_events(events)
         self._m = SchedulerMetrics(self.metrics,
                                    inst=self.metrics.instance_label())
         self.stats = SchedulerStats(self._m)
+        #: Route taken by the most recent task *on this thread* — the
+        #: driver's unit workers run tasks concurrently, so a plain
+        #: attribute would race (``LsmDB`` reads it for the journal's
+        #: ``backend`` field right after the executor returns).
+        self._local = threading.local()
+        self.task_window = WindowedHistogram(
+            window_seconds=task_window_seconds)
+        publish_window(
+            self.metrics, "scheduler_task_window_seconds",
+            "Sliding-window compaction task duration quantiles.",
+            self.task_window, inst=self._m.labels["inst"])
+
+    def last_route(self) -> Optional[str]:
+        """Route of the last task completed on the calling thread:
+        ``"fpga"``, ``"software"`` or ``"fallback"``."""
+        return getattr(self._local, "route", None)
 
     # ------------------------------------------------------------------
     # Routing
@@ -184,14 +210,20 @@ class CompactionScheduler:
         route = "fpga" if offload else "software"
         self._m.tasks[route].inc()
         self._m.task_input_bytes.observe(spec.total_input_bytes)
-        with self.tracer.span("compaction.route", route=route,
-                              level=spec.level,
-                              input_streams=spec.fpga_input_count()) as span:
-            if offload:
-                return self._run_fpga_with_recovery(
-                    spec, input_tables, parent_tables, drop_deletions, span)
-            return self._run_software(spec, input_tables, parent_tables,
-                                      drop_deletions)
+        self._local.route = route
+        start = time.perf_counter()
+        try:
+            with self.tracer.span(
+                    "compaction.route", route=route, level=spec.level,
+                    input_streams=spec.fpga_input_count()) as span:
+                if offload:
+                    return self._run_fpga_with_recovery(
+                        spec, input_tables, parent_tables, drop_deletions,
+                        span)
+                return self._run_software(spec, input_tables, parent_tables,
+                                          drop_deletions)
+        finally:
+            self.task_window.observe(time.perf_counter() - start)
 
     def _run_fpga_with_recovery(self, spec: CompactionSpec,
                                 input_tables: list, parent_tables: list,
@@ -207,10 +239,14 @@ class CompactionScheduler:
             except self.RECOVERABLE_FAULTS as error:
                 kind = self._fault_kind(error)
                 self._m.faults[kind].inc()
+                self.events.emit("fault", kind=kind, level=spec.level,
+                                 attempt=attempt + 1)
                 span.set(fault=kind, attempts=attempt + 1)
                 if attempt < self.max_retries:
                     attempt += 1
                     self._m.retries.inc()
+                    self.events.emit("retry", kind=kind, level=spec.level,
+                                     attempt=attempt)
                     if self.retry_backoff_seconds:
                         time.sleep(self.retry_backoff_seconds
                                    * (2 ** (attempt - 1)))
@@ -218,7 +254,9 @@ class CompactionScheduler:
                 if not self.fallback_to_software:
                     raise
                 self._m.fallbacks.inc()
+                self.events.emit("fallback", kind=kind, level=spec.level)
                 span.set(fallback=True)
+                self._local.route = "fallback"
                 return self._run_software(spec, input_tables,
                                           parent_tables, drop_deletions)
 

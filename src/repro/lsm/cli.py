@@ -16,8 +16,12 @@ instead of the CPU path — functionally identical files, offload
 statistics printed.
 
 Every command also takes ``--metrics-out PATH`` (Prometheus text-format
-dump of the run's metrics) and ``--trace-out PATH`` (JSONL span trace of
-flushes/compactions and their offload phases).
+dump of the run's metrics; fails if PATH exists unless ``--overwrite``),
+``--trace-out PATH`` (JSONL span trace of flushes/compactions and their
+offload phases; appends) and ``--events-out PATH`` (flight-recorder
+event journal as JSONL; appends).  ``fill --watch SECS`` prints windowed
+put-latency percentiles while the fill runs, and ``levelstats`` prints
+the per-level amplification table.
 """
 
 from __future__ import annotations
@@ -32,20 +36,29 @@ from repro.lsm.env import OsEnv
 from repro.lsm.options import Options
 
 
+def _cli_options(args) -> Options:
+    # The CLI operates on a persistent directory, so keep the flight
+    # recorder on: EVENTS.jsonl in the DB dir is the LevelDB LOG analog,
+    # appending one segment per invocation.
+    return Options(
+        event_journal=True,
+        latency_window_seconds=float(getattr(args, "watch", 0) or 0))
+
+
 def _open_db(args) -> LsmDB:
     executor = None
     scheduler = None
+    options = _cli_options(args)
     if getattr(args, "fpga", 0):
         from repro.fpga.resources import best_feasible_config
         from repro.host.device import FcaeDevice
         from repro.host.scheduler import CompactionScheduler
 
-        options = Options()
         config = best_feasible_config(args.fpga)
         device = FcaeDevice(config, options)
         scheduler = CompactionScheduler(device, options)
         executor = scheduler
-    db = LsmDB(args.db, Options(), env=OsEnv(),
+    db = LsmDB(args.db, options, env=OsEnv(),
                compaction_executor=executor)
     db._cli_scheduler = scheduler
     return db
@@ -92,17 +105,41 @@ def cmd_scan(args) -> int:
 
 
 def cmd_fill(args) -> int:
+    import time as _time
+
     from repro.workloads.dbbench import DbBench, FillMode
 
     with _open_db(args) as db:
         bench = DbBench(args.entries, value_length=args.value_size)
         mode = FillMode.SEQUENTIAL if args.sequential else FillMode.RANDOM
-        written = bench.run_fill(db, mode)
+        if args.watch:
+            written = 0
+            next_report = _time.monotonic() + args.watch
+            for count, (key, value) in enumerate(bench.fill(mode), 1):
+                db.put(key, value)
+                written += len(key) + len(value)
+                if _time.monotonic() >= next_report:
+                    _print_watch_line(db, count)
+                    next_report = _time.monotonic() + args.watch
+        else:
+            written = bench.run_fill(db, mode)
         db.flush()
         print(f"wrote {args.entries} entries ({written / 1e6:.1f} MB), "
               f"levels: {db.level_file_counts()}")
         _print_offload_stats(db)
     return 0
+
+
+def _print_watch_line(db: LsmDB, count: int) -> None:
+    """One ``--watch`` progress line: windowed put-latency percentiles."""
+    window = db._windows["put"] if db._windows else None
+    if window is None:
+        return
+    quantiles = " ".join(
+        f"{label}={window.percentile(q) * 1e6:.0f}us"
+        for q, label in ((0.5, "p50"), (0.99, "p99"), (0.999, "p999")))
+    print(f"  {count} puts  {quantiles}  levels={db.level_file_counts()}",
+          file=sys.stderr)
 
 
 def cmd_compact(args) -> int:
@@ -117,6 +154,13 @@ def cmd_stats(args) -> int:
     with _open_db(args) as db:
         print(f"path: {args.db}")
         print(db.property("repro.stats"))
+    return 0
+
+
+def cmd_levelstats(args) -> int:
+    with _open_db(args) as db:
+        print(f"path: {args.db}")
+        print(db.property("repro.levelstats"))
     return 0
 
 
@@ -149,7 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--metrics-out", metavar="PATH",
                          help="write a Prometheus text-format metrics dump")
         cmd.add_argument("--trace-out", metavar="PATH",
-                         help="stream span traces as JSONL")
+                         help="stream span traces as JSONL (appends)")
+        cmd.add_argument("--events-out", metavar="PATH",
+                         help="stream flight-recorder events as JSONL "
+                              "(appends)")
+        cmd.add_argument("--overwrite", action="store_true",
+                         help="replace an existing --metrics-out file "
+                              "instead of failing")
         cmd.set_defaults(func=func)
         return cmd
 
@@ -164,15 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     fill.add_argument("--entries", type=int, default=10_000)
     fill.add_argument("--value-size", type=int, default=128)
     fill.add_argument("--sequential", action="store_true")
+    fill.add_argument("--watch", type=float, default=0.0, metavar="SECS",
+                      help="report windowed put-latency percentiles "
+                           "every SECS seconds during the fill")
     add("compact", cmd_compact)
     add("stats", cmd_stats)
+    add("levelstats", cmd_levelstats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    registry = tracer = token = None
-    if args.metrics_out or args.trace_out:
+    registry = tracer = events = token = None
+    if args.metrics_out or args.trace_out or args.events_out:
         registry = obs.MetricsRegistry()
         obs.names.register_all(registry)
         if args.trace_out:
@@ -183,7 +237,16 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"error: cannot open {args.trace_out}: {error}",
                       file=sys.stderr)
                 return 2
-        token = obs.install(registry=registry, tracer=tracer)
+        if args.events_out:
+            try:
+                events = obs.EventJournal(sink_path=args.events_out,
+                                          keep_events=False)
+            except OSError as error:
+                print(f"error: cannot open {args.events_out}: {error}",
+                      file=sys.stderr)
+                return 2
+        token = obs.install(registry=registry, tracer=tracer,
+                            events=events)
     status = 0
     try:
         status = args.func(args)
@@ -196,15 +259,23 @@ def main(argv: list[str] | None = None) -> int:
         if tracer is not None:
             tracer.close()
             print(f"trace written to {args.trace_out}", file=sys.stderr)
+        if events is not None:
+            events.close()
+            print(f"events written to {args.events_out}", file=sys.stderr)
         if registry is not None and args.metrics_out:
             try:
-                obs.write_prometheus(args.metrics_out, registry)
-                print(f"metrics written to {args.metrics_out}",
-                      file=sys.stderr)
+                obs.write_prometheus(args.metrics_out, registry,
+                                     overwrite=args.overwrite)
+            except FileExistsError as error:
+                print(f"error: {error}", file=sys.stderr)
+                status = status or 2
             except OSError as error:
                 print(f"error: cannot write {args.metrics_out}: {error}",
                       file=sys.stderr)
                 status = status or 2
+            else:
+                print(f"metrics written to {args.metrics_out}",
+                      file=sys.stderr)
     return status
 
 

@@ -44,6 +44,7 @@ from repro.lsm.compaction import (
 from repro.lsm.env import Env, MemEnv
 from repro.lsm.filenames import (
     current_file_name,
+    event_journal_file_name,
     log_file_name,
     manifest_file_name,
     parse_log_number,
@@ -85,10 +86,18 @@ from repro.util.coding import (
     put_length_prefixed_slice,
 )
 
-from repro.obs import merge_counts, resolve_registry, resolve_tracer
+from repro.obs import (
+    current_events,
+    merge_counts,
+    resolve_events,
+    resolve_registry,
+    resolve_tracer,
+)
+from repro.obs.events import EventJournal, NullJournal, TeeJournal
 from repro.obs.names import LsmMetrics
 from repro.obs.registry import MetricsRegistry
-from repro.obs.report import render_db_report
+from repro.obs.report import render_db_report, render_level_stats
+from repro.obs.window import WindowedHistogram, publish_window
 
 #: A compaction executor turns (spec, input tables, parent tables,
 #: drop_deletions) into output table images.  ``repro.host`` provides the
@@ -151,6 +160,25 @@ class DbStats:
         return f"DbStats({inner})"
 
 
+class _EnvTextSink:
+    """Adapts an :class:`repro.lsm.env.WritableFile` to the text-handle
+    interface :class:`repro.obs.EventJournal` writes through."""
+
+    __slots__ = ("_file",)
+
+    def __init__(self, wfile):
+        self._file = wfile
+
+    def write(self, text: str) -> None:
+        self._file.append(text.encode())
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        self._file.close()
+
+
 class LsmDB:
     """Open a directory (real or in-memory) as an LSM key-value store.
 
@@ -174,6 +202,11 @@ class LsmDB:
     tracer:
         A :class:`repro.obs.Tracer` for flush/compaction spans; defaults
         to the installed tracer, else a no-op.
+    events:
+        A :class:`repro.obs.EventJournal` for the flight recorder's
+        flush/compaction/stall events; defaults to a DB-directory
+        journal when ``Options.event_journal`` is set, else the
+        installed journal, else a no-op.
     background_compaction:
         Run flushes and merge compactions on background threads via a
         :class:`repro.host.driver.CompactionDriver`; the write path then
@@ -191,6 +224,7 @@ class LsmDB:
                  auto_compact: bool = True,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer=None,
+                 events=None,
                  background_compaction: bool = False,
                  num_units: int = 1):
         self.options = options or Options()
@@ -200,6 +234,17 @@ class LsmDB:
         self.tracer = resolve_tracer(tracer)
         self._m = LsmMetrics(self.metrics, db=dbname,
                              inst=self.metrics.instance_label())
+        self._windows: Optional[dict[str, WindowedHistogram]] = None
+        if self.options.latency_window_seconds > 0:
+            self._windows = {
+                op: WindowedHistogram(
+                    window_seconds=self.options.latency_window_seconds)
+                for op in ("get", "put", "write")}
+            for op, window in self._windows.items():
+                publish_window(
+                    self.metrics, "lsm_op_latency_window_seconds",
+                    "Sliding-window operation latency quantiles.",
+                    window, op=op, **self._m.labels)
         self._c = self._m.counters
         self.icmp = InternalKeyComparator(self.options.comparator)
         self.versions = VersionSet(self.options, self.icmp)
@@ -234,6 +279,21 @@ class LsmDB:
         self.slowdown_sleep_seconds = 0.001
 
         self.env.create_dir(dbname)
+        #: The journal owned by this DB (per-directory flight recorder);
+        #: None when events come from the caller or the installed sinks.
+        self._own_journal: Optional[EventJournal] = None
+        if events is None and self.options.event_journal:
+            self._own_journal = EventJournal(
+                sink=_EnvTextSink(self.env.new_appendable_file(
+                    event_journal_file_name(dbname))))
+            installed = current_events()
+            # The per-directory journal records regardless; an installed
+            # sink (--events-out) gets the same stream teed in.
+            if isinstance(installed, NullJournal):
+                events = self._own_journal
+            else:
+                events = TeeJournal(self._own_journal, installed)
+        self.events = resolve_events(events)
         self._recover()
         self._new_log()
 
@@ -353,7 +413,12 @@ class LsmDB:
     def put(self, key: bytes, value: bytes) -> None:
         batch = WriteBatch()
         batch.put(key, value)
+        if self._windows is None:
+            self.write(batch)
+            return
+        start = time.perf_counter()
         self.write(batch)
+        self._windows["put"].observe(time.perf_counter() - start)
 
     def delete(self, key: bytes) -> None:
         batch = WriteBatch()
@@ -378,6 +443,7 @@ class LsmDB:
         self._check_open()
         if not len(batch):
             return
+        start = time.perf_counter() if self._windows is not None else 0.0
         with self._mutex:
             if self._driver is not None:
                 self._check_bg_error()
@@ -390,9 +456,14 @@ class LsmDB:
             self.versions.last_sequence = next_seq - 1
             if self._driver is not None:
                 if self.versions.needs_compaction():
-                    self._driver.kick()
+                    # Mint a trace context here so the compaction this
+                    # write triggers stitches back to it across the
+                    # driver's queue and worker threads.
+                    self._driver.kick(ctx=self.tracer.mint_context())
             elif self.auto_compact:
                 self._maybe_maintain()
+        if self._windows is not None:
+            self._windows["write"].observe(time.perf_counter() - start)
 
     def _make_room_for_write(self) -> None:
         """LevelDB's ``MakeRoomForWrite``: real throttling for the
@@ -438,13 +509,17 @@ class LsmDB:
         whole episode is one stall observation."""
         self.stall_events += 1
         self._c["stalls"].inc()
+        self.events.emit("stall_start", db=self.dbname, reason=reason)
         start = time.perf_counter()
         with self.tracer.span("write.stall", db=self.dbname, reason=reason):
             while (not predicate() and self._bg_error is None
                    and not self._closed):
                 kick()
                 self._cond.wait(timeout=0.05)
-        self._m.stall_seconds.observe(time.perf_counter() - start)
+        waited = time.perf_counter() - start
+        self._m.stall_seconds.observe(waited)
+        self.events.emit("stall_finish", db=self.dbname, reason=reason,
+                         seconds=waited)
         self._check_bg_error()
 
     def _swap_memtable_locked(self) -> None:
@@ -455,7 +530,7 @@ class LsmDB:
         # New writes land in a fresh log; the old segment is retired only
         # after the immutable memtable reaches level 0.
         self._new_log()
-        self._driver.kick_flush()
+        self._driver.kick_flush(ctx=self.tracer.mint_context())
 
     def _maybe_maintain(self) -> None:
         """Inline maintenance for the synchronous mode.  Every episode
@@ -537,6 +612,8 @@ class LsmDB:
         restores the memtable."""
         number = self.versions.new_file_number()
         name = table_file_name(self.dbname, number)
+        self.events.emit("flush_start", db=self.dbname, table=number)
+        start = time.perf_counter()
         try:
             dest = self.env.new_writable_file(name)
             builder = TableBuilder(self.options, dest, self.icmp)
@@ -556,7 +633,13 @@ class LsmDB:
             raise
         self._c["flushes"].inc()
         self._c["flush_bytes"].inc(stats.file_bytes)
+        self._m.add_level_write(0, stats.file_bytes)
         span.set(table=number, bytes=stats.file_bytes)
+        self.events.emit(
+            "flush_finish", db=self.dbname, table=number,
+            bytes=stats.file_bytes,
+            seconds=time.perf_counter() - start,
+            write_bytes=int(self._c["write_bytes"].value))
 
     def _restore_imm_after_failed_flush(self) -> None:
         """A failed flush must not strand writes: fold whatever reached
@@ -621,6 +704,18 @@ class LsmDB:
                             smallest_snapshot=smallest_snapshot)
         return stats.outputs
 
+    def _executor_backend(self) -> str:
+        """Which backend ran the merge just executed on this thread.
+
+        The scheduler records its route (fpga|software|fallback) in
+        thread-local state precisely so this read is safe with multiple
+        compaction units; executors without ``last_route`` are the plain
+        CPU reference merge."""
+        last_route = getattr(self._executor, "last_route", None)
+        if callable(last_route):
+            return last_route() or "cpu"
+        return "cpu"
+
     def compact_once(self) -> bool:
         """Pick and execute one merge compaction; returns False when no
         compaction is due."""
@@ -651,6 +746,13 @@ class LsmDB:
 
     def _run_compaction(self, spec: CompactionSpec,
                         span) -> list[FileMetaData]:
+        base_bytes = sum(m.file_size for m in spec.inputs)
+        parent_bytes = sum(m.file_size for m in spec.parents)
+        self.events.emit(
+            "compaction_start", db=self.dbname, level=spec.level,
+            output_level=spec.output_level, reason=spec.reason,
+            input_bytes=spec.total_input_bytes)
+        start = time.perf_counter()
         with self._mutex:
             input_tables = [self._open_reader(m) for m in spec.inputs]
             parent_tables = [self._open_reader(m) for m in spec.parents]
@@ -672,15 +774,30 @@ class LsmDB:
                 spec, input_tables, parent_tables, drop, smallest_snapshot)
             span.set(snapshot_merge=True,
                      smallest_snapshot=smallest_snapshot)
+            backend = "cpu"
         else:
             outputs = self._executor(spec, input_tables, parent_tables, drop)
+            backend = self._executor_backend()
 
         with self._mutex:
             output_bytes = sum(len(o.data) for o in outputs)
             self._c["compactions"].inc()
             self._c["compaction_input_bytes"].inc(spec.total_input_bytes)
             self._c["compaction_output_bytes"].inc(output_bytes)
-            span.set(output_bytes=output_bytes, output_tables=len(outputs))
+            self._m.add_level_write(spec.output_level, output_bytes)
+            self._m.add_level_read(spec.level, base_bytes)
+            if parent_bytes:
+                self._m.add_level_read(spec.output_level, parent_bytes)
+            span.set(output_bytes=output_bytes, output_tables=len(outputs),
+                     backend=backend)
+            self.events.emit(
+                "compaction_finish", db=self.dbname, level=spec.level,
+                output_level=spec.output_level, reason=spec.reason,
+                backend=backend, input_bytes=spec.total_input_bytes,
+                output_bytes=output_bytes, input_bytes_base=base_bytes,
+                input_bytes_parent=parent_bytes,
+                seconds=time.perf_counter() - start,
+                write_bytes=int(self._c["write_bytes"].value))
             with self.tracer.span("compaction.install"):
                 edit = VersionEdit()
                 for meta in spec.inputs:
@@ -737,6 +854,8 @@ class LsmDB:
             number = self.versions.new_file_number()
         with self.tracer.span("flush", db=self.dbname) as span:
             name = table_file_name(self.dbname, number)
+            self.events.emit("flush_start", db=self.dbname, table=number)
+            start = time.perf_counter()
             try:
                 dest = self.env.new_writable_file(name)
                 builder = TableBuilder(self.options, dest, self.icmp)
@@ -758,14 +877,22 @@ class LsmDB:
                 self._open_reader(meta)
                 self._c["flushes"].inc()
                 self._c["flush_bytes"].inc(stats.file_bytes)
+                self._m.add_level_write(0, stats.file_bytes)
                 span.set(table=number, bytes=stats.file_bytes)
+                self.events.emit(
+                    "flush_finish", db=self.dbname, table=number,
+                    bytes=stats.file_bytes,
+                    seconds=time.perf_counter() - start,
+                    write_bytes=int(self._c["write_bytes"].value))
                 self._imm = None
                 self._write_manifest()
                 self._retire_old_logs()
                 self._refresh_level_gauges()
                 self._cond.notify_all()
         if self.versions.needs_compaction():
-            self._driver.kick()
+            # Still inside the flush's activated context: the compaction
+            # this flush triggers joins the same trace.
+            self._driver.kick(ctx=self.tracer.current_context())
 
     def compact_range(self) -> None:
         """Compact until no level is over budget (full maintenance).
@@ -779,7 +906,7 @@ class LsmDB:
                     if (not self.versions.needs_compaction()
                             and self._driver.idle()):
                         break
-                    self._driver.kick()
+                    self._driver.kick(ctx=self.tracer.mint_context())
                     self._cond.wait(timeout=0.05)
                 self._check_bg_error()
             return
@@ -835,10 +962,16 @@ class LsmDB:
         self._check_open()
         if snapshot is not None:
             snapshot._check_owner(self)
+        start = time.perf_counter() if self._windows is not None else 0.0
         with self._mutex:
             sequence = (snapshot.sequence if snapshot is not None
                         else self.versions.last_sequence)
-            return self._get_at(key, sequence)
+            try:
+                return self._get_at(key, sequence)
+            finally:
+                if self._windows is not None:
+                    self._windows["get"].observe(
+                        time.perf_counter() - start)
 
     def _get_at(self, key: bytes, snapshot: int) -> bytes:
         self._c["reads"].inc()
@@ -956,16 +1089,63 @@ class LsmDB:
                     for level in range(NUM_LEVELS)]
 
     def _refresh_level_gauges(self) -> None:
-        """Publish per-level file counts and sizes after shape changes."""
+        """Publish per-level file counts, sizes and amplification gauges
+        after shape changes (mutex held)."""
         for level in range(NUM_LEVELS):
             self._m.set_level(level,
                               self.versions.current.num_files(level),
                               self.versions.current.level_bytes(level))
+        for row in self._level_amplification_locked():
+            self._m.set_level_amp(row["level"], row["write_amp"],
+                                  row["space_amp"], row["read_amp"])
+
+    def _level_amplification_locked(self) -> list[dict]:
+        """Per-level amplification rows (mutex held).
+
+        * write amp: bytes installed into the level (flush output for
+          L0, compaction output below) over user write bytes — the
+          per-level decomposition of :attr:`DbStats.write_amplification`;
+        * space amp: level bytes over the bytes of the last non-empty
+          level (the logical dataset size estimate);
+        * read amp: sorted runs a point lookup may touch — the L0 file
+          count, and 1 for any non-empty deeper level.
+        """
+        write_bytes = self._c["write_bytes"].value
+        sizes = [self.versions.current.level_bytes(level)
+                 for level in range(NUM_LEVELS)]
+        last_bytes = next((size for size in reversed(sizes) if size), 0)
+        rows = []
+        for level in range(NUM_LEVELS):
+            files = self.versions.current.num_files(level)
+            level_writes = self._m.level_write_bytes(level)
+            rows.append({
+                "level": level,
+                "files": files,
+                "bytes": sizes[level],
+                "write_bytes": level_writes,
+                "read_bytes": self._m.level_read_bytes(level),
+                "write_amp": (level_writes / write_bytes
+                              if write_bytes else 0.0),
+                "space_amp": (sizes[level] / last_bytes
+                              if last_bytes else 0.0),
+                "read_amp": (float(files) if level == 0
+                             else (1.0 if sizes[level] else 0.0)),
+            })
+        return rows
+
+    def level_amplification(self) -> list[dict]:
+        """Per-level amplification accounting, one dict per level with
+        ``level``, ``files``, ``bytes``, ``write_bytes``, ``read_bytes``,
+        ``write_amp``, ``space_amp`` and ``read_amp`` keys."""
+        self._check_open()
+        with self._mutex:
+            return self._level_amplification_locked()
 
     def property(self, name: str) -> str:
         """LevelDB-style ``GetProperty``.
 
         Supported names: ``repro.stats`` (the human-readable report),
+        ``repro.levelstats`` (per-level amplification table),
         ``repro.num-files-at-level<N>``, and
         ``repro.approximate-memory-usage`` (live memtable bytes).
         Raises :class:`NotFoundError` for unknown properties.
@@ -974,6 +1154,8 @@ class LsmDB:
         with self._mutex:
             if name == "repro.stats":
                 return render_db_report(self)
+            if name == "repro.levelstats":
+                return render_level_stats(self)
             prefix = "repro.num-files-at-level"
             if name.startswith(prefix):
                 try:
@@ -1044,6 +1226,8 @@ class LsmDB:
                 return
             if self._log_file is not None:
                 self._log_file.close()
+            if self._own_journal is not None:
+                self._own_journal.close()
             self._closed = True
             self._cond.notify_all()
 

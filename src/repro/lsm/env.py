@@ -44,6 +44,12 @@ class Env(ABC):
     @abstractmethod
     def new_writable_file(self, name: str) -> WritableFile: ...
 
+    def new_appendable_file(self, name: str) -> WritableFile:
+        """Open ``name`` for appending, keeping existing contents (the
+        event journal extends across DB reopens).  Default falls back to
+        truncate-on-open for Envs that predate this method."""
+        return self.new_writable_file(name)
+
     @abstractmethod
     def read_file(self, name: str) -> bytes: ...
 
@@ -67,10 +73,12 @@ class Env(ABC):
 
 
 class _MemWritableFile(WritableFile):
-    def __init__(self, store: dict[str, bytearray], name: str):
+    def __init__(self, store: dict[str, bytearray], name: str,
+                 append: bool = False):
         self._store = store
         self._name = name
-        self._store[name] = bytearray()
+        if not append or name not in store:
+            self._store[name] = bytearray()
         self._closed = False
 
     def append(self, data: bytes) -> None:
@@ -109,6 +117,11 @@ class MemEnv(Env):
     def new_writable_file(self, name: str) -> WritableFile:
         with self._lock:
             return _MemWritableFile(self._files, self._norm(name))
+
+    def new_appendable_file(self, name: str) -> WritableFile:
+        with self._lock:
+            return _MemWritableFile(self._files, self._norm(name),
+                                    append=True)
 
     def read_file(self, name: str) -> bytes:
         name = self._norm(name)
@@ -157,8 +170,8 @@ class MemEnv(Env):
 
 
 class _OsWritableFile(WritableFile):
-    def __init__(self, name: str):
-        self._file = open(name, "wb")
+    def __init__(self, name: str, append: bool = False):
+        self._file = open(name, "ab" if append else "wb")
         self._size = 0
 
     def append(self, data: bytes) -> None:
@@ -181,6 +194,9 @@ class OsEnv(Env):
 
     def new_writable_file(self, name: str) -> WritableFile:
         return _OsWritableFile(name)
+
+    def new_appendable_file(self, name: str) -> WritableFile:
+        return _OsWritableFile(name, append=True)
 
     def read_file(self, name: str) -> bytes:
         try:

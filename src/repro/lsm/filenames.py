@@ -30,6 +30,11 @@ def current_file_name(dbname: str) -> str:
     return os.path.join(dbname, "CURRENT")
 
 
+def event_journal_file_name(dbname: str) -> str:
+    """The flight recorder's JSONL journal (LevelDB's ``LOG`` analog)."""
+    return os.path.join(dbname, "EVENTS.jsonl")
+
+
 def parse_table_number(name: str) -> int | None:
     match = _TABLE_RE.match(name)
     return int(match.group(1)) if match else None

@@ -218,8 +218,11 @@ class VersionSet:
             score, level = self.compaction_score()
             if score < 1.0:
                 return None
+            reason = "files" if level == 0 else "size"
         elif not 0 <= level < NUM_LEVELS - 1:
             raise InvalidArgumentError(f"cannot compact level {level}")
+        else:
+            reason = f"forced_l{level}"
         version = self.current
         if level == 0:
             base = list(version.files[0])
@@ -235,7 +238,8 @@ class VersionSet:
         parents = version.overlapping_files(
             level + 1, extract_user_key(smallest), extract_user_key(largest))
         self.compact_pointer[level] = largest
-        return CompactionSpec(level=level, inputs=base, parents=parents)
+        return CompactionSpec(level=level, inputs=base, parents=parents,
+                              reason=reason)
 
     def _pick_round_robin(self, level: int) -> list[FileMetaData]:
         pointer = self.compact_pointer[level]
@@ -277,6 +281,10 @@ class CompactionSpec:
     level: int
     inputs: list[FileMetaData]
     parents: list[FileMetaData]
+    #: Why this compaction was picked: ``"files"`` (L0 file-count
+    #: trigger), ``"size"`` (level over its byte budget) or
+    #: ``"forced_l<N>"`` (explicit level request, e.g. L0-stall relief).
+    reason: str = ""
 
     @property
     def output_level(self) -> int:

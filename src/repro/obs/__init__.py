@@ -10,19 +10,26 @@ substrate those numbers flow through:
 * :mod:`repro.obs.names` — the canonical family table (``lsm_*``,
   ``scheduler_*``, ``fpga_pcie_*``, ``fpga_pipeline_*``) and binders;
 * :mod:`repro.obs.tracing` — nested spans over wall-clock and simulated
-  time, streamed as JSONL;
+  time, streamed as JSONL, with trace-context propagation across the
+  async driver's thread boundaries;
+* :mod:`repro.obs.events` — the flight recorder: an append-only JSONL
+  event journal of flushes, compactions, stalls and faults, with a
+  replay loader;
+* :mod:`repro.obs.window` — sliding-window histograms for per-interval
+  tail latency (p50/p95/p99/p999);
 * :mod:`repro.obs.exposition` — Prometheus text format (and a parser);
-* :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` property;
+* :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` /
+  ``repro.levelstats`` properties;
 * :mod:`repro.obs.timeline` — bounded-memory pipeline event intervals
   with Chrome trace-event export (Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.profile` — critical-path attribution of kernel runs
   (which module bounds throughput) and the ``--profile`` report.
 
 Instrumented components resolve their sinks in this order: an explicit
-``metrics=`` / ``tracer=`` constructor argument, then the process-wide
-pair installed by :func:`install` / :func:`scoped` (how the benchmark
-CLIs aggregate a whole run into one dump), else a private registry and
-the no-op tracer.
+``metrics=`` / ``tracer=`` / ``events=`` constructor argument, then the
+process-wide set installed by :func:`install` / :func:`scoped` (how the
+benchmark CLIs aggregate a whole run into one dump), else a private
+registry and the no-op tracer/journal.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import Iterator, Optional
 from repro.obs.registry import (
     BYTES_BUCKETS,
     SECONDS_BUCKETS,
+    CallbackGauge,
     Counter,
     Gauge,
     Histogram,
@@ -44,9 +52,26 @@ from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     Span,
+    TraceContext,
     Tracer,
     read_jsonl,
     span_children,
+    spans_to_chrome_trace,
+)
+from repro.obs.events import (
+    NULL_JOURNAL,
+    EventJournal,
+    JournalSummary,
+    NullJournal,
+    TeeJournal,
+    read_events,
+    replay,
+    replay_file,
+)
+from repro.obs.window import (
+    WindowedHistogram,
+    publish_window,
+    quantile_label,
 )
 from repro.obs.exposition import (
     parse_prometheus_text,
@@ -54,46 +79,57 @@ from repro.obs.exposition import (
     write_prometheus,
 )
 from repro.obs import names
-from repro.obs.report import render_db_report
+from repro.obs.report import render_db_report, render_level_stats
 from repro.obs.timeline import TimelineRecorder
 
 _installed_registry: Optional[MetricsRegistry] = None
 _installed_tracer: Optional[Tracer] = None
 _installed_timeline: Optional[TimelineRecorder] = None
+_installed_events: Optional[EventJournal] = None
 
 
 def install(registry: Optional[MetricsRegistry] = None,
             tracer: Optional[Tracer] = None,
-            timeline: Optional[TimelineRecorder] = None) -> tuple:
-    """Install a process-wide default registry/tracer/timeline; returns
-    a token for :func:`uninstall` (the previous triple)."""
-    global _installed_registry, _installed_tracer, _installed_timeline
-    token = (_installed_registry, _installed_tracer, _installed_timeline)
+            timeline: Optional[TimelineRecorder] = None,
+            events: Optional[EventJournal] = None) -> tuple:
+    """Install process-wide defaults; returns a token for
+    :func:`uninstall` (the previous tuple)."""
+    global _installed_registry, _installed_tracer
+    global _installed_timeline, _installed_events
+    token = (_installed_registry, _installed_tracer, _installed_timeline,
+             _installed_events)
     if registry is not None:
         _installed_registry = registry
     if tracer is not None:
         _installed_tracer = tracer
     if timeline is not None:
         _installed_timeline = timeline
+    if events is not None:
+        _installed_events = events
     return token
 
 
-def uninstall(token: tuple = (None, None, None)) -> None:
+def uninstall(token: tuple = (None, None, None, None)) -> None:
     """Restore the defaults captured by :func:`install`."""
-    global _installed_registry, _installed_tracer, _installed_timeline
-    # Accept the historical two-element token for compatibility.
+    global _installed_registry, _installed_tracer
+    global _installed_timeline, _installed_events
+    # Accept the historical shorter tokens for compatibility.
     registry, tracer = token[0], token[1]
     timeline = token[2] if len(token) > 2 else None
+    events = token[3] if len(token) > 3 else None
     _installed_registry, _installed_tracer = registry, tracer
     _installed_timeline = timeline
+    _installed_events = events
 
 
 @contextmanager
 def scoped(registry: Optional[MetricsRegistry] = None,
            tracer: Optional[Tracer] = None,
-           timeline: Optional[TimelineRecorder] = None) -> Iterator[None]:
-    """Temporarily install a default registry/tracer/timeline."""
-    token = install(registry=registry, tracer=tracer, timeline=timeline)
+           timeline: Optional[TimelineRecorder] = None,
+           events: Optional[EventJournal] = None) -> Iterator[None]:
+    """Temporarily install default sinks."""
+    token = install(registry=registry, tracer=tracer, timeline=timeline,
+                    events=events)
     try:
         yield
     finally:
@@ -116,6 +152,12 @@ def current_tracer() -> Tracer | NullTracer:
         else NULL_TRACER
 
 
+def current_events() -> EventJournal | NullJournal:
+    """The installed event journal, or the shared no-op journal."""
+    return _installed_events if _installed_events is not None \
+        else NULL_JOURNAL
+
+
 def resolve_registry(metrics: Optional[MetricsRegistry]
                      ) -> MetricsRegistry:
     """Constructor helper: explicit argument > installed default > a
@@ -132,19 +174,34 @@ def resolve_tracer(tracer) -> Tracer | NullTracer:
     return tracer if tracer is not None else current_tracer()
 
 
+def resolve_events(events) -> EventJournal | NullJournal:
+    """Constructor helper: explicit argument > installed default >
+    no-op."""
+    return events if events is not None else current_events()
+
+
 __all__ = [
     "BYTES_BUCKETS",
     "SECONDS_BUCKETS",
+    "CallbackGauge",
     "Counter",
+    "EventJournal",
     "Gauge",
     "Histogram",
+    "JournalSummary",
     "MetricFamily",
     "MetricsRegistry",
+    "NULL_JOURNAL",
     "NULL_TRACER",
+    "NullJournal",
     "NullTracer",
     "Span",
+    "TeeJournal",
     "TimelineRecorder",
+    "TraceContext",
     "Tracer",
+    "WindowedHistogram",
+    "current_events",
     "current_registry",
     "current_timeline",
     "current_tracer",
@@ -152,12 +209,20 @@ __all__ = [
     "merge_counts",
     "names",
     "parse_prometheus_text",
+    "publish_window",
+    "quantile_label",
+    "read_events",
     "read_jsonl",
     "render_db_report",
+    "render_level_stats",
+    "replay",
+    "replay_file",
+    "resolve_events",
     "resolve_registry",
     "resolve_tracer",
     "scoped",
     "span_children",
+    "spans_to_chrome_trace",
     "to_prometheus_text",
     "uninstall",
     "write_prometheus",

@@ -97,9 +97,21 @@ def to_prometheus_text(*registries: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n" if lines else ""
 
 
-def write_prometheus(path: str, *registries: MetricsRegistry) -> None:
-    with open(path, "w") as handle:
-        handle.write(to_prometheus_text(*registries))
+def write_prometheus(path: str, *registries: MetricsRegistry,
+                     overwrite: bool = False) -> None:
+    """Write the exposition text to ``path``.
+
+    A metrics dump is a point-in-time snapshot — appending would corrupt
+    it — so an existing file is an error unless ``overwrite=True`` (the
+    CLIs map ``--overwrite`` onto it).  Never silently clobbers."""
+    mode = "w" if overwrite else "x"
+    try:
+        with open(path, mode) as handle:
+            handle.write(to_prometheus_text(*registries))
+    except FileExistsError:
+        raise FileExistsError(
+            f"{path} already exists; pass overwrite=True (CLI: "
+            f"--overwrite) to replace it") from None
 
 
 _SAMPLE_RE = re.compile(

@@ -62,6 +62,24 @@ FAMILIES: tuple[tuple, ...] = (
      "Live SSTable count per level.", None),
     ("lsm_level_bytes", "gauge",
      "Live SSTable bytes per level.", None),
+    ("lsm_level_write_bytes_total", "counter",
+     "Bytes installed into each level (flush output for level 0, "
+     "compaction output for deeper levels).", None),
+    ("lsm_level_read_bytes_total", "counter",
+     "Bytes read from each level by merge compactions.", None),
+    ("lsm_level_write_amp", "gauge",
+     "Per-level write amplification: bytes written into the level / "
+     "user write bytes.", None),
+    ("lsm_level_space_amp", "gauge",
+     "Per-level space amplification: level bytes / bytes of the last "
+     "non-empty level.", None),
+    ("lsm_level_read_amp", "gauge",
+     "Estimated per-level read amplification: sorted runs a point "
+     "lookup may touch (file count at L0, 1 for non-empty deeper "
+     "levels).", None),
+    ("lsm_op_latency_window_seconds", "gauge",
+     "Sliding-window operation latency quantiles, by op "
+     "(get|put|write) and quantile (p50|p95|p99|p999).", None),
     ("lsm_block_cache_hits_total", "counter",
      "Block cache hits.", None),
     ("lsm_block_cache_misses_total", "counter",
@@ -86,6 +104,12 @@ FAMILIES: tuple[tuple, ...] = (
     ("scheduler_fallbacks_total", "counter",
      "Offloaded tasks degraded to the software merge after the device "
      "kept failing.", None),
+    ("scheduler_task_window_seconds", "gauge",
+     "Sliding-window compaction task duration quantiles, by quantile "
+     "(p50|p95|p99|p999).", None),
+    ("sim_stall_window_seconds", "gauge",
+     "Sliding-window write-stall quantiles on *simulated* time, by sim "
+     "mode and quantile (p50|p95|p99|p999).", None),
     # -- Background compaction driver (paper Fig 6's task queue) ------
     ("driver_queue_depth", "gauge",
      "Compaction tasks queued for the driver's units.", None),
@@ -204,6 +228,9 @@ class LsmMetrics:
             registry, "lsm_snapshot_merges_total", **self.labels)
         self._level_files: dict[int, object] = {}
         self._level_bytes: dict[int, object] = {}
+        self._level_write_bytes: dict[int, object] = {}
+        self._level_read_bytes: dict[int, object] = {}
+        self._level_amps: dict[tuple[str, int], object] = {}
 
     def value(self, field: str) -> float:
         return self.counters[field].value
@@ -221,6 +248,43 @@ class LsmMetrics:
                 level=str(level), **self.labels)
         gauge_f.set(files)
         gauge_b.set(nbytes)
+
+    def add_level_write(self, level: int, nbytes: int) -> None:
+        """Bytes installed into ``level`` (flush or compaction output)."""
+        counter = self._level_write_bytes.get(level)
+        if counter is None:
+            counter = self._level_write_bytes[level] = _counter(
+                self.registry, "lsm_level_write_bytes_total",
+                level=str(level), **self.labels)
+        counter.inc(nbytes)
+
+    def add_level_read(self, level: int, nbytes: int) -> None:
+        """Bytes read from ``level`` by a merge compaction."""
+        counter = self._level_read_bytes.get(level)
+        if counter is None:
+            counter = self._level_read_bytes[level] = _counter(
+                self.registry, "lsm_level_read_bytes_total",
+                level=str(level), **self.labels)
+        counter.inc(nbytes)
+
+    def level_write_bytes(self, level: int) -> float:
+        counter = self._level_write_bytes.get(level)
+        return counter.value if counter is not None else 0.0
+
+    def level_read_bytes(self, level: int) -> float:
+        counter = self._level_read_bytes.get(level)
+        return counter.value if counter is not None else 0.0
+
+    def set_level_amp(self, level: int, write_amp: float,
+                      space_amp: float, read_amp: float) -> None:
+        for name, value in (("lsm_level_write_amp", write_amp),
+                            ("lsm_level_space_amp", space_amp),
+                            ("lsm_level_read_amp", read_amp)):
+            gauge = self._level_amps.get((name, level))
+            if gauge is None:
+                gauge = self._level_amps[(name, level)] = _gauge(
+                    self.registry, name, level=str(level), **self.labels)
+            gauge.set(value)
 
 
 class SchedulerMetrics:

@@ -105,6 +105,24 @@ class Gauge:
         return self._value
 
 
+class CallbackGauge:
+    """Gauge whose value is computed on demand at collection time.
+
+    Used for derived series that would be wasteful to refresh on the hot
+    path — windowed percentiles, ratios — so the cost is paid at scrape
+    time, not per operation."""
+
+    __slots__ = ("labels", "_callback")
+
+    def __init__(self, labels: tuple[tuple[str, str], ...], callback):
+        self.labels = labels
+        self._callback = callback
+
+    @property
+    def value(self) -> float:
+        return float(self._callback())
+
+
 class Histogram:
     """Fixed-bucket histogram with cumulative counts, Prometheus-style."""
 
@@ -212,6 +230,24 @@ class MetricsRegistry:
                 child = Gauge(key, self._lock)
                 family.children[key] = child
             return child  # type: ignore[return-value]
+
+    def callback_gauge(self, name: str, help: str = "", callback=None,
+                       **labels) -> CallbackGauge:
+        """Register a lazily-evaluated gauge child.  Re-registering the
+        same (name, labels) rebinds the callback (windows republish when
+        re-wired)."""
+        if callback is None:
+            raise InvalidArgumentError("callback_gauge requires a callback")
+        with self._lock:
+            family = self._family(name, "gauge", help)
+            key = _label_key(labels)
+            child = family.children.get(key)
+            if isinstance(child, CallbackGauge):
+                child._callback = callback
+            else:
+                child = CallbackGauge(key, callback)
+                family.children[key] = child
+            return child
 
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[Sequence[float]] = None,

@@ -73,3 +73,36 @@ def render_db_report(db, scheduler=None) -> str:
             f"  pcie_fraction_of_offload  "
             f"{scheduler_stats.pcie_fraction_of_offload:.4f}")
     return "\n".join(lines) + "\n"
+
+
+def render_level_stats(db) -> str:
+    """The text behind ``LsmDB.property("repro.levelstats")`` — the
+    LevelDB ``leveldb.stats`` table extended with per-level
+    amplification (write(MB)/read(MB) are cumulative compaction traffic
+    into/out of each level; W-Amp/S-Amp/R-Amp are the gauges documented
+    in DESIGN.md)."""
+    rows = db.level_amplification()
+    lines = ["repro.levelstats", "",
+             "level   files     size(MB)    write(MB)     read(MB)"
+             "    W-Amp    S-Amp  R-Amp",
+             "-" * 76]
+    tot_files = tot_bytes = tot_write = tot_read = 0
+    for level, row in enumerate(rows):
+        lines.append(
+            f"level {level}   {row['files']:5d} "
+            f"{row['bytes'] / 1e6:12.2f} {row['write_bytes'] / 1e6:12.2f} "
+            f"{row['read_bytes'] / 1e6:12.2f} "
+            f"{row['write_amp']:8.3f} {row['space_amp']:8.3f} "
+            f"{row['read_amp']:6.0f}")
+        tot_files += row["files"]
+        tot_bytes += row["bytes"]
+        tot_write += row["write_bytes"]
+        tot_read += row["read_bytes"]
+    lines.append("-" * 76)
+    lines.append(
+        f"total     {tot_files:5d} {tot_bytes / 1e6:12.2f} "
+        f"{tot_write / 1e6:12.2f} {tot_read / 1e6:12.2f}")
+    lines.append("")
+    lines.append(
+        f"write_amplification: {db.stats.write_amplification:.3f}")
+    return "\n".join(lines) + "\n"

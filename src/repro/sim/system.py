@@ -193,9 +193,21 @@ class SystemSimulator:
         self._inflight: list[_Inflight] = []
         registry = obs.current_registry()
         self._stall_hist = None
+        self._stall_window = None
         if registry is not None:
             from repro.obs.names import stall_histogram
+            from repro.obs.window import WindowedHistogram, publish_window
             self._stall_hist = stall_histogram(registry, sim=config.mode)
+            # Slides on *modeled* time: the clock reader sees the writer
+            # core's clock, so "p99 right now" means the last simulated
+            # minute, not the wall time the simulation took to compute.
+            self._stall_window = WindowedHistogram(
+                window_seconds=60.0,
+                clock=lambda: self._writer_clock)
+            publish_window(
+                registry, "sim_stall_window_seconds",
+                "Sliding-window write-stall quantiles on simulated time.",
+                self._stall_window, sim=config.mode)
 
         entry_bytes = self.options.key_length + self.options.value_length
         self._entry_bytes = entry_bytes
@@ -232,6 +244,8 @@ class SystemSimulator:
             self.result.stall_waits.append(waited)
             if self._stall_hist is not None:
                 self._stall_hist.observe(waited)
+            if self._stall_window is not None:
+                self._stall_window.observe(waited)
 
     # ------------------------------------------------------------------
     # Compaction execution backends

@@ -1,0 +1,129 @@
+"""Unit tests for ``tools/check_regression.py`` hardening: a baseline
+row missing from the run, duplicate bench names (the name-keyed lookup's
+silent last-wins hole), and empty baselines must all fail loudly."""
+
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO_ROOT, "tools", "check_regression.py")
+
+spec = importlib.util.spec_from_file_location("check_regression", TOOL)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+
+def doc(rows, columns=("bench", "p50_us", "p95_us"), name="hotpath",
+        scale=1.0):
+    return {"schema": 1, "scale": scale,
+            "experiments": {name: {"title": name,
+                                   "columns": list(columns),
+                                   "rows": [list(r) for r in rows]}}}
+
+
+def perf_drifts(baseline, run, rel_tol=0.25):
+    return check_regression.compare_perf(baseline, run, rel_tol, 1e-9)
+
+
+class TestComparePerf:
+    def test_clean_against_itself(self):
+        base = doc([["db_write", 10.0, 12.0], ["db_get", 5.0, 6.0]])
+        assert perf_drifts(base, base) == []
+
+    def test_missing_bench_fails_with_clear_message(self):
+        base = doc([["db_write", 10.0, 12.0], ["db_get", 5.0, 6.0]])
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = perf_drifts(base, run)
+        assert any("db_get" in d and "missing from run" in d
+                   for d in drifts)
+
+    def test_missing_experiment_fails(self):
+        base = doc([["db_write", 10.0, 12.0]])
+        run = {"schema": 1, "scale": 1.0, "experiments": {}}
+        assert any("missing from run" in d for d in perf_drifts(base, run))
+
+    def test_duplicate_run_rows_fail_instead_of_last_wins(self):
+        """Two run rows named db_write — the slow one first — must not be
+        silently shadowed by the fast duplicate."""
+        base = doc([["db_write", 10.0, 12.0]])
+        run = doc([["db_write", 99.0, 120.0], ["db_write", 10.0, 12.0]])
+        drifts = perf_drifts(base, run)
+        assert any("duplicate bench name in run" in d for d in drifts)
+
+    def test_duplicate_baseline_rows_fail(self):
+        base = doc([["db_write", 10.0, 12.0], ["db_write", 11.0, 12.0]])
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = perf_drifts(base, run)
+        assert any("duplicate bench name in baseline" in d for d in drifts)
+
+    def test_empty_baseline_rows_gate_nothing(self):
+        base = doc([])
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = perf_drifts(base, run)
+        assert any("gates nothing" in d for d in drifts)
+
+    def test_empty_baseline_experiments_gate_nothing(self):
+        base = {"schema": 1, "scale": 1.0, "experiments": {}}
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = perf_drifts(base, run)
+        assert any("gates nothing" in d for d in drifts)
+
+    def test_slower_run_fails_faster_passes(self):
+        base = doc([["db_write", 10.0, 12.0]])
+        slower = doc([["db_write", 20.0, 24.0]])
+        faster = doc([["db_write", 1.0, 2.0]])
+        assert any("slower than" in d for d in perf_drifts(base, slower))
+        assert perf_drifts(base, faster) == []
+
+
+class TestCompare:
+    def test_empty_baseline_gates_nothing(self):
+        base = {"schema": 1, "scale": 1.0, "experiments": {}}
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = check_regression.compare(base, run, 0.05, 1e-9)
+        assert any("gates nothing" in d for d in drifts)
+
+    def test_empty_rows_gate_nothing(self):
+        base = doc([])
+        drifts = check_regression.compare(base, base, 0.05, 1e-9)
+        assert any("gates nothing" in d for d in drifts)
+
+    def test_row_count_mismatch_fails(self):
+        base = doc([["db_write", 10.0, 12.0], ["db_get", 5.0, 6.0]])
+        run = doc([["db_write", 10.0, 12.0]])
+        drifts = check_regression.compare(base, run, 0.05, 1e-9)
+        assert any("baseline rows" in d for d in drifts)
+
+
+class TestCliExitCodes:
+    def run_tool(self, *args):
+        return subprocess.run([sys.executable, TOOL, *args],
+                              capture_output=True, text=True)
+
+    @pytest.fixture()
+    def paths(self, tmp_path):
+        base = doc([["db_write", 10.0, 12.0], ["db_get", 5.0, 6.0]])
+        run = doc([["db_write", 10.0, 12.0]])
+        base_path = tmp_path / "base.json"
+        run_path = tmp_path / "run.json"
+        base_path.write_text(json.dumps(base))
+        run_path.write_text(json.dumps(run))
+        return str(base_path), str(run_path)
+
+    def test_missing_row_exits_nonzero_with_message(self, paths):
+        base_path, run_path = paths
+        proc = self.run_tool("--perf", "--baseline", base_path,
+                             "--run", run_path)
+        assert proc.returncode == 1
+        assert "db_get" in proc.stderr and "missing from run" in proc.stderr
+
+    def test_self_diff_clean(self, paths):
+        base_path, _ = paths
+        proc = self.run_tool("--perf", "--baseline", base_path,
+                             "--run", base_path)
+        assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,145 @@
+"""Flight-recorder acceptance: journal replay reproduces the live
+registry's per-level write-amplification, ``repro.levelstats`` reports
+the amplification table, and windowed percentiles reach the Prometheus
+exposition."""
+
+import random
+
+import pytest
+
+from repro.lsm.db import LsmDB
+from repro.lsm.options import Options
+from repro.obs.events import EventJournal, replay
+from repro.obs.exposition import to_prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs import names
+
+
+def small_options(**overrides):
+    return Options(block_size=512, sstable_size=8 * 1024,
+                   write_buffer_size=16 * 1024,
+                   max_level0_size=64 * 1024, compression="none",
+                   **overrides)
+
+
+def fill(db, entries=4000, key_space=1600, seed=5):
+    rng = random.Random(seed)
+    for _ in range(entries):
+        db.put(f"k{rng.randrange(key_space):08d}".encode(), b"v" * 64)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    names.register_all(registry)
+    return registry
+
+
+class TestReplayEqualsLiveRegistry:
+    def test_fillrandom_with_background_compaction(self, registry):
+        journal = EventJournal(keep_events=True)
+        db = LsmDB("wadb", small_options(), metrics=registry,
+                   events=journal, auto_compact=False,
+                   background_compaction=True, num_units=2)
+        fill(db)
+        db.compact_range()
+
+        live_total = db.stats.write_amplification
+        live_levels = {row["level"]: row["write_amp"]
+                       for row in db.level_amplification()
+                       if row["write_amp"]}
+        level_bytes = {row["level"]: row["write_bytes"]
+                       for row in db.level_amplification()}
+        db.close()
+
+        summary = replay(journal.events)
+        assert summary.compactions > 0 and summary.flushes > 0
+        assert summary.write_amplification == pytest.approx(
+            live_total, abs=1e-9)
+        replayed = {level: amp
+                    for level, amp in summary.per_level_write_amp().items()
+                    if amp}
+        assert replayed == pytest.approx(live_levels)
+        # The byte-level accounting matches the registry counters too.
+        for level, amp_bytes in summary.level_write_bytes.items():
+            assert amp_bytes == level_bytes[level]
+
+    def test_replay_matches_synchronous_compaction(self, registry):
+        journal = EventJournal(keep_events=True)
+        db = LsmDB("syncdb", small_options(), metrics=registry,
+                   events=journal)
+        fill(db, entries=2500)
+        db.flush()
+        db.close()
+        summary = replay(journal.events)
+        assert summary.write_amplification == pytest.approx(
+            db.stats.write_amplification, abs=1e-9)
+
+
+class TestLevelStatsProperty:
+    def test_table_reports_per_level_amplification(self, registry):
+        db = LsmDB("statsdb", small_options(), metrics=registry)
+        fill(db, entries=3000)
+        db.flush()
+        text = db.property("repro.levelstats")
+        assert text is not None
+        rows = db.level_amplification()
+
+        assert "W-Amp" in text and "S-Amp" in text and "R-Amp" in text
+        for level, row in enumerate(rows):
+            assert f"level {level}   {row['files']:5d}" in text
+            if row["files"]:
+                assert f"{row['write_amp']:8.3f}" in text
+        assert f"write_amplification: " \
+               f"{db.stats.write_amplification:.3f}" in text
+        db.close()
+
+    def test_rows_cover_all_levels_and_definitions(self, registry):
+        db = LsmDB("ampdb", small_options(), metrics=registry)
+        fill(db, entries=3000)
+        db.flush()
+        rows = db.level_amplification()
+        assert [row["level"] for row in rows] == list(range(len(rows)))
+        sizes = [row["bytes"] for row in rows]
+        last = next((s for s in reversed(sizes) if s), 0)
+        for row in rows:
+            if row["bytes"]:
+                assert row["space_amp"] == pytest.approx(
+                    row["bytes"] / last)
+            if row["level"] == 0:
+                assert row["read_amp"] == row["files"]
+        db.close()
+
+    def test_amp_gauges_land_in_registry(self, registry):
+        db = LsmDB("gaugedb", small_options(), metrics=registry)
+        fill(db, entries=3000)
+        db.flush()
+        db.compact_range()
+        text = to_prometheus_text(registry)
+        assert 'lsm_level_write_amp{' in text
+        l0 = next(line for line in text.splitlines()
+                  if line.startswith("lsm_level_write_amp")
+                  and 'level="0"' in line)
+        row0 = db.level_amplification()[0]
+        assert float(l0.split()[-1]) == pytest.approx(row0["write_amp"])
+        db.close()
+
+
+class TestWindowedExposition:
+    def test_windowed_p99_in_prometheus_text(self, registry):
+        db = LsmDB("windb", small_options(latency_window_seconds=60.0),
+                   metrics=registry)
+        fill(db, entries=1500)
+        for i in range(200):
+            db.put(f"g{i:08d}".encode(), b"v" * 64)
+            db.get(f"g{i:08d}".encode())
+        text = to_prometheus_text(registry)
+        lines = [line for line in text.splitlines()
+                 if line.startswith("lsm_op_latency_window_seconds")]
+        ops = {op for op in ("get", "put", "write")
+               if any(f'op="{op}"' in line for line in lines)}
+        assert ops == {"get", "put", "write"}
+        p99_put = next(line for line in lines
+                       if 'op="put"' in line and 'quantile="p99"' in line)
+        assert float(p99_put.split()[-1]) > 0.0
+        db.close()

@@ -1,0 +1,146 @@
+"""WindowedHistogram: percentile math, slice expiry on the injected
+clock, quantile monotonicity, and gauge publication."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.obs.exposition import to_prometheus_text
+from repro.obs.registry import MetricsRegistry
+from repro.obs.window import (
+    WindowedHistogram,
+    publish_window,
+    quantile_label,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestPercentiles:
+    def test_empty_window_reads_zero(self):
+        window = WindowedHistogram()
+        assert window.percentile(0.99) == 0.0
+        assert window.count == 0
+        assert window.sum == 0.0
+
+    def test_interpolation_inside_bucket(self):
+        window = WindowedHistogram(buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 1.5):
+            window.observe(value)
+        # p50 lands exactly at the boundary of the first bucket.
+        assert window.percentile(0.5) == pytest.approx(1.0)
+        # p100 exhausts the second bucket (counts 2 of 2 -> upper bound).
+        assert window.percentile(1.0) == pytest.approx(2.0)
+        assert 0.0 < window.percentile(0.25) <= 1.0
+
+    def test_overflow_bucket_reports_top_bound(self):
+        window = WindowedHistogram(buckets=(1.0, 2.0))
+        window.observe(50.0)
+        assert window.percentile(0.5) == 2.0
+
+    def test_monotone_in_q(self):
+        window = WindowedHistogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            window.observe(rng.expovariate(100.0))
+        quantiles = [window.percentile(q / 100) for q in range(0, 101, 5)]
+        assert quantiles == sorted(quantiles)
+
+    def test_count_and_sum(self):
+        window = WindowedHistogram()
+        for value in (0.001, 0.002, 0.003):
+            window.observe(value)
+        assert window.count == 3
+        assert window.sum == pytest.approx(0.006)
+
+
+class TestExpiry:
+    def test_observations_age_out_of_the_window(self):
+        clock = FakeClock()
+        window = WindowedHistogram(window_seconds=60.0, slices=6,
+                                   clock=clock)
+        window.observe(0.5)
+        assert window.count == 1
+        clock.now = 120.0  # two windows later: slice is stale
+        assert window.count == 0
+        assert window.percentile(0.99) == 0.0
+
+    def test_window_reflects_only_recent_slices(self):
+        clock = FakeClock()
+        window = WindowedHistogram(window_seconds=60.0, slices=6,
+                                   buckets=(0.01, 0.1, 1.0, 10.0),
+                                   clock=clock)
+        for _ in range(100):
+            window.observe(0.005)   # fast ops, early
+        clock.now = 90.0            # early slice expired
+        for _ in range(10):
+            window.observe(5.0)     # slow ops, now
+        assert window.count == 10
+        assert window.percentile(0.5) > 1.0
+
+    def test_stale_slot_recycled_in_place(self):
+        clock = FakeClock()
+        window = WindowedHistogram(window_seconds=6.0, slices=3,
+                                   clock=clock)
+        for step in range(12):
+            clock.now = float(step)
+            window.observe(0.01)
+        # Ring holds `slices` slots regardless of elapsed time.
+        assert len(window._ring) == 3
+        assert window.count <= 6
+
+
+class TestValidation:
+    def test_bad_construction_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            WindowedHistogram(window_seconds=0)
+        with pytest.raises(InvalidArgumentError):
+            WindowedHistogram(slices=0)
+        with pytest.raises(InvalidArgumentError):
+            WindowedHistogram(buckets=(2.0, 1.0))
+
+    def test_quantile_range_checked(self):
+        window = WindowedHistogram()
+        with pytest.raises(InvalidArgumentError):
+            window.percentile(1.5)
+
+    def test_quantile_labels(self):
+        assert quantile_label(0.99) == "p99"
+        assert quantile_label(0.999) == "p999"
+        assert quantile_label(0.75) == "p75"
+
+
+class TestPublication:
+    def test_quantile_gauges_in_exposition(self):
+        registry = MetricsRegistry()
+        window = WindowedHistogram()
+        publish_window(registry, "op_window_seconds",
+                       "windowed op latency", window, op="get")
+        for _ in range(100):
+            window.observe(0.004)
+        text = to_prometheus_text(registry)
+        lines = [line for line in text.splitlines()
+                 if line.startswith("op_window_seconds{")]
+        assert len(lines) == 4
+        p99_line = next(line for line in lines if 'quantile="p99"' in line)
+        assert 'op="get"' in p99_line
+        assert 0.0 < float(p99_line.split()[-1]) < 0.1
+
+    def test_republishing_rebinds_the_callback(self):
+        registry = MetricsRegistry()
+        first = WindowedHistogram()
+        publish_window(registry, "w_seconds", "w", first, op="get")
+        second = WindowedHistogram()
+        second.observe(1.0)
+        publish_window(registry, "w_seconds", "w", second, op="get")
+        text = to_prometheus_text(registry)
+        p999 = next(line for line in text.splitlines()
+                    if 'quantile="p999"' in line)
+        assert float(p999.split()[-1]) > 0.0

@@ -179,3 +179,30 @@ class TestCompactionUnits:
         four = simulate_fillrandom(fcae_config(options, data=GB // 8,
                                                num_units=4))
         assert four.stall_seconds <= one.stall_seconds * 1.001
+
+
+class TestSimStallWindow:
+    def test_window_slides_on_modeled_time(self):
+        """The stall window reads the simulator's virtual clock, so its
+        quantiles describe the last simulated minute — non-zero only if
+        stalls occurred near the end of simulated time."""
+        from repro import obs
+        from repro.obs.exposition import to_prometheus_text
+
+        registry = obs.MetricsRegistry()
+        obs.names.register_all(registry)
+        token = obs.install(registry=registry)
+        try:
+            result = simulate_fillrandom(base_config(
+                Options(value_length=512, write_buffer_size=1 << 20),
+                data=GB // 16))
+        finally:
+            obs.uninstall(token)
+        assert result.stall_seconds > 0
+        lines = [line for line in to_prometheus_text(registry).splitlines()
+                 if line.startswith("sim_stall_window_seconds")]
+        assert any('quantile="p99"' in line for line in lines)
+        # Label order (p50, p95, p99, p999) is quantile order, so
+        # the exposed values must be monotone.
+        values = [float(line.split()[-1]) for line in lines]
+        assert values == sorted(values) and len(values) == 4

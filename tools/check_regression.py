@@ -49,11 +49,34 @@ def _is_number(value) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
+def _duplicates(names: list) -> list:
+    """Values appearing more than once, in first-seen order."""
+    seen: set = set()
+    dups: list = []
+    for name in names:
+        if name in seen and name not in dups:
+            dups.append(name)
+        seen.add(name)
+    return dups
+
+
+def _gates_nothing(baseline: dict) -> list[str]:
+    """A baseline with no experiments (or only empty ones) would pass
+    every run — fail loudly instead of green-lighting by omission."""
+    if not baseline["experiments"]:
+        return ["baseline has no experiments — it gates nothing"]
+    return [f"{name}: baseline has no rows — it gates nothing"
+            for name, exp in sorted(baseline["experiments"].items())
+            if not exp.get("rows")]
+
+
 def compare(baseline: dict, run: dict, rel_tol: float,
             abs_tol: float) -> list[str]:
     """All drifts of ``run`` against ``baseline``, as human-readable
     lines; empty means within tolerance."""
-    drifts: list[str] = []
+    drifts: list[str] = _gates_nothing(baseline)
+    if drifts:
+        return drifts
     if baseline.get("scale") != run.get("scale"):
         drifts.append(
             f"scale mismatch: baseline {baseline.get('scale')} vs run "
@@ -97,7 +120,9 @@ def compare_perf(baseline: dict, run: dict, rel_tol: float,
     """One-sided wall-clock comparison: each baseline row's ``p50_us``
     must not be exceeded by the matching run row (matched by bench
     name) beyond the tolerance band.  Faster is always fine."""
-    drifts: list[str] = []
+    drifts: list[str] = _gates_nothing(baseline)
+    if drifts:
+        return drifts
     if baseline.get("scale") != run.get("scale"):
         drifts.append(
             f"scale mismatch: baseline {baseline.get('scale')} vs run "
@@ -116,6 +141,16 @@ def compare_perf(baseline: dict, run: dict, rel_tol: float,
             drifts.append(f"{name}: no p50_us column "
                           f"(not a hot-path experiment?)")
             continue
+        # Duplicate bench names would silently shadow each other in the
+        # name-keyed lookup below (last row wins) — a slow row hidden
+        # behind a fast duplicate must fail, not skip.
+        for dup in _duplicates([row[0] for row in base_exp["rows"]]):
+            drifts.append(f"{name}/{dup}: duplicate bench name in "
+                          f"baseline rows")
+        for dup in _duplicates([row[0] for row in run_exp["rows"]]):
+            drifts.append(f"{name}/{dup}: duplicate bench name in run "
+                          f"rows (name-keyed matching would drop all "
+                          f"but the last)")
         run_by_bench = {row[0]: row for row in run_exp["rows"]}
         for base_row in base_exp["rows"]:
             bench = base_row[0]
