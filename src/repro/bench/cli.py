@@ -44,6 +44,7 @@ from repro.bench import (
     driver,
     hotpath,
     near_storage,
+    slo,
     tiered,
     write_pause,
     fig9,
@@ -83,6 +84,7 @@ EXPERIMENTS = {
     "driver": driver.run,
     "hotpath": hotpath.run,
     "near_storage": near_storage.run,
+    "slo": slo.run,
     "tiered": tiered.run,
     "write_pause": write_pause.run,
 }
@@ -91,7 +93,7 @@ EXPERIMENTS = {
 ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
-             "write_pause", "driver", "hotpath")
+             "write_pause", "slo", "driver", "hotpath")
 
 #: BENCH_*.json schema version understood by tools/check_regression.py.
 BENCH_SCHEMA = 1
@@ -193,6 +195,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--bench-json", metavar="PATH",
                         help="write regenerated tables as machine-readable "
                              "JSON for tools/check_regression.py")
+    parser.add_argument("--top", action="store_true",
+                        help="after each experiment, render one headless "
+                             "dashboard frame from its metrics registry")
     args = parser.parse_args(argv)
     if args.repeat < 1 or args.warmup < 0:
         parser.error("--repeat must be >= 1 and --warmup >= 0")
@@ -200,7 +205,8 @@ def main(argv: list[str] | None = None) -> int:
     multi = args.experiment == "all"
     experiment_names = ALL_ORDER if multi else (args.experiment,)
     want_registry = bool(args.metrics_out or args.trace_out
-                         or args.chrome_trace or args.profile)
+                         or args.chrome_trace or args.profile
+                         or args.top)
     want_timeline = bool(args.chrome_trace or args.profile)
 
     tracer = None
@@ -258,6 +264,9 @@ def main(argv: list[str] | None = None) -> int:
             p50, p95 = wall_percentiles(samples)
             results.append(result)
             print(result.format())
+            if args.top and registry is not None:
+                from repro.obs.dashboard import render_dashboard
+                print(render_dashboard(registry))
             if len(samples) > 1:
                 print(f"[{name} regenerated: wall p50 {p50:.2f}s / "
                       f"p95 {p95:.2f}s over {len(samples)} runs"

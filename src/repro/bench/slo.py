@@ -1,0 +1,90 @@
+"""Extension bench: the multi-tenant SLO observatory.
+
+Two open-loop tenants share one store: a latency-sensitive ``gold``
+tenant (YCSB B, 95% reads) and a write-storm ``batch`` tenant (pure
+inserts) whose offered rate exceeds what the foreground core sustains
+once the L0 slowdown throttle engages.  Operations arrive as Poisson
+processes and latency is measured arrival-to-completion, so the table
+shows the *coordinated-omission-free* distribution next to the
+service-time-only view a closed-loop harness would report — under
+saturation they differ by orders of magnitude.
+
+Each op is scored against declarative latency SLOs; multi-window
+burn-rate alerts fire mid-run when the error budget burns too fast
+(compaction storms jamming the writer core), and the ``alerts`` column
+counts the firing transitions per tenant.  Run with ``--events-out`` to
+capture the journal — every alert and tail exemplar lands there with a
+trace id resolving to the compaction/flush/stall episode that caused it.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import ExperimentResult, N9_CONFIG
+from repro.lsm.options import Options
+from repro.obs.slo import SloSpec
+from repro.sim.system import SystemConfig, TenantSpec, simulate_open_loop
+
+#: Arrival window (simulated seconds) at scale 1.0.
+DURATION_SECONDS = 10.0
+VALUE_LENGTH = 1024
+
+#: Burn windows sized for a tens-of-seconds run (the Google-SRE 1h/6h
+#: defaults would be silly inside a 10 s simulation).
+_POLICIES = (
+    {"name": "fast", "short_seconds": 5.0, "long_seconds": 30.0,
+     "factor": 10.0},
+    {"name": "slow", "short_seconds": 30.0, "long_seconds": 120.0,
+     "factor": 6.0},
+)
+
+SLO_SPECS = (
+    SloSpec("put-p999", "latency", target=0.999, threshold_seconds=2e-3,
+            op="put", policies=_POLICIES),
+    SloSpec("get-p99", "latency", target=0.99, threshold_seconds=1e-3,
+            op="get", policies=_POLICIES),
+)
+
+TENANTS = (
+    TenantSpec("gold", arrival_rate=4_000, workload="b", seed=11),
+    TenantSpec("batch", arrival_rate=20_000, workload="load", seed=13),
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    duration = max(2.0, DURATION_SECONDS * scale)
+    options = Options(value_length=VALUE_LENGTH,
+                      write_buffer_size=1 << 20, compression="none")
+    result = ExperimentResult(
+        name="SLO observatory",
+        title="Open-loop two-tenant run: arrival-to-completion vs "
+              "service-only latency, with burn-rate alerts",
+        columns=["system", "tenant", "arrive_p50_s", "arrive_p99_s",
+                 "service_p999_ms", "queue_mean_s", "stall_s", "alerts"],
+    )
+    for mode, label in (("leveldb", "LevelDB"), ("fcae", "LevelDB-FCAE")):
+        config = SystemConfig(mode=mode, options=options, fpga=N9_CONFIG,
+                              data_size_bytes=1 << 30)
+        run_result = simulate_open_loop(config, TENANTS, duration,
+                                        slo_specs=SLO_SPECS)
+        for tenant, stats in sorted(run_result.tenants.items()):
+            alerts = sum(1 for a in run_result.alert_transitions
+                         if a["tenant"] == tenant
+                         and a["state"] == "firing")
+            result.add_row(
+                label, tenant,
+                round(stats.latency_percentile(50), 3),
+                round(stats.latency_percentile(99), 3),
+                round(stats.service_percentile(99.9) * 1e3, 3),
+                round(stats.mean_queue_delay, 3),
+                round(stats.stall_seconds, 3),
+                alerts,
+            )
+    result.notes.append(
+        "arrival-to-completion percentiles include queueing delay "
+        "(coordinated-omission free); the service-only column is what a "
+        "closed-loop harness would report")
+    result.notes.append(
+        "alerts = firing burn-rate transitions; run with --events-out "
+        "to walk each slo_alert/exemplar back to the compaction or "
+        "stall that caused it")
+    return result

@@ -163,7 +163,8 @@ class CompactionScheduler:
                  max_retries: int = 1,
                  retry_backoff_seconds: float = 0.0,
                  fallback_to_software: bool = True,
-                 task_window_seconds: float = 60.0):
+                 task_window_seconds: float = 60.0,
+                 tenant: str = "system"):
         self.device = device
         self.options = options or device.options
         self.comparator = InternalKeyComparator(self.options.comparator)
@@ -183,12 +184,17 @@ class CompactionScheduler:
         #: attribute would race (``LsmDB`` reads it for the journal's
         #: ``backend`` field right after the executor returns).
         self._local = threading.local()
+        #: Compaction is house work, so its task window carries a tenant
+        #: label too ("system" by default): dashboards list it next to
+        #: the user tenants instead of in an unlabeled bucket.
+        self.tenant = tenant
         self.task_window = WindowedHistogram(
             window_seconds=task_window_seconds)
         publish_window(
             self.metrics, "scheduler_task_window_seconds",
             "Sliding-window compaction task duration quantiles.",
-            self.task_window, inst=self._m.labels["inst"])
+            self.task_window, inst=self._m.labels["inst"],
+            tenant=tenant)
 
     def last_route(self) -> Optional[str]:
         """Route of the last task completed on the calling thread:

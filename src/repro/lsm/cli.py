@@ -20,8 +20,9 @@ dump of the run's metrics; fails if PATH exists unless ``--overwrite``),
 ``--trace-out PATH`` (JSONL span trace of flushes/compactions and their
 offload phases; appends) and ``--events-out PATH`` (flight-recorder
 event journal as JSONL; appends).  ``fill --watch SECS`` prints windowed
-put-latency percentiles while the fill runs, and ``levelstats`` prints
-the per-level amplification table.
+put-latency percentiles while the fill runs, ``levelstats`` prints the
+per-level amplification table, and ``top`` renders the live terminal
+dashboard (``--once`` prints a single headless frame for CI).
 """
 
 from __future__ import annotations
@@ -164,6 +165,19 @@ def cmd_levelstats(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    from repro.obs.dashboard import run_dashboard
+
+    with _open_db(args) as db:
+        iterations = 1 if args.once else (args.iterations or None)
+        try:
+            run_dashboard(db.metrics, db=db, engine=db.slo_engine,
+                          interval=args.interval, iterations=iterations)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _print_offload_stats(db: LsmDB) -> None:
     scheduler = getattr(db, "_cli_scheduler", None)
     if scheduler is None:
@@ -220,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
     add("compact", cmd_compact)
     add("stats", cmd_stats)
     add("levelstats", cmd_levelstats)
+    top = add("top", cmd_top)
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (headless, for CI)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SECS",
+                     help="refresh interval (default 2s)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N refreshes (0 = until ^C)")
     return parser
 
 

@@ -97,6 +97,7 @@ from repro.obs.events import EventJournal, NullJournal, TeeJournal
 from repro.obs.names import LsmMetrics
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import render_db_report, render_level_stats
+from repro.obs.slo import build_engine
 from repro.obs.window import WindowedHistogram, publish_window
 
 #: A compaction executor turns (spec, input tables, parent tables,
@@ -294,6 +295,30 @@ class LsmDB:
             else:
                 events = TeeJournal(self._own_journal, installed)
         self.events = resolve_events(events)
+
+        #: SLO engine (None unless Options.slo_specs is non-empty);
+        #: scores get/put/write latencies per tenant and emits
+        #: slo_alert / exemplar events into this DB's journal.
+        self._slo = build_engine(self.options.slo_specs,
+                                 registry=self.metrics,
+                                 events=self.events)
+        if self._slo is not None and self._windows is not None:
+            for op, window in self._windows.items():
+                window.exemplar_threshold = self._slo.threshold_for(op)
+        #: One flag gating every per-op observation (windows, tenants,
+        #: SLO scoring) so the disabled hot path stays a single check.
+        self._op_obs = (self._windows is not None
+                        or self._slo is not None)
+        #: (op, tenant) -> lazily-published per-tenant window / counter.
+        self._tenant_windows: dict[tuple[str, str],
+                                   WindowedHistogram] = {}
+        self._tenant_op_counters: dict[tuple[str, str], object] = {}
+        #: Trace id of the last write-stall episode: when a foreground
+        #: op has no active span of its own, its tail exemplar is
+        #: attributed to the stall that delayed it.
+        self._last_stall_trace = None
+        self._opened_monotonic = time.monotonic()
+
         self._recover()
         self._new_log()
 
@@ -410,20 +435,110 @@ class LsmDB:
         if self._closed:
             raise DBStateError("database is closed")
 
-    def put(self, key: bytes, value: bytes) -> None:
+    def put(self, key: bytes, value: bytes,
+            tenant: Optional[str] = None) -> None:
         batch = WriteBatch()
         batch.put(key, value)
-        if self._windows is None:
+        if not self._op_obs:
             self.write(batch)
             return
         start = time.perf_counter()
-        self.write(batch)
-        self._windows["put"].observe(time.perf_counter() - start)
+        ok = False
+        try:
+            self.write(batch, tenant=tenant)
+            ok = True
+        finally:
+            self._observe_op("put", time.perf_counter() - start,
+                             tenant, ok)
 
-    def delete(self, key: bytes) -> None:
+    def delete(self, key: bytes, tenant: Optional[str] = None) -> None:
         batch = WriteBatch()
         batch.delete(key)
-        self.write(batch)
+        if not self._op_obs:
+            self.write(batch)
+            return
+        start = time.perf_counter()
+        ok = False
+        try:
+            self.write(batch, tenant=tenant)
+            ok = True
+        finally:
+            self._observe_op("delete", time.perf_counter() - start,
+                             tenant, ok)
+
+    def _observe_op(self, op: str, seconds: float,
+                    tenant: Optional[str], ok: bool = True) -> None:
+        """Fold one foreground operation into the observability surface:
+        the aggregate window, the per-tenant window and op counter, and
+        the SLO engine.  Only called when ``_op_obs`` is set."""
+        ctx = self.tracer.current_context()
+        if ctx is not None:
+            trace = str(ctx.trace_id)
+        elif self._last_stall_trace is not None:
+            trace = str(self._last_stall_trace)
+        else:
+            trace = None
+        self._last_stall_trace = None
+        if self._windows is not None:
+            window = self._windows.get(op)
+            if window is not None:
+                window.observe(seconds, trace_id=trace)
+            if tenant is not None:
+                key = (op, tenant)
+                tenant_window = self._tenant_windows.get(key)
+                if tenant_window is None:
+                    tenant_window = WindowedHistogram(
+                        window_seconds=self.options
+                        .latency_window_seconds)
+                    if self._slo is not None:
+                        tenant_window.exemplar_threshold = \
+                            self._slo.threshold_for(op, tenant)
+                    self._tenant_windows[key] = tenant_window
+                    publish_window(
+                        self.metrics, "lsm_op_latency_window_seconds",
+                        "Sliding-window operation latency quantiles.",
+                        tenant_window, op=op, tenant=tenant,
+                        **self._m.labels)
+                tenant_window.observe(seconds, trace_id=trace)
+        if tenant is not None:
+            key = (op, tenant)
+            counter = self._tenant_op_counters.get(key)
+            if counter is None:
+                counter = self.metrics.counter(
+                    "lsm_tenant_ops_total",
+                    "Operations by tenant and op.",
+                    tenant=tenant, op=op, **self._m.labels)
+                self._tenant_op_counters[key] = counter
+            counter.inc()
+        if self._slo is not None:
+            self._slo.record(op, seconds, ok=ok,
+                             tenant=tenant if tenant is not None
+                             else "default",
+                             trace_id=trace)
+
+    def tenant_op_counts(self) -> dict:
+        """``{tenant: {op: count}}`` for every tenant-attributed op."""
+        out: dict = {}
+        for (op, tenant), counter in self._tenant_op_counters.items():
+            out.setdefault(tenant, {})[op] = int(counter.value)
+        return out
+
+    def uptime_seconds(self) -> float:
+        """Seconds since this handle opened (monotonic clock)."""
+        return time.monotonic() - self._opened_monotonic
+
+    def journal_segments(self) -> int:
+        """Number of ``journal_open`` segments in this DB's own
+        ``EVENTS.jsonl`` (0 when the flight recorder is off)."""
+        name = event_journal_file_name(self.dbname)
+        if not self.env.file_exists(name):
+            return 0
+        return self.env.read_file(name).count(b'"type": "journal_open"')
+
+    @property
+    def slo_engine(self):
+        """The DB's :class:`repro.obs.slo.SloEngine`, or None."""
+        return self._slo
 
     def _check_bg_error(self) -> None:
         if self._bg_error is not None:
@@ -438,12 +553,13 @@ class LsmDB:
             self._bg_error = error
         self._cond.notify_all()
 
-    def write(self, batch: WriteBatch) -> None:
+    def write(self, batch: WriteBatch,
+              tenant: Optional[str] = None) -> None:
         """Commit a batch: WAL append, then memtable insert."""
         self._check_open()
         if not len(batch):
             return
-        start = time.perf_counter() if self._windows is not None else 0.0
+        start = time.perf_counter() if self._op_obs else 0.0
         with self._mutex:
             if self._driver is not None:
                 self._check_bg_error()
@@ -462,8 +578,8 @@ class LsmDB:
                     self._driver.kick(ctx=self.tracer.mint_context())
             elif self.auto_compact:
                 self._maybe_maintain()
-        if self._windows is not None:
-            self._windows["write"].observe(time.perf_counter() - start)
+        if self._op_obs:
+            self._observe_op("write", time.perf_counter() - start, tenant)
 
     def _make_room_for_write(self) -> None:
         """LevelDB's ``MakeRoomForWrite``: real throttling for the
@@ -498,7 +614,8 @@ class LsmDB:
                 self._stall_until(
                     lambda: (self.versions.current.num_files(0)
                              < L0_STOP_TRIGGER),
-                    kick=lambda: self._driver.kick(level=0),
+                    kick=lambda ctx=None: self._driver.kick(level=0,
+                                                            ctx=ctx),
                     reason="l0_stop")
                 continue
             self._swap_memtable_locked()
@@ -506,20 +623,35 @@ class LsmDB:
 
     def _stall_until(self, predicate, kick, reason: str) -> None:
         """Block the writer until ``predicate`` holds (mutex held); the
-        whole episode is one stall observation."""
+        whole episode is one stall observation.
+
+        The episode gets a trace context (the enclosing one if the
+        caller is traced, a fresh one otherwise) carried by the stall
+        span, the ``stall_*`` events, and the maintenance work the kicks
+        trigger — so a tail-latency exemplar recorded right after the
+        stall resolves back to this episode in the journal."""
         self.stall_events += 1
         self._c["stalls"].inc()
-        self.events.emit("stall_start", db=self.dbname, reason=reason)
+        ctx = self.tracer.current_context()
+        if ctx is None:
+            ctx = self.tracer.mint_context()
+        trace_fields = {} if ctx is None else {"trace": str(ctx.trace_id)}
+        self.events.emit("stall_start", db=self.dbname, reason=reason,
+                         **trace_fields)
         start = time.perf_counter()
-        with self.tracer.span("write.stall", db=self.dbname, reason=reason):
-            while (not predicate() and self._bg_error is None
-                   and not self._closed):
-                kick()
-                self._cond.wait(timeout=0.05)
+        with self.tracer.activate(ctx):
+            with self.tracer.span("write.stall", db=self.dbname,
+                                  reason=reason):
+                while (not predicate() and self._bg_error is None
+                       and not self._closed):
+                    kick(ctx)
+                    self._cond.wait(timeout=0.05)
         waited = time.perf_counter() - start
         self._m.stall_seconds.observe(waited)
         self.events.emit("stall_finish", db=self.dbname, reason=reason,
-                         seconds=waited)
+                         seconds=waited, **trace_fields)
+        if ctx is not None:
+            self._last_stall_trace = ctx.trace_id
         self._check_bg_error()
 
     def _swap_memtable_locked(self) -> None:
@@ -612,7 +744,11 @@ class LsmDB:
         restores the memtable."""
         number = self.versions.new_file_number()
         name = table_file_name(self.dbname, number)
-        self.events.emit("flush_start", db=self.dbname, table=number)
+        trace_id = getattr(span, "trace_id", None)
+        trace_fields = ({} if trace_id is None
+                        else {"trace": str(trace_id)})
+        self.events.emit("flush_start", db=self.dbname, table=number,
+                         **trace_fields)
         start = time.perf_counter()
         try:
             dest = self.env.new_writable_file(name)
@@ -639,7 +775,8 @@ class LsmDB:
             "flush_finish", db=self.dbname, table=number,
             bytes=stats.file_bytes,
             seconds=time.perf_counter() - start,
-            write_bytes=int(self._c["write_bytes"].value))
+            write_bytes=int(self._c["write_bytes"].value),
+            **trace_fields)
 
     def _restore_imm_after_failed_flush(self) -> None:
         """A failed flush must not strand writes: fold whatever reached
@@ -748,10 +885,13 @@ class LsmDB:
                         span) -> list[FileMetaData]:
         base_bytes = sum(m.file_size for m in spec.inputs)
         parent_bytes = sum(m.file_size for m in spec.parents)
+        trace_id = getattr(span, "trace_id", None)
+        trace_fields = ({} if trace_id is None
+                        else {"trace": str(trace_id)})
         self.events.emit(
             "compaction_start", db=self.dbname, level=spec.level,
             output_level=spec.output_level, reason=spec.reason,
-            input_bytes=spec.total_input_bytes)
+            input_bytes=spec.total_input_bytes, **trace_fields)
         start = time.perf_counter()
         with self._mutex:
             input_tables = [self._open_reader(m) for m in spec.inputs]
@@ -797,7 +937,8 @@ class LsmDB:
                 output_bytes=output_bytes, input_bytes_base=base_bytes,
                 input_bytes_parent=parent_bytes,
                 seconds=time.perf_counter() - start,
-                write_bytes=int(self._c["write_bytes"].value))
+                write_bytes=int(self._c["write_bytes"].value),
+                **trace_fields)
             with self.tracer.span("compaction.install"):
                 edit = VersionEdit()
                 for meta in spec.inputs:
@@ -854,7 +995,11 @@ class LsmDB:
             number = self.versions.new_file_number()
         with self.tracer.span("flush", db=self.dbname) as span:
             name = table_file_name(self.dbname, number)
-            self.events.emit("flush_start", db=self.dbname, table=number)
+            trace_id = getattr(span, "trace_id", None)
+            trace_fields = ({} if trace_id is None
+                            else {"trace": str(trace_id)})
+            self.events.emit("flush_start", db=self.dbname, table=number,
+                             **trace_fields)
             start = time.perf_counter()
             try:
                 dest = self.env.new_writable_file(name)
@@ -883,7 +1028,8 @@ class LsmDB:
                     "flush_finish", db=self.dbname, table=number,
                     bytes=stats.file_bytes,
                     seconds=time.perf_counter() - start,
-                    write_bytes=int(self._c["write_bytes"].value))
+                    write_bytes=int(self._c["write_bytes"].value),
+                    **trace_fields)
                 self._imm = None
                 self._write_manifest()
                 self._retire_old_logs()
@@ -954,7 +1100,8 @@ class LsmDB:
         """Sequence of the oldest live snapshot (mutex held), or None."""
         return min(self._snapshots) if self._snapshots else None
 
-    def get(self, key: bytes, snapshot: "Snapshot | None" = None) -> bytes:
+    def get(self, key: bytes, snapshot: "Snapshot | None" = None,
+            tenant: Optional[str] = None) -> bytes:
         """Return the value of ``key`` (newest, or as of ``snapshot``).
 
         Raises :class:`NotFoundError` when absent or deleted.
@@ -962,16 +1109,18 @@ class LsmDB:
         self._check_open()
         if snapshot is not None:
             snapshot._check_owner(self)
-        start = time.perf_counter() if self._windows is not None else 0.0
+        start = time.perf_counter() if self._op_obs else 0.0
         with self._mutex:
             sequence = (snapshot.sequence if snapshot is not None
                         else self.versions.last_sequence)
             try:
                 return self._get_at(key, sequence)
             finally:
-                if self._windows is not None:
-                    self._windows["get"].observe(
-                        time.perf_counter() - start)
+                if self._op_obs:
+                    # NotFoundError is a successful lookup of an absent
+                    # key, not an availability failure.
+                    self._observe_op("get",
+                                     time.perf_counter() - start, tenant)
 
     def _get_at(self, key: bytes, snapshot: int) -> bytes:
         self._c["reads"].inc()

@@ -20,6 +20,10 @@ substrate those numbers flow through:
 * :mod:`repro.obs.exposition` — Prometheus text format (and a parser);
 * :mod:`repro.obs.report` — the LevelDB-style ``repro.stats`` /
   ``repro.levelstats`` properties;
+* :mod:`repro.obs.slo` — declarative SLO specs, per-tenant error-budget
+  accounting and multi-window burn-rate alerts over the journal;
+* :mod:`repro.obs.dashboard` — the ``lsm top`` terminal dashboard
+  rendered from registry snapshots;
 * :mod:`repro.obs.timeline` — bounded-memory pipeline event intervals
   with Chrome trace-event export (Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.profile` — critical-path attribution of kernel runs
@@ -42,6 +46,7 @@ from repro.obs.registry import (
     SECONDS_BUCKETS,
     CallbackGauge,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricFamily,
@@ -80,6 +85,18 @@ from repro.obs.exposition import (
 )
 from repro.obs import names
 from repro.obs.report import render_db_report, render_level_stats
+from repro.obs.slo import (
+    DEFAULT_POLICIES,
+    BurnPolicy,
+    SloEngine,
+    SloSpec,
+    WindowedCounter,
+    build_engine,
+    load_slo_file,
+    parse_slo_specs,
+    parse_slo_toml,
+)
+from repro.obs.dashboard import render_dashboard, run_dashboard
 from repro.obs.timeline import TimelineRecorder
 
 _installed_registry: Optional[MetricsRegistry] = None
@@ -182,10 +199,13 @@ def resolve_events(events) -> EventJournal | NullJournal:
 
 __all__ = [
     "BYTES_BUCKETS",
+    "DEFAULT_POLICIES",
     "SECONDS_BUCKETS",
+    "BurnPolicy",
     "CallbackGauge",
     "Counter",
     "EventJournal",
+    "Exemplar",
     "Gauge",
     "Histogram",
     "JournalSummary",
@@ -195,26 +215,35 @@ __all__ = [
     "NULL_TRACER",
     "NullJournal",
     "NullTracer",
+    "SloEngine",
+    "SloSpec",
     "Span",
     "TeeJournal",
     "TimelineRecorder",
     "TraceContext",
     "Tracer",
+    "WindowedCounter",
     "WindowedHistogram",
+    "build_engine",
     "current_events",
     "current_registry",
     "current_timeline",
     "current_tracer",
     "install",
+    "load_slo_file",
     "merge_counts",
     "names",
     "parse_prometheus_text",
+    "parse_slo_specs",
+    "parse_slo_toml",
     "publish_window",
     "quantile_label",
     "read_events",
     "read_jsonl",
+    "render_dashboard",
     "render_db_report",
     "render_level_stats",
+    "run_dashboard",
     "replay",
     "replay_file",
     "resolve_events",

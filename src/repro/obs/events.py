@@ -19,10 +19,16 @@ Guarantees (enforced under one lock, asserted by
 
 Event types come in balanced start/finish pairs (``flush_*``,
 ``compaction_*``, ``stall_*``) plus point events (``fault``, ``retry``,
-``fallback``, ``journal_open``).  Finish events for flushes and
-compactions carry the cumulative user ``write_bytes`` at that moment, so
-:func:`replay` can recompute write-amplification without having seen the
-individual writes.
+``fallback``, ``journal_open``, ``slo_alert``, ``exemplar``).  Finish
+events for flushes and compactions carry the cumulative user
+``write_bytes`` at that moment, so :func:`replay` can recompute
+write-amplification without having seen the individual writes.
+
+``slo_alert`` records a burn-rate alert transition (fields: ``slo``,
+``tenant``, ``policy``, ``state`` firing/resolved, ``burn_short``,
+``burn_long``); ``exemplar`` records a tail sample whose trace id links
+a latency violation back to the compaction/stall span that caused it
+(fields: ``slo``, ``tenant``, ``trace``, ``value``).
 """
 
 from __future__ import annotations
@@ -45,6 +51,7 @@ EVENT_TYPES = frozenset({
     "compaction_start", "compaction_finish",
     "stall_start", "stall_finish",
     "fault", "retry", "fallback",
+    "slo_alert", "exemplar",
 })
 
 #: ``start`` event type -> matching ``finish`` type.
@@ -200,6 +207,8 @@ class JournalSummary:
     faults: dict = field(default_factory=dict)
     retries: int = 0
     fallbacks: int = 0
+    slo_alerts: dict = field(default_factory=dict)
+    exemplars: int = 0
     write_bytes: int = 0
     unbalanced: dict = field(default_factory=dict)
 
@@ -279,6 +288,10 @@ def replay(events: list[dict]) -> JournalSummary:
             summary.retries += 1
         elif etype == "fallback":
             summary.fallbacks += 1
+        elif etype == "slo_alert":
+            _bump(summary.slo_alerts, event.get("state", "unknown"))
+        elif etype == "exemplar":
+            summary.exemplars += 1
     for finish_type, pending in open_pairs.items():
         if pending > 0:
             start_type = [s for s, f in PAIRED_TYPES.items()

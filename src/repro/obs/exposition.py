@@ -8,9 +8,14 @@ via :meth:`MetricsRegistry.describe` but never sampled still emit their
 headers, so a scrape of a fresh process already advertises the full
 metric surface.
 
+Histogram buckets that captured an :class:`~repro.obs.registry.Exemplar`
+append it in OpenMetrics exemplar syntax::
+
+    lsm_op_latency_seconds_bucket{le="0.25"} 7 # {trace_id="42"} 0.18 17.5
+
 ``parse_prometheus_text`` is the inverse for the subset this repo emits —
 enough for tests and the benchmark acceptance check, not a general
-scraper.
+scraper.  Parsed exemplars come back under the ``"exemplars"`` key.
 """
 
 from __future__ import annotations
@@ -19,7 +24,16 @@ import math
 import re
 from typing import Iterable
 
-from repro.obs.registry import Histogram, MetricFamily, MetricsRegistry
+from repro.obs.registry import (Exemplar, Histogram, MetricFamily,
+                                MetricsRegistry)
+
+
+def _exemplar_text(exemplar: Exemplar) -> str:
+    suffix = (f' # {{trace_id="{_escape_label_value(exemplar.trace_id)}"}}'
+              f" {format_value(exemplar.value)}")
+    if exemplar.ts is not None:
+        suffix += f" {format_value(exemplar.ts)}"
+    return suffix
 
 
 def _escape_label_value(value: str) -> str:
@@ -62,19 +76,26 @@ def _render_family(lines: list[str], family: MetricFamily,
     for labels, child in family.children.items():
         if family.kind == "histogram":
             assert isinstance(child, Histogram)
-            for bound, cumulative in child.cumulative_counts():
+            exemplars = child.exemplars()
+            for index, (bound, cumulative) in enumerate(
+                    child.cumulative_counts()):
                 le = "+Inf" if bound == math.inf else format_value(bound)
+                exemplar = exemplars.get(index)
                 lines.append(
                     f"{family.name}_bucket"
                     f"{_label_text(labels, (('le', le),))}"
-                    f" {cumulative}")
+                    f" {cumulative}"
+                    f"{_exemplar_text(exemplar) if exemplar else ''}")
             lines.append(f"{family.name}_sum{_label_text(labels)} "
                          f"{format_value(child.sum)}")
             lines.append(f"{family.name}_count{_label_text(labels)} "
                          f"{child.count}")
         else:
+            value = child.value  # type: ignore[union-attr]
+            if value is None:
+                continue  # callback gauge with no current sample
             lines.append(f"{family.name}{_label_text(labels)} "
-                         f"{format_value(child.value)}")  # type: ignore[union-attr]
+                         f"{format_value(value)}")
 
 
 def to_prometheus_text(*registries: MetricsRegistry) -> str:
@@ -117,7 +138,10 @@ def write_prometheus(path: str, *registries: MetricsRegistry,
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
     r"(?:\{(?P<labels>[^}]*)\})?"
-    r"\s+(?P<value>\S+)\s*$")
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+#\s+\{(?P<exlabels>[^}]*)\}\s+(?P<exvalue>\S+)"
+    r"(?:\s+(?P<exts>\S+))?)?"
+    r"\s*$")
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
@@ -130,14 +154,18 @@ def parse_prometheus_text(text: str) -> dict:
     """Parse exposition text into::
 
         {"families": {name: kind}, "samples":
-            {series_name: {label_tuple: value}}}
+            {series_name: {label_tuple: value}},
+         "exemplars": {series_name: {label_tuple: Exemplar}}}
 
     Histogram series keep their expanded ``_bucket``/``_sum``/``_count``
-    names.  Raises ``ValueError`` on malformed sample lines, which is what
-    makes it usable as a "the dump is parseable" check.
+    names.  OpenMetrics exemplar suffixes on bucket lines are parsed into
+    ``Exemplar`` objects keyed the same way as the samples.  Raises
+    ``ValueError`` on malformed sample lines, which is what makes it
+    usable as a "the dump is parseable" check.
     """
     families: dict[str, str] = {}
     samples: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    exemplars: dict[str, dict[tuple[tuple[str, str], ...], Exemplar]] = {}
     for lineno, line in enumerate(text.splitlines(), 1):
         line = line.strip()
         if not line:
@@ -163,5 +191,16 @@ def parse_prometheus_text(text: str) -> dict:
         value = (math.inf if raw_value == "+Inf"
                  else -math.inf if raw_value == "-Inf"
                  else float(raw_value))
-        samples.setdefault(match.group("name"), {})[labels] = value
-    return {"families": families, "samples": samples}
+        name = match.group("name")
+        samples.setdefault(name, {})[labels] = value
+        if match.group("exlabels") is not None:
+            ex_pairs = dict(
+                (key, _unescape(val)) for key, val
+                in _LABEL_PAIR_RE.findall(match.group("exlabels")))
+            raw_ts = match.group("exts")
+            exemplars.setdefault(name, {})[labels] = Exemplar(
+                float(match.group("exvalue")),
+                ex_pairs.get("trace_id", ""),
+                float(raw_ts) if raw_ts is not None else None)
+    return {"families": families, "samples": samples,
+            "exemplars": exemplars}

@@ -80,6 +80,8 @@ FAMILIES: tuple[tuple, ...] = (
     ("lsm_op_latency_window_seconds", "gauge",
      "Sliding-window operation latency quantiles, by op "
      "(get|put|write) and quantile (p50|p95|p99|p999).", None),
+    ("lsm_tenant_ops_total", "counter",
+     "Operations by tenant and op (get|put|delete|write).", None),
     ("lsm_block_cache_hits_total", "counter",
      "Block cache hits.", None),
     ("lsm_block_cache_misses_total", "counter",
@@ -110,6 +112,23 @@ FAMILIES: tuple[tuple, ...] = (
     ("sim_stall_window_seconds", "gauge",
      "Sliding-window write-stall quantiles on *simulated* time, by sim "
      "mode and quantile (p50|p95|p99|p999).", None),
+    ("sim_op_latency_window_seconds", "gauge",
+     "Sliding-window open-loop arrival-to-completion latency quantiles "
+     "on *simulated* time, by tenant/op/quantile — coordinated-omission "
+     "free (includes queueing delay).", None),
+    # -- SLO engine ---------------------------------------------------
+    ("slo_events_total", "counter",
+     "Operations classified against an SLO, by slo/tenant/outcome "
+     "(good|bad).", None),
+    ("slo_burn_rate", "gauge",
+     "Error-budget burn rate by slo/tenant/policy/window (short|long); "
+     "1.0 consumes the budget exactly over the SLO period.", None),
+    ("slo_error_budget_remaining", "gauge",
+     "Fraction of the error budget left over the longest policy "
+     "window, by slo/tenant.", None),
+    ("slo_alerts_total", "counter",
+     "Burn-rate alert transitions by slo/tenant/policy/state "
+     "(firing|resolved).", None),
     # -- Background compaction driver (paper Fig 6's task queue) ------
     ("driver_queue_depth", "gauge",
      "Compaction tasks queued for the driver's units.", None),

@@ -110,7 +110,11 @@ class CallbackGauge:
 
     Used for derived series that would be wasteful to refresh on the hot
     path — windowed percentiles, ratios — so the cost is paid at scrape
-    time, not per operation."""
+    time, not per operation.
+
+    A callback may return ``None`` to signal "no sample right now"
+    (e.g. an empty latency window): exposition then omits the series
+    instead of publishing a phantom 0.0."""
 
     __slots__ = ("labels", "_callback")
 
@@ -119,14 +123,35 @@ class CallbackGauge:
         self._callback = callback
 
     @property
-    def value(self) -> float:
-        return float(self._callback())
+    def value(self) -> Optional[float]:
+        value = self._callback()
+        return None if value is None else float(value)
+
+
+class Exemplar:
+    """One tail sample attached to a histogram bucket (OpenMetrics
+    exemplars): the observed value plus the trace id active when it was
+    recorded, so "p999 violated" resolves to a concrete journal trace.
+    ``ts`` is optional — exposition omits the timestamp when absent,
+    which also keeps golden-file tests deterministic."""
+
+    __slots__ = ("value", "trace_id", "ts")
+
+    def __init__(self, value: float, trace_id: str,
+                 ts: Optional[float] = None):
+        self.value = float(value)
+        self.trace_id = str(trace_id)
+        self.ts = ts
+
+    def __repr__(self) -> str:
+        return f"Exemplar({self.value!r}, trace_id={self.trace_id!r})"
 
 
 class Histogram:
     """Fixed-bucket histogram with cumulative counts, Prometheus-style."""
 
-    __slots__ = ("labels", "buckets", "_lock", "_counts", "_sum", "_count")
+    __slots__ = ("labels", "buckets", "_lock", "_counts", "_sum", "_count",
+                 "_exemplars")
 
     def __init__(self, labels: tuple[tuple[str, str], ...],
                  lock: threading.RLock, buckets: Sequence[float]):
@@ -136,13 +161,25 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
         self._sum = 0.0
         self._count = 0
+        #: bucket index -> latest Exemplar (only buckets that ever saw a
+        #: traced observation have an entry).
+        self._exemplars: dict[int, Exemplar] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: Optional[str] = None,
+                ts: Optional[float] = None) -> None:
         index = bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id is not None:
+                self._exemplars[index] = Exemplar(value, trace_id, ts)
+
+    def exemplars(self) -> dict[int, Exemplar]:
+        """``{bucket_index: latest Exemplar}`` (index ``len(buckets)`` is
+        the +Inf bucket)."""
+        with self._lock:
+            return dict(self._exemplars)
 
     @property
     def sum(self) -> float:
@@ -293,19 +330,23 @@ class MetricsRegistry:
         child = family.children.get(_label_key(labels))
         if child is None:
             return 0.0
-        return child.value  # type: ignore[union-attr]
+        value = child.value  # type: ignore[union-attr]
+        return 0.0 if value is None else value
 
     def sum_family(self, name: str) -> float:
         """Sum of all children of a counter/gauge family."""
         family = self._families.get(name)
         if family is None:
             return 0.0
-        return sum(child.value  # type: ignore[union-attr]
-                   for child in family.children.values())
+        values = (child.value  # type: ignore[union-attr]
+                  for child in family.children.values())
+        return sum(v for v in values if v is not None)
 
     def snapshot(self) -> dict:
         """Plain-dict dump ``{family: {label_tuple: value}}`` for tests
-        and merging; histograms dump ``(sum, count)``."""
+        and merging; histograms dump ``(sum, count)``.  Callback gauges
+        reporting "no sample" (``None``) are skipped, matching the
+        exposition behavior."""
         out: dict = {}
         with self._lock:
             for family in self.collect():
@@ -314,7 +355,10 @@ class MetricsRegistry:
                     if family.kind == "histogram":
                         entries[key] = (child.sum, child.count)  # type: ignore[union-attr]
                     else:
-                        entries[key] = child.value  # type: ignore[union-attr]
+                        value = child.value  # type: ignore[union-attr]
+                        if value is None:
+                            continue
+                        entries[key] = value
                 out[family.name] = entries
         return out
 

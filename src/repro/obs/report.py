@@ -42,9 +42,25 @@ def render_db_report(db, scheduler=None) -> str:
         lines.append(f"level {level}   {files:5d} {nbytes / 1e6:12.2f}")
     lines.append("")
     lines.append(f"sequence: {db.versions.last_sequence}")
+    uptime = getattr(db, "uptime_seconds", None)
+    if uptime is not None:
+        lines.append(f"uptime_seconds: {uptime():.3f}")
+    segments = getattr(db, "journal_segments", None)
+    if segments is not None:
+        lines.append(f"journal_segments: {segments()}")
     lines.append(f"write_amplification: {stats.write_amplification:.3f}")
     lines.append("")
     lines.extend(_counter_block("counters:", stats.as_dict()))
+    tenant_ops = getattr(db, "tenant_op_counts", None)
+    if tenant_ops is not None:
+        counts = tenant_ops()
+        if counts:
+            lines.append("")
+            lines.extend(_counter_block(
+                "tenant ops:",
+                {f"{tenant}/{op}": n
+                 for tenant, ops in sorted(counts.items())
+                 for op, n in sorted(ops.items())}))
 
     cache = getattr(db, "block_cache", None)
     if cache is not None:

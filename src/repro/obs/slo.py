@@ -1,0 +1,625 @@
+"""SLO engine: declarative objectives, error budgets, burn-rate alerts.
+
+This module turns the raw observability substrate (metrics registry,
+windowed histograms, flight-recorder journal) into an opinionated
+answer to "are we violating the SLO, and how fast?":
+
+* :class:`SloSpec` — a declarative objective: *latency* ("99% of gets
+  under 5 ms") or *availability* ("99.9% of ops succeed"), scoped to an
+  operation and a tenant (``"*"`` wildcards).  Specs parse from plain
+  dicts, from TOML (``[[slo]]`` array-of-tables), and ride into the
+  store via ``Options.slo_specs``.
+* :class:`SloEngine` — per-(spec, tenant) good/bad accounting over a
+  sliding window ring, Google-SRE-style **multi-window multi-burn-rate**
+  alerting (the default policies pair a 5m/1h fast burn at 14.4x with a
+  1h/6h slow burn at 6x), and error-budget-remaining gauges.  Alert
+  transitions are emitted as ``slo_alert`` events into the journal;
+  tail violations that carry a trace id are emitted as ``exemplar``
+  events, closing the loop from "p99 violated" to the compaction or
+  stall span that caused it.
+
+The engine runs on a pluggable clock: wall time in a live store,
+simulated time in the discrete-event simulators — burn windows slide on
+modeled seconds, so a 5-minute fast burn can be exercised in
+milliseconds of real time.
+
+Burn rate follows the SRE workbook definition::
+
+    burn = (bad_fraction over window) / (1 - target)
+
+A burn rate of 1.0 consumes exactly the error budget over the SLO
+period; an alert policy fires when *both* its short and long windows
+burn at >= ``factor`` (the short window makes the alert fast, the long
+window makes it not flap).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Optional, Sequence
+
+from repro.errors import InvalidArgumentError
+from repro.obs.events import NULL_JOURNAL
+
+__all__ = [
+    "BurnPolicy", "DEFAULT_POLICIES", "SloSpec", "SloEngine",
+    "WindowedCounter", "parse_slo_specs", "parse_slo_toml",
+    "load_slo_file",
+]
+
+
+class BurnPolicy:
+    """One multi-window burn-rate alerting rule.
+
+    Fires when the burn rate over *both* ``short_seconds`` and
+    ``long_seconds`` is at least ``factor``.  The canonical fast-burn
+    policy (5m/1h at 14.4x) pages on a budget that would be gone in two
+    hours; the slow-burn policy (1h/6h at 6x) tickets on sustained
+    slow bleed."""
+
+    __slots__ = ("name", "short_seconds", "long_seconds", "factor")
+
+    def __init__(self, name: str, short_seconds: float,
+                 long_seconds: float, factor: float):
+        if short_seconds <= 0 or long_seconds <= 0:
+            raise InvalidArgumentError("burn windows must be positive")
+        if long_seconds < short_seconds:
+            raise InvalidArgumentError(
+                f"policy {name!r}: long window {long_seconds} shorter "
+                f"than short window {short_seconds}")
+        if factor <= 0:
+            raise InvalidArgumentError("burn factor must be positive")
+        self.name = str(name)
+        self.short_seconds = float(short_seconds)
+        self.long_seconds = float(long_seconds)
+        self.factor = float(factor)
+
+    def __repr__(self) -> str:
+        return (f"BurnPolicy({self.name!r}, {self.short_seconds}, "
+                f"{self.long_seconds}, {self.factor})")
+
+
+#: Google-SRE-workbook default pairing: fast page, slow ticket.
+DEFAULT_POLICIES = (
+    BurnPolicy("fast", 300.0, 3600.0, 14.4),
+    BurnPolicy("slow", 3600.0, 21600.0, 6.0),
+)
+
+_OBJECTIVES = ("latency", "availability")
+
+
+class SloSpec:
+    """One declarative objective.
+
+    Parameters
+    ----------
+    name:
+        Unique id, used in metric labels and journal events.
+    objective:
+        ``"latency"`` — an op is *bad* when it fails or exceeds
+        ``threshold_seconds``; ``"availability"`` — bad only on failure.
+    target:
+        Fraction of ops that must be good, in (0, 1); the error budget
+        is ``1 - target``.
+    threshold_seconds:
+        Latency threshold (required for latency objectives).
+    op:
+        Operation this spec scores (``"get"``, ``"put"``, ...) or
+        ``"*"`` for all.
+    tenant:
+        Tenant this spec scores, or ``"*"`` to account each tenant
+        against its own budget.
+    policies:
+        Burn-rate alert policies (defaults to :data:`DEFAULT_POLICIES`).
+    """
+
+    __slots__ = ("name", "objective", "target", "threshold_seconds",
+                 "op", "tenant", "policies")
+
+    def __init__(self, name: str, objective: str = "latency",
+                 target: float = 0.99,
+                 threshold_seconds: Optional[float] = None,
+                 op: str = "*", tenant: str = "*",
+                 policies: Sequence[BurnPolicy] = DEFAULT_POLICIES):
+        if not name:
+            raise InvalidArgumentError("SLO spec needs a name")
+        if objective not in _OBJECTIVES:
+            raise InvalidArgumentError(
+                f"unknown objective {objective!r} (expected one of "
+                f"{_OBJECTIVES})")
+        if not 0.0 < target < 1.0:
+            raise InvalidArgumentError(
+                f"SLO target must be in (0, 1), got {target}")
+        if objective == "latency":
+            if threshold_seconds is None or threshold_seconds <= 0:
+                raise InvalidArgumentError(
+                    "latency objective requires threshold_seconds > 0")
+        if not policies:
+            raise InvalidArgumentError("SLO spec needs >= 1 burn policy")
+        self.name = str(name)
+        self.objective = objective
+        self.target = float(target)
+        self.threshold_seconds = (None if threshold_seconds is None
+                                  else float(threshold_seconds))
+        self.op = str(op)
+        self.tenant = str(tenant)
+        # Accept dict policies everywhere (not just from_dict) so call
+        # sites can write literal policy tables inline.
+        self.policies = tuple(
+            p if isinstance(p, BurnPolicy) else BurnPolicy(
+                p["name"], p["short_seconds"], p["long_seconds"],
+                p["factor"])
+            for p in policies)
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed bad fraction: ``1 - target``."""
+        return 1.0 - self.target
+
+    def matches(self, op: str, tenant: str) -> bool:
+        return (self.op in ("*", op)) and (self.tenant in ("*", tenant))
+
+    def __repr__(self) -> str:
+        return (f"SloSpec({self.name!r}, {self.objective!r}, "
+                f"target={self.target}, op={self.op!r}, "
+                f"tenant={self.tenant!r})")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SloSpec":
+        """Build a spec from a plain mapping (dict literal or one TOML
+        ``[[slo]]`` table).
+
+        Policies come either as ``policies = [{name=..., short_seconds=...,
+        long_seconds=..., factor=...}, ...]`` or as flat scalar keys
+        (``fast_short``/``fast_long``/``fast_factor`` and the ``slow_*``
+        trio) so the mini-TOML fallback parser, which only understands
+        scalars, can still configure them."""
+        data = dict(data)
+        policies = data.pop("policies", None)
+        if policies is not None:
+            built = tuple(
+                p if isinstance(p, BurnPolicy) else BurnPolicy(
+                    p["name"], p["short_seconds"], p["long_seconds"],
+                    p["factor"])
+                for p in policies)
+        else:
+            built = _policies_from_flat(data)
+        known = ("name", "objective", "target", "threshold_seconds",
+                 "op", "tenant")
+        unknown = set(data) - set(known)
+        if unknown:
+            raise InvalidArgumentError(
+                f"unknown SLO spec keys: {sorted(unknown)}")
+        return cls(policies=built,
+                   **{key: data[key] for key in known if key in data})
+
+
+def _policies_from_flat(data: dict) -> tuple:
+    """Pop ``fast_*``/``slow_*`` scalar keys into policies; absent keys
+    fall back to the matching default window/factor."""
+    out = []
+    touched = False
+    for default in DEFAULT_POLICIES:
+        prefix = default.name
+        short = data.pop(f"{prefix}_short", None)
+        long_ = data.pop(f"{prefix}_long", None)
+        factor = data.pop(f"{prefix}_factor", None)
+        if short is None and long_ is None and factor is None:
+            out.append(default)
+            continue
+        touched = True
+        out.append(BurnPolicy(
+            prefix,
+            default.short_seconds if short is None else float(short),
+            default.long_seconds if long_ is None else float(long_),
+            default.factor if factor is None else float(factor)))
+    return tuple(out) if touched else DEFAULT_POLICIES
+
+
+def parse_slo_specs(specs) -> tuple:
+    """Normalize a heterogeneous sequence of ``SloSpec`` / dict entries
+    (what ``Options.slo_specs`` accepts) into a tuple of specs."""
+    out = []
+    seen = set()
+    for entry in specs:
+        spec = (entry if isinstance(entry, SloSpec)
+                else SloSpec.from_dict(entry))
+        if spec.name in seen:
+            raise InvalidArgumentError(
+                f"duplicate SLO spec name {spec.name!r}")
+        seen.add(spec.name)
+        out.append(spec)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# TOML loading.  Python 3.11+ ships tomllib; on 3.10 we fall back to a
+# deliberately tiny parser that understands exactly the subset the SLO
+# file format needs: ``[[slo]]`` array-of-tables with scalar values.
+# ----------------------------------------------------------------------
+
+try:  # pragma: no cover - which branch runs depends on the interpreter
+    import tomllib as _tomllib
+except ImportError:  # pragma: no cover
+    _tomllib = None
+
+
+def _parse_scalar(raw: str, lineno: int):
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        if any(ch in raw for ch in ".eE") and not raw.startswith("0x"):
+            return float(raw)
+        return int(raw)
+    except ValueError:
+        raise InvalidArgumentError(
+            f"SLO TOML line {lineno}: unsupported value {raw!r} "
+            f"(mini parser accepts strings, numbers, booleans)") from None
+
+
+def _mini_toml_slo(text: str) -> list:
+    """``[[slo]]`` tables of scalar ``key = value`` pairs, nothing else."""
+    tables: list[dict] = []
+    current: Optional[dict] = None
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "[[slo]]":
+            current = {}
+            tables.append(current)
+            continue
+        if line.startswith("["):
+            raise InvalidArgumentError(
+                f"SLO TOML line {lineno}: only [[slo]] tables are "
+                f"supported, got {line!r}")
+        if "=" not in line:
+            raise InvalidArgumentError(
+                f"SLO TOML line {lineno}: expected key = value, got "
+                f"{line!r}")
+        if current is None:
+            raise InvalidArgumentError(
+                f"SLO TOML line {lineno}: key outside a [[slo]] table")
+        key, raw = line.split("=", 1)
+        current[key.strip()] = _parse_scalar(raw, lineno)
+    return tables
+
+
+def parse_slo_toml(text: str) -> tuple:
+    """Parse SLO specs from TOML text (``[[slo]]`` array-of-tables)."""
+    if _tomllib is not None:
+        tables = _tomllib.loads(text).get("slo", [])
+    else:
+        tables = _mini_toml_slo(text)
+    return parse_slo_specs(tables)
+
+
+def load_slo_file(path: str) -> tuple:
+    """Read ``path`` and parse it with :func:`parse_slo_toml`."""
+    with open(path) as handle:
+        return parse_slo_toml(handle.read())
+
+
+# ----------------------------------------------------------------------
+# Sliding good/bad accounting
+# ----------------------------------------------------------------------
+
+
+class _CounterSlice:
+    __slots__ = ("slot", "good", "bad")
+
+    def __init__(self):
+        self.slot = -1
+        self.good = 0
+        self.bad = 0
+
+
+class WindowedCounter:
+    """Slot-stamped ring of good/bad counts over a pluggable clock.
+
+    One ring covers the longest burn window at the resolution of the
+    shortest; :meth:`totals` then reads any sub-window out of the same
+    ring, so the fast and slow policies share storage.  Not internally
+    locked — the :class:`SloEngine` serializes access."""
+
+    __slots__ = ("_slice_seconds", "_clock", "_ring")
+
+    def __init__(self, horizon_seconds: float, slice_seconds: float,
+                 clock):
+        if horizon_seconds <= 0 or slice_seconds <= 0:
+            raise InvalidArgumentError(
+                "horizon and slice width must be positive")
+        self._slice_seconds = float(slice_seconds)
+        self._clock = clock
+        n = int(math.ceil(horizon_seconds / slice_seconds)) + 1
+        self._ring = [_CounterSlice() for _ in range(n)]
+
+    def _slice_for(self, slot: int) -> _CounterSlice:
+        entry = self._ring[slot % len(self._ring)]
+        if entry.slot != slot:
+            entry.slot = slot
+            entry.good = 0
+            entry.bad = 0
+        return entry
+
+    def add(self, good: int = 0, bad: int = 0) -> None:
+        slot = int(self._clock() / self._slice_seconds)
+        entry = self._slice_for(slot)
+        entry.good += good
+        entry.bad += bad
+
+    def totals(self, window_seconds: float) -> tuple[int, int]:
+        """``(good, bad)`` over the trailing ``window_seconds``."""
+        now_slot = int(self._clock() / self._slice_seconds)
+        span = int(math.ceil(window_seconds / self._slice_seconds))
+        span = min(span, len(self._ring))
+        oldest = now_slot - span + 1
+        good = bad = 0
+        for entry in self._ring:
+            if oldest <= entry.slot <= now_slot:
+                good += entry.good
+                bad += entry.bad
+        return good, bad
+
+    def bad_fraction(self, window_seconds: float) -> Optional[float]:
+        """Bad fraction over the window, ``None`` when no samples."""
+        good, bad = self.totals(window_seconds)
+        total = good + bad
+        if total == 0:
+            return None
+        return bad / total
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+
+class SloEngine:
+    """Error-budget accounting and burn-rate alerting over live traffic.
+
+    The hot-path entry point is :meth:`record` — classify one operation
+    against every matching spec and bucket it good/bad.  Evaluation
+    (:meth:`evaluate`) recomputes burn rates, updates the gauges, and
+    emits ``slo_alert`` journal events on firing/resolved transitions;
+    :meth:`record` self-triggers it at most every ``eval_interval``
+    clock seconds so callers never need a background thread.
+
+    Parameters
+    ----------
+    specs:
+        ``SloSpec`` instances (or dicts; normalized via
+        :func:`parse_slo_specs`).
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when set,
+        the engine publishes ``slo_events_total``, ``slo_burn_rate``,
+        ``slo_error_budget_remaining`` and ``slo_alerts_total``.
+    events:
+        Journal for ``slo_alert`` / ``exemplar`` events (defaults to the
+        null journal).
+    clock:
+        Seconds callable (defaults to ``time.monotonic``); simulators
+        pass their virtual clock.
+    eval_interval:
+        Minimum clock seconds between self-triggered evaluations.
+    exemplar_min_interval:
+        Per-(spec, tenant) rate limit on ``exemplar`` journal events so
+        a storm of violations does not flood the journal.
+    """
+
+    def __init__(self, specs, registry=None, events=None, clock=None,
+                 eval_interval: float = 1.0,
+                 exemplar_min_interval: float = 1.0):
+        self.specs = parse_slo_specs(specs)
+        if not self.specs:
+            raise InvalidArgumentError("SloEngine needs >= 1 spec")
+        self._registry = registry
+        self._events = events if events is not None else NULL_JOURNAL
+        self._clock = clock if clock is not None else time.monotonic
+        self._eval_interval = float(eval_interval)
+        self._exemplar_min_interval = float(exemplar_min_interval)
+        self._lock = threading.Lock()
+        shortest = min(p.short_seconds for s in self.specs
+                       for p in s.policies)
+        self._horizon = max(p.long_seconds for s in self.specs
+                            for p in s.policies)
+        self._slice_seconds = shortest / 5.0
+        # (spec index, tenant) -> WindowedCounter
+        self._counters: dict[tuple[int, str], WindowedCounter] = {}
+        # (spec index, tenant, policy name) -> currently firing?
+        self._alert_state: dict[tuple[int, str, str], bool] = {}
+        self._last_eval = float("-inf")
+        self._last_exemplar: dict[tuple[int, str], float] = {}
+        # Cached metric children (get-or-create once, inc forever).
+        self._event_children: dict = {}
+        self._alert_children: dict = {}
+        #: Every alert transition ever emitted, in order — the in-memory
+        #: mirror of the ``slo_alert`` journal stream, for callers
+        #: (simulators, tests) that have no journal attached.
+        self.alert_log: list = []
+
+    # -- recording ------------------------------------------------------
+
+    def threshold_for(self, op: str,
+                      tenant: str = "*") -> Optional[float]:
+        """Tightest latency threshold any matching spec applies — what a
+        windowed histogram should use as its exemplar threshold."""
+        thresholds = [s.threshold_seconds for s in self.specs
+                      if s.objective == "latency"
+                      and s.threshold_seconds is not None
+                      and s.matches(op, tenant)]
+        return min(thresholds) if thresholds else None
+
+    def _counter_for(self, index: int, tenant: str) -> WindowedCounter:
+        key = (index, tenant)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = WindowedCounter(self._horizon, self._slice_seconds,
+                                      self._clock)
+            self._counters[key] = counter
+        return counter
+
+    def _count_event(self, spec: SloSpec, tenant: str,
+                     outcome: str) -> None:
+        if self._registry is None:
+            return
+        key = (spec.name, tenant, outcome)
+        child = self._event_children.get(key)
+        if child is None:
+            child = self._registry.counter(
+                "slo_events_total",
+                "Operations classified against an SLO, by outcome.",
+                slo=spec.name, tenant=tenant, outcome=outcome)
+            self._event_children[key] = child
+        child.inc()
+
+    def record(self, op: str, seconds: float, ok: bool = True,
+               tenant: str = "default",
+               trace_id: Optional[str] = None) -> None:
+        """Score one operation against every matching spec."""
+        emit_exemplars = []
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if not spec.matches(op, tenant):
+                    continue
+                if spec.objective == "latency":
+                    bad = (not ok) or seconds > spec.threshold_seconds
+                else:
+                    bad = not ok
+                self._counter_for(index, tenant).add(
+                    good=0 if bad else 1, bad=1 if bad else 0)
+                self._count_event(spec, tenant,
+                                  "bad" if bad else "good")
+                if (bad and trace_id is not None
+                        and spec.objective == "latency"):
+                    now = self._clock()
+                    key = (index, tenant)
+                    last = self._last_exemplar.get(key, float("-inf"))
+                    if now - last >= self._exemplar_min_interval:
+                        self._last_exemplar[key] = now
+                        emit_exemplars.append(
+                            {"slo": spec.name, "tenant": tenant,
+                             "op": op, "trace": trace_id,
+                             "value": seconds,
+                             "threshold": spec.threshold_seconds})
+        for fields in emit_exemplars:
+            self._events.emit("exemplar", **fields)
+        now = self._clock()
+        if now - self._last_eval >= self._eval_interval:
+            self.evaluate()
+
+    # -- evaluation -----------------------------------------------------
+
+    def _burn_rate(self, counter: WindowedCounter, spec: SloSpec,
+                   window_seconds: float) -> Optional[float]:
+        fraction = counter.bad_fraction(window_seconds)
+        if fraction is None:
+            return None
+        return fraction / spec.error_budget
+
+    def _count_alert(self, spec: SloSpec, tenant: str, policy: str,
+                     state: str) -> None:
+        if self._registry is None:
+            return
+        key = (spec.name, tenant, policy, state)
+        child = self._alert_children.get(key)
+        if child is None:
+            child = self._registry.counter(
+                "slo_alerts_total",
+                "Burn-rate alert transitions.",
+                slo=spec.name, tenant=tenant, policy=policy, state=state)
+            self._alert_children[key] = child
+        child.inc()
+
+    def evaluate(self) -> list[dict]:
+        """Recompute burn rates, publish gauges, emit alert transitions.
+
+        Returns the ``slo_alert`` records emitted by this evaluation
+        (empty when no state changed)."""
+        transitions = []
+        with self._lock:
+            self._last_eval = self._clock()
+            for (index, tenant), counter in self._counters.items():
+                spec = self.specs[index]
+                longest = max(p.long_seconds for p in spec.policies)
+                long_burn = self._burn_rate(counter, spec, longest)
+                if self._registry is not None and long_burn is not None:
+                    self._registry.gauge(
+                        "slo_error_budget_remaining",
+                        "Fraction of the error budget left over the "
+                        "longest policy window.",
+                        slo=spec.name, tenant=tenant,
+                    ).set(max(0.0, 1.0 - long_burn))
+                for policy in spec.policies:
+                    burn_short = self._burn_rate(counter, spec,
+                                                 policy.short_seconds)
+                    burn_long = self._burn_rate(counter, spec,
+                                                policy.long_seconds)
+                    if self._registry is not None:
+                        for window, burn in (("short", burn_short),
+                                             ("long", burn_long)):
+                            if burn is None:
+                                continue
+                            self._registry.gauge(
+                                "slo_burn_rate",
+                                "Error-budget burn rate (1.0 consumes "
+                                "the budget exactly over the SLO "
+                                "period).",
+                                slo=spec.name, tenant=tenant,
+                                policy=policy.name, window=window,
+                            ).set(burn)
+                    firing = (burn_short is not None
+                              and burn_long is not None
+                              and burn_short >= policy.factor
+                              and burn_long >= policy.factor)
+                    key = (index, tenant, policy.name)
+                    was_firing = self._alert_state.get(key, False)
+                    if firing == was_firing:
+                        continue
+                    self._alert_state[key] = firing
+                    state = "firing" if firing else "resolved"
+                    self._count_alert(spec, tenant, policy.name, state)
+                    transitions.append(
+                        {"slo": spec.name, "tenant": tenant,
+                         "policy": policy.name, "state": state,
+                         "burn_short": 0.0 if burn_short is None
+                         else burn_short,
+                         "burn_long": 0.0 if burn_long is None
+                         else burn_long,
+                         "factor": policy.factor})
+        self.alert_log.extend(transitions)
+        for fields in transitions:
+            self._events.emit("slo_alert", **fields)
+        return transitions
+
+    # -- introspection --------------------------------------------------
+
+    def firing(self) -> list[tuple[str, str, str]]:
+        """``(slo, tenant, policy)`` triples currently in firing state."""
+        with self._lock:
+            return sorted(
+                (self.specs[index].name, tenant, policy)
+                for (index, tenant, policy), live
+                in self._alert_state.items() if live)
+
+    def tenants(self) -> list[str]:
+        """Tenants that have recorded at least one scored operation."""
+        with self._lock:
+            return sorted({tenant for _, tenant in self._counters})
+
+
+def build_engine(specs, registry=None, events=None, clock=None,
+                 **kwargs) -> Optional[SloEngine]:
+    """``SloEngine`` when ``specs`` is non-empty, else ``None`` — the
+    shape instrumented code wants (one ``is None`` check on the hot
+    path when SLOs are not configured)."""
+    specs = tuple(specs or ())
+    if not specs:
+        return None
+    return SloEngine(specs, registry=registry, events=events,
+                     clock=clock, **kwargs)

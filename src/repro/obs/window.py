@@ -24,8 +24,10 @@ import threading
 import time
 from typing import Optional, Sequence
 
+from collections import deque
+
 from repro.errors import InvalidArgumentError
-from repro.obs.registry import SECONDS_BUCKETS, MetricsRegistry
+from repro.obs.registry import SECONDS_BUCKETS, Exemplar, MetricsRegistry
 
 #: Quantiles published by default and their label values.
 DEFAULT_QUANTILES = (0.5, 0.95, 0.99, 0.999)
@@ -76,14 +78,24 @@ class WindowedHistogram:
         Callable returning seconds; defaults to ``time.monotonic``.
         Simulators pass a reader of their virtual clock so windows slide
         on modeled time.
+    exemplar_threshold:
+        Observations at or above this value that carry a ``trace_id``
+        are retained as :class:`~repro.obs.registry.Exemplar` tail
+        samples (bounded ring of the most recent
+        ``exemplar_capacity``).  ``None`` keeps every traced
+        observation; the threshold normally comes from an SLO spec.
     """
 
     def __init__(self, window_seconds: float = 60.0, slices: int = 6,
-                 buckets: Optional[Sequence[float]] = None, clock=None):
+                 buckets: Optional[Sequence[float]] = None, clock=None,
+                 exemplar_threshold: Optional[float] = None,
+                 exemplar_capacity: int = 16):
         if window_seconds <= 0:
             raise InvalidArgumentError("window_seconds must be positive")
         if slices <= 0:
             raise InvalidArgumentError("slices must be positive")
+        if exemplar_capacity <= 0:
+            raise InvalidArgumentError("exemplar_capacity must be positive")
         self.window_seconds = float(window_seconds)
         self.buckets = tuple(buckets if buckets is not None
                              else SECONDS_BUCKETS)
@@ -93,6 +105,8 @@ class WindowedHistogram:
         self._clock = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
         self._ring = [_Slice(len(self.buckets)) for _ in range(slices)]
+        self.exemplar_threshold = exemplar_threshold
+        self._exemplars: deque = deque(maxlen=exemplar_capacity)
 
     # ------------------------------------------------------------------
     # Recording
@@ -104,14 +118,25 @@ class WindowedHistogram:
             entry.reset(slot)
         return entry
 
-    def observe(self, value: float) -> None:
-        slot = int(self._clock() / self._slice_seconds)
+    def observe(self, value: float,
+                trace_id: Optional[str] = None) -> None:
+        now = self._clock()
+        slot = int(now / self._slice_seconds)
         index = self._bucket_index(value)
         with self._lock:
             entry = self._slice_for(slot)
             entry.counts[index] += 1
             entry.sum += value
             entry.count += 1
+            if trace_id is not None and (
+                    self.exemplar_threshold is None
+                    or value >= self.exemplar_threshold):
+                self._exemplars.append(Exemplar(value, trace_id, now))
+
+    def exemplars(self) -> list[Exemplar]:
+        """Most recent traced tail samples, oldest first."""
+        with self._lock:
+            return list(self._exemplars)
 
     def _bucket_index(self, value: float) -> int:
         # bisect over a short tuple; buckets are upper bounds (le).
@@ -186,9 +211,15 @@ def publish_window(registry: MetricsRegistry, name: str, help_text: str,
                    quantiles: Sequence[float] = DEFAULT_QUANTILES,
                    **labels) -> None:
     """Expose ``window``'s quantiles as callback gauges named ``name``
-    with a ``quantile`` label (``p50``/``p95``/``p99``/``p999``)."""
+    with a ``quantile`` label (``p50``/``p95``/``p99``/``p999``).
+
+    An *empty* window publishes no samples at all (the callbacks return
+    ``None`` and exposition skips them) rather than a phantom 0.0, so
+    dashboards and burn-rate math never mistake an idle period for a
+    zero-latency one."""
     for q in quantiles:
         registry.callback_gauge(
             name, help_text,
-            callback=lambda q=q: window.percentile(q),
+            callback=lambda q=q: (window.percentile(q)
+                                  if window.count else None),
             quantile=quantile_label(q), **labels)

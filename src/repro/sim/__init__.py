@@ -14,13 +14,27 @@ from the calibrated models, which keeps every benchmark deterministic.
 from repro.sim.clock import VirtualClock
 from repro.sim.cpu import CpuCostModel
 from repro.sim.disk import DiskModel
-from repro.sim.system import SystemConfig, SystemResult, simulate_fillrandom
+from repro.sim.system import (
+    OpenLoopResult,
+    OpenLoopSimulator,
+    OpenLoopTenantStats,
+    SystemConfig,
+    SystemResult,
+    TenantSpec,
+    simulate_fillrandom,
+    simulate_open_loop,
+)
 
 __all__ = [
     "CpuCostModel",
     "DiskModel",
+    "OpenLoopResult",
+    "OpenLoopSimulator",
+    "OpenLoopTenantStats",
     "SystemConfig",
     "SystemResult",
+    "TenantSpec",
     "VirtualClock",
     "simulate_fillrandom",
+    "simulate_open_loop",
 ]

@@ -26,6 +26,8 @@ percentage of wall time (Table VIII).
 
 from __future__ import annotations
 
+import heapq
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -526,3 +528,516 @@ def simulate_ycsb(config: SystemConfig, workload, record_count: int,
 
     return YcsbSimResult(workload.name, config.mode, op_count,
                          elapsed, write_result)
+
+
+# ----------------------------------------------------------------------
+# Open-loop arrival mode (multi-tenant SLO observatory)
+# ----------------------------------------------------------------------
+#
+# The fillrandom loop above is *closed-loop*: the writer issues the next
+# operation the instant the previous one returns, so a stall slows the
+# arrival stream down and the latency distribution only ever sees
+# service time — the classic coordinated-omission blind spot.  The
+# open-loop mode below draws Poisson arrivals per tenant at a fixed
+# offered rate and measures arrival-to-completion, so an op that arrives
+# *during* a write stall is charged the queueing delay it actually
+# suffered.  Compactions, flushes and stalls are additionally emitted
+# into the flight-recorder journal with synthetic trace ids, so an SLO
+# exemplar captured on a tail latency walks back to the maintenance work
+# that caused it.
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One open-loop client stream.
+
+    Attributes
+    ----------
+    name:
+        Tenant label carried on metrics, SLO accounting and journal
+        events.
+    arrival_rate:
+        Offered load in operations/second; inter-arrival gaps are
+        exponential (Poisson process).
+    workload:
+        YCSB mix name (``load``/``a``..``f``) deciding the read/write
+        split and the default key distribution.
+    distribution:
+        Optional override of the mix's key distribution
+        (``uniform`` | ``zipfian`` | ``latest``).
+    record_count:
+        Keyspace size the distribution samples over (drives the cache
+        hit rate together with ``cache_bytes``).
+    seed:
+        Per-tenant RNG seed (arrivals, op mix and key choice).
+    """
+
+    name: str
+    arrival_rate: float
+    workload: str = "a"
+    distribution: Optional[str] = None
+    record_count: int = 100_000
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        from repro.workloads import YCSB_WORKLOADS
+        if not self.name:
+            raise InvalidArgumentError("tenant needs a name")
+        if self.arrival_rate <= 0:
+            raise InvalidArgumentError("arrival_rate must be positive")
+        if self.workload not in YCSB_WORKLOADS:
+            raise InvalidArgumentError(
+                f"unknown YCSB workload {self.workload!r}")
+        if self.distribution not in (None, "uniform", "zipfian", "latest"):
+            raise InvalidArgumentError(
+                f"unknown distribution {self.distribution!r}")
+        if self.record_count <= 0:
+            raise InvalidArgumentError("record_count must be positive")
+
+
+def _percentile(values: list, percentile: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sample."""
+    if not 0 <= percentile <= 100:
+        raise InvalidArgumentError("percentile must be in [0, 100]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = int(percentile / 100.0 * len(ordered))
+    return ordered[min(rank, len(ordered) - 1)]
+
+
+@dataclass
+class OpenLoopTenantStats:
+    """Per-tenant measurements of one open-loop run."""
+
+    name: str
+    ops: int = 0
+    reads: int = 0
+    writes: int = 0
+    stalled_ops: int = 0
+    stall_seconds: float = 0.0
+    #: Arrival-to-completion times (queueing + service) — the
+    #: coordinated-omission-free distribution.
+    latencies: list = field(default_factory=list)
+    #: Service times alone, for comparison against the closed-loop view.
+    service_seconds: list = field(default_factory=list)
+
+    def latency_percentile(self, percentile: float) -> float:
+        return _percentile(self.latencies, percentile)
+
+    def service_percentile(self, percentile: float) -> float:
+        return _percentile(self.service_seconds, percentile)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean (latency − service): pure queueing/stall delay."""
+        if not self.latencies:
+            return 0.0
+        total = sum(self.latencies) - sum(self.service_seconds)
+        return max(0.0, total / len(self.latencies))
+
+
+@dataclass
+class OpenLoopResult:
+    """Measurements of one multi-tenant open-loop run."""
+
+    mode: str
+    duration_seconds: float
+    tenants: dict  # name -> OpenLoopTenantStats
+    system: SystemResult
+    #: ``(slo, tenant, policy)`` triples still firing at the end.
+    slo_firing: list = field(default_factory=list)
+    #: Every burn-rate alert transition, in order (mirrors the
+    #: ``slo_alert`` journal events).
+    alert_transitions: list = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(t.ops for t in self.tenants.values())
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.total_ops / self.duration_seconds
+
+
+class _TenantState:
+    """Runtime RNG + key-chooser + stats for one tenant."""
+
+    def __init__(self, spec: TenantSpec, entry_bytes: int,
+                 cache_bytes: float):
+        from repro.workloads import (LatestGenerator, UniformGenerator,
+                                     YCSB_WORKLOADS, ZipfianGenerator)
+        self.spec = spec
+        mix = YCSB_WORKLOADS[spec.workload]
+        self.write_fraction = mix.write_fraction
+        self.rng = random.Random(spec.seed)
+        distribution = spec.distribution or mix.distribution
+        self.distribution = distribution
+        db_bytes = spec.record_count * entry_bytes
+        cached_fraction = min(1.0, cache_bytes / max(1, db_bytes))
+        self.hot_count = max(1, int(cached_fraction * spec.record_count))
+        if distribution == "zipfian":
+            self.generator = ZipfianGenerator(spec.record_count,
+                                              seed=spec.seed + 1)
+        elif distribution == "latest":
+            self.generator = LatestGenerator(spec.record_count,
+                                             seed=spec.seed + 1)
+        else:
+            self.generator = UniformGenerator(spec.record_count,
+                                              seed=spec.seed + 1)
+        self.stats = OpenLoopTenantStats(spec.name)
+
+    def next_is_write(self) -> bool:
+        return self.rng.random() < self.write_fraction
+
+    def next_read_hits(self) -> bool:
+        """Sample one key; hit iff it falls in the cached hot set."""
+        if self.distribution == "zipfian":
+            # Popularity rank 0 is hottest — cache holds the top ranks.
+            return self.generator.next_rank() < self.hot_count
+        if self.distribution == "latest":
+            # Hottest = newest; cache holds the most recent inserts.
+            age = self.generator.insert_count - 1 - self.generator.next()
+            return age < self.hot_count
+        return self.generator.next() < self.hot_count
+
+
+class OpenLoopSimulator(SystemSimulator):
+    """Open-loop, multi-tenant variant of :class:`SystemSimulator`.
+
+    Differences from the closed-loop ``run()``:
+
+    * operations arrive per-tenant as Poisson processes and queue on the
+      single foreground core; latency = completion − arrival;
+    * the memtable fills one entry at a time, so stalls land on the
+      exact ops that suffered them;
+    * compactions/flushes/stalls are emitted as journal events carrying
+      synthetic ``trace`` ids (``sim-N``) and simulated-time ``sim_ts``
+      fields, and the op delayed by a stall hands that trace to the SLO
+      engine as its exemplar — the journal then links a tail latency to
+      the maintenance episode that caused it;
+    * per-tenant arrival-to-completion quantiles slide on simulated time
+      (``sim_op_latency_window_seconds``), and an optional
+      :class:`~repro.obs.slo.SloEngine` on the simulated clock scores
+      every op and raises burn-rate alerts mid-run.
+    """
+
+    def __init__(self, config: SystemConfig, tenants,
+                 duration_seconds: float, slo_specs=(), events=None,
+                 cache_bytes: float = 64e6,
+                 latency_window_seconds: float = 60.0):
+        super().__init__(config)
+        self.tenants = tuple(tenants)
+        if not self.tenants:
+            raise InvalidArgumentError("open-loop run needs >= 1 tenant")
+        names = [spec.name for spec in self.tenants]
+        if len(set(names)) != len(names):
+            raise InvalidArgumentError("tenant names must be unique")
+        if duration_seconds <= 0:
+            raise InvalidArgumentError("duration_seconds must be positive")
+        self.duration_seconds = float(duration_seconds)
+        self.cache_bytes = cache_bytes
+        self.events = obs.resolve_events(events)
+        self._registry = obs.current_registry()
+        self._latency_window_seconds = latency_window_seconds
+        self.slo = None
+        if slo_specs:
+            from repro.obs.slo import build_engine
+            self.slo = build_engine(slo_specs, registry=self._registry,
+                                    events=self.events,
+                                    clock=lambda: self._writer_clock)
+        self._trace_seq = 0
+        self._task_trace: dict[int, str] = {}   # id(task) -> trace
+        self._task_start: dict[int, float] = {}
+        self._flush_trace: Optional[str] = None
+        #: Trace of the stall episode that delayed the op currently (or
+        #: next) being recorded; consumed by ``_record_op``.
+        self._pending_stall_trace: Optional[str] = None
+        self._tenant_windows: dict = {}
+        self._mem_entries = 0
+
+    # -- journal plumbing ----------------------------------------------
+
+    def _next_trace(self) -> str:
+        self._trace_seq += 1
+        return f"sim-{self._trace_seq:04d}"
+
+    def _emit_stall(self, reason: str, start: float, waited: float,
+                    trace: Optional[str]) -> None:
+        fields = {"reason": reason}
+        if trace is not None:
+            fields["trace"] = trace
+        self.events.emit("stall_start", sim_ts=round(start, 9), **fields)
+        self.events.emit("stall_finish", sim_ts=round(start + waited, 9),
+                         seconds=round(waited, 9), **fields)
+
+    def _earliest_inflight_trace(self) -> Optional[str]:
+        if not self._inflight:
+            return None
+        earliest = min(self._inflight, key=lambda j: j.finish)
+        return self._task_trace.get(id(earliest.task))
+
+    # -- compaction hooks (journal events around the base backends) ----
+
+    def _note_compaction_start(self, task, start: float, finish: float,
+                               backend: str) -> None:
+        trace = self._next_trace()
+        self._task_trace[id(task)] = trace
+        self._task_start[id(task)] = start
+        self.events.emit(
+            "compaction_start", trace=trace, backend=backend,
+            level=task.level, output_level=task.output_level,
+            input_bytes=task.input_bytes, sim_ts=round(start, 9))
+
+    def _run_software_task(self, task, now, on_writer_core):
+        finish = super()._run_software_task(task, now, on_writer_core)
+        self._note_compaction_start(task, now, finish, "software")
+        return finish
+
+    def _run_fpga_task(self, task, now):
+        finish = super()._run_fpga_task(task, now)
+        self._note_compaction_start(task, now, finish, "fpga")
+        return finish
+
+    def _settle(self, until: float) -> None:
+        # Base loop plus a compaction_finish event per applied task.
+        while self._inflight:
+            earliest = min(self._inflight, key=lambda j: j.finish)
+            if earliest.finish > until:
+                return
+            self._inflight.remove(earliest)
+            self.model.apply(earliest.task)
+            task = earliest.task
+            trace = self._task_trace.pop(id(task), None)
+            start = self._task_start.pop(id(task), earliest.finish)
+            if trace is not None:
+                self.events.emit(
+                    "compaction_finish", trace=trace, level=task.level,
+                    output_level=task.output_level,
+                    input_bytes=task.input_bytes,
+                    output_bytes=task.output_bytes,
+                    seconds=round(earliest.finish - start, 9),
+                    sim_ts=round(earliest.finish, 9))
+            self._schedule_compactions(earliest.finish)
+
+    # -- per-tenant metric plumbing ------------------------------------
+
+    def _tenant_window(self, tenant: str, op: str):
+        if self._registry is None:
+            return None
+        key = (tenant, op)
+        window = self._tenant_windows.get(key)
+        if window is None:
+            from repro.obs.window import WindowedHistogram, publish_window
+            threshold = (self.slo.threshold_for(op, tenant)
+                         if self.slo is not None else None)
+            window = WindowedHistogram(
+                window_seconds=self._latency_window_seconds,
+                clock=lambda: self._writer_clock,
+                exemplar_threshold=threshold)
+            publish_window(
+                self._registry, "sim_op_latency_window_seconds",
+                "Sliding-window open-loop arrival-to-completion latency "
+                "quantiles on *simulated* time, by tenant/op/quantile — "
+                "coordinated-omission free (includes queueing delay).",
+                window, sim=self.config.mode, tenant=tenant, op=op)
+            self._tenant_windows[key] = window
+        return window
+
+    def _record_op(self, state: _TenantState, op: str, arrival: float,
+                   completion: float, service: float,
+                   stalled: bool) -> None:
+        stats = state.stats
+        latency = completion - arrival
+        stats.ops += 1
+        if op == "get":
+            stats.reads += 1
+        else:
+            stats.writes += 1
+        if stalled:
+            stats.stalled_ops += 1
+        stats.latencies.append(latency)
+        stats.service_seconds.append(service)
+        trace = self._pending_stall_trace
+        self._pending_stall_trace = None
+        window = self._tenant_window(state.spec.name, op)
+        if window is not None:
+            window.observe(latency, trace_id=trace)
+        if self.slo is not None:
+            self.slo.record(op, latency, tenant=state.spec.name,
+                            trace_id=trace)
+
+    # -- the foreground loop -------------------------------------------
+
+    def _do_read(self, state: _TenantState, arrival: float,
+                 read_hit_cost: float, read_miss_extra: float) -> None:
+        start = max(self._writer_clock, arrival)
+        self._settle(start)
+        service = read_hit_cost
+        if not state.next_read_hits():
+            service += read_miss_extra
+        self._writer_clock = start + service
+        self._record_op(state, "get", arrival, self._writer_clock,
+                        service, stalled=False)
+
+    def _do_write(self, state: _TenantState, arrival: float,
+                  write_cost: float, flush_cpu: float) -> None:
+        self._settle(max(self._writer_clock, arrival))
+        stalled = False
+        # L0 stop: block until a compaction completes (MakeRoomForWrite).
+        while self.model.stopped:
+            finish = self._earliest_inflight_finish()
+            if finish is None:
+                self._schedule_compactions(self._writer_clock)
+                finish = self._earliest_inflight_finish()
+                if finish is None:
+                    break
+            relief = self._earliest_inflight_trace()
+            waited = max(0.0, finish - self._writer_clock)
+            self._record_stall(waited)
+            state.stats.stall_seconds += waited
+            stalled = True
+            self._emit_stall("l0_stop", self._writer_clock, waited, relief)
+            if relief is not None:
+                self._pending_stall_trace = relief
+            self._writer_clock = max(self._writer_clock, finish)
+            self._settle(self._writer_clock)
+
+        start = max(self._writer_clock, arrival)
+        service = write_cost
+        self.result.total_writes += 1
+        if self.model.slowdown:
+            service += SLOWDOWN_SLEEP_SECONDS
+            self.result.slowdown_seconds += SLOWDOWN_SLEEP_SECONDS
+            self.result.slowdown_writes += 1
+        self._writer_clock = start + service
+        self._record_op(state, "put", arrival, self._writer_clock,
+                        service, stalled)
+
+        self._mem_entries += 1
+        if self._mem_entries >= self._entries_per_mem:
+            self._mem_entries = 0
+            self.result.user_bytes += self._user_per_mem
+            self._flush_memtable(state, flush_cpu)
+
+    def _flush_memtable(self, state: _TenantState,
+                        flush_cpu: float) -> None:
+        # Swap: wait for the previous flush (one immutable memtable).
+        # The wait delays the *next* op via the writer clock; hand it
+        # that flush's trace for exemplar attribution.
+        if self._flush_done > self._writer_clock:
+            waited = self._flush_done - self._writer_clock
+            self._record_stall(waited)
+            state.stats.stall_seconds += waited
+            self._emit_stall("flush_backlog", self._writer_clock, waited,
+                             self._flush_trace)
+            if self._flush_trace is not None:
+                self._pending_stall_trace = self._flush_trace
+            self._writer_clock = self._flush_done
+        self._settle(self._writer_clock)
+
+        trace = self._next_trace()
+        if self.config.mode == "leveldb":
+            start = max(self._writer_clock, self._bg_clock)
+            cpu_done = start + flush_cpu
+            self._bg_clock = cpu_done
+        else:
+            # Single host core: the writer itself encodes the table.
+            start = self._writer_clock
+            cpu_done = start + flush_cpu
+            self._writer_clock = cpu_done
+        flush_finish = self.disk.reserve_write(cpu_done,
+                                               self._l0_file_bytes)
+        self._flush_done = flush_finish
+        self._flush_trace = trace
+        self.result.flush_seconds += flush_cpu
+        self.result.memtables_flushed += 1
+        self.events.emit("flush_start", trace=trace,
+                         sim_ts=round(start, 9))
+        self.events.emit("flush_finish", trace=trace,
+                         bytes=self._l0_file_bytes,
+                         seconds=round(flush_finish - start, 9),
+                         sim_ts=round(flush_finish, 9))
+        obs.current_tracer().record_sim_span(
+            "sim.flush", start, flush_finish, bytes=self._l0_file_bytes)
+        self.model.add_l0_file(self._l0_file_bytes)
+        self._schedule_compactions(flush_finish)
+
+    def run(self) -> OpenLoopResult:
+        options = self.options
+        write_cost = self.cpu.write_seconds(options.key_length,
+                                            options.value_length)
+        flush_cpu = self.cpu.flush_seconds(self._l0_file_bytes)
+        read_hit_cost = self.cpu.read_hit_seconds()
+        read_miss_extra = (options.block_size
+                           / self.config.disk_read_bandwidth + 150e-6)
+
+        entry_bytes = self._entry_bytes
+        states = [_TenantState(spec, entry_bytes, self.cache_bytes)
+                  for spec in self.tenants]
+
+        # (arrival time, tiebreak, tenant index) min-heap of next
+        # arrivals — one outstanding arrival per tenant stream.
+        heap: list = []
+        seq = 0
+        for index, state in enumerate(states):
+            gap = state.rng.expovariate(state.spec.arrival_rate)
+            heapq.heappush(heap, (gap, seq, index))
+            seq += 1
+        while heap:
+            arrival, _, index = heapq.heappop(heap)
+            if arrival >= self.duration_seconds:
+                continue  # stream done: no further arrivals scheduled
+            state = states[index]
+            gap = state.rng.expovariate(state.spec.arrival_rate)
+            heapq.heappush(heap, (arrival + gap, seq, index))
+            seq += 1
+            if state.next_is_write():
+                self._do_write(state, arrival, write_cost, flush_cpu)
+            else:
+                self._do_read(state, arrival, read_hit_cost,
+                              read_miss_extra)
+
+        # Drain outstanding background work.
+        end = max(self._writer_clock, self._flush_done)
+        while self._inflight:
+            finish = self._earliest_inflight_finish()
+            end = max(end, finish)
+            self._settle(finish)
+        self.result.elapsed_seconds = end
+        self.result.write_amplification = (
+            self.model.stats.write_amplification())
+
+        firing: list = []
+        transitions: list = []
+        if self.slo is not None:
+            self.slo.evaluate()
+            firing = self.slo.firing()
+            transitions = list(self.slo.alert_log)
+        return OpenLoopResult(
+            mode=self.config.mode,
+            duration_seconds=self.duration_seconds,
+            tenants={state.spec.name: state.stats for state in states},
+            system=self.result,
+            slo_firing=firing,
+            alert_transitions=transitions)
+
+
+def simulate_open_loop(config: SystemConfig, tenants,
+                       duration_seconds: float, slo_specs=(),
+                       events=None, cache_bytes: float = 64e6,
+                       latency_window_seconds: float = 60.0
+                       ) -> OpenLoopResult:
+    """Run the open-loop multi-tenant simulation and return measurements."""
+    return OpenLoopSimulator(
+        config, tenants, duration_seconds, slo_specs=slo_specs,
+        events=events, cache_bytes=cache_bytes,
+        latency_window_seconds=latency_window_seconds).run()

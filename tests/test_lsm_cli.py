@@ -78,3 +78,49 @@ class TestFillAndCompact:
     def test_sequential_fill(self, dbdir, capsys):
         assert main(["fill", dbdir, "--entries", "100",
                      "--value-size", "32", "--sequential"]) == 0
+
+
+class TestObservabilityCommands:
+    def test_fill_watch_reports_windowed_percentiles(self, dbdir, capsys):
+        # A watch interval far below per-put cost makes every report
+        # boundary due immediately — progress lines with no real waiting.
+        assert main(["fill", dbdir, "--entries", "300",
+                     "--value-size", "64", "--watch", "1e-9"]) == 0
+        captured = capsys.readouterr()
+        watch_lines = [line for line in captured.err.splitlines()
+                       if "puts" in line]
+        assert watch_lines, "watch mode must emit progress lines"
+        assert "p50=" in watch_lines[-1]
+        assert "p999=" in watch_lines[-1]
+        assert "levels=" in watch_lines[-1]
+        assert "wrote 300 entries" in captured.out
+
+    def test_levelstats_renders_amplification_table(self, dbdir, capsys):
+        main(["fill", dbdir, "--entries", "2000", "--value-size", "64"])
+        capsys.readouterr()
+        assert main(["levelstats", dbdir]) == 0
+        out = capsys.readouterr().out
+        assert "repro.levelstats" in out
+        assert "W-Amp" in out
+        assert "level 0" in out
+        assert "write_amplification:" in out
+
+    def test_top_once_headless_frame(self, dbdir, capsys):
+        main(["fill", dbdir, "--entries", "2000", "--value-size", "64"])
+        capsys.readouterr()
+        # --once renders exactly one frame and returns: no TTY, no
+        # sleeping, no ANSI clear sequences.
+        assert main(["top", dbdir, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("lsm top")
+        assert "levels:" in out
+        assert "\x1b[" not in out
+
+    def test_top_on_fresh_db_reports_no_samples(self, dbdir, capsys):
+        main(["put", dbdir, "k", "v"])
+        capsys.readouterr()
+        assert main(["top", dbdir, "--once"]) == 0
+        out = capsys.readouterr().out
+        # A level table always renders (the db is open); the frame must
+        # not crash on the otherwise-empty registry.
+        assert "lsm top" in out

@@ -35,6 +35,35 @@ def registry():
     return registry
 
 
+class TestStatsReport:
+    def test_uptime_segments_and_tenant_ops(self, registry):
+        db = LsmDB("repdb", small_options(latency_window_seconds=60.0,
+                                          event_journal=True),
+                   metrics=registry)
+        db.put(b"a", b"1", tenant="gold")
+        db.put(b"b", b"2", tenant="batch")
+        db.get(b"a", tenant="gold")
+        report = db.property("repro.stats")
+        assert "uptime_seconds:" in report
+        assert "journal_segments: 1" in report
+        assert "tenant ops:" in report
+        assert "gold/put" in report
+        assert "gold/get" in report
+        # a put is also a write at the batch layer, and both are
+        # attributed to the tenant
+        counts = db.tenant_op_counts()
+        assert counts["gold"] == {"write": 1, "put": 1, "get": 1}
+        assert counts["batch"] == {"write": 1, "put": 1}
+
+    def test_untenanted_db_omits_tenant_block(self, registry):
+        db = LsmDB("plaindb", small_options(), metrics=registry)
+        db.put(b"a", b"1")
+        report = db.property("repro.stats")
+        assert "uptime_seconds:" in report
+        assert "journal_segments: 0" in report
+        assert "tenant ops:" not in report
+
+
 class TestReplayEqualsLiveRegistry:
     def test_fillrandom_with_background_compaction(self, registry):
         journal = EventJournal(keep_events=True)

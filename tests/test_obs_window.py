@@ -144,3 +144,49 @@ class TestPublication:
         p999 = next(line for line in text.splitlines()
                     if 'quantile="p999"' in line)
         assert float(p999.split()[-1]) > 0.0
+
+    def test_empty_window_omits_quantile_samples(self):
+        # An idle window must disappear from the exposition rather than
+        # report a misleading hard zero; samples reappear with traffic.
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        window = WindowedHistogram(window_seconds=60.0, clock=clock)
+        publish_window(registry, "idle_window_seconds", "w", window,
+                       op="put")
+        assert "idle_window_seconds{" not in to_prometheus_text(registry)
+        window.observe(0.002)
+        assert "idle_window_seconds{" in to_prometheus_text(registry)
+        clock.now = 600.0  # every slice expired: samples vanish again
+        assert "idle_window_seconds{" not in to_prometheus_text(registry)
+
+
+class TestExemplars:
+    def test_capture_requires_trace(self):
+        window = WindowedHistogram()
+        window.observe(0.5)
+        window.observe(0.5, trace_id="t-1")
+        exemplars = window.exemplars()
+        assert len(exemplars) == 1
+        assert exemplars[0].trace_id == "t-1"
+        assert exemplars[0].value == pytest.approx(0.5)
+
+    def test_threshold_filters_fast_ops(self):
+        window = WindowedHistogram(exemplar_threshold=0.1)
+        window.observe(0.001, trace_id="fast")
+        window.observe(0.5, trace_id="slow")
+        traces = [e.trace_id for e in window.exemplars()]
+        assert traces == ["slow"]
+
+    def test_capacity_keeps_most_recent(self):
+        window = WindowedHistogram(exemplar_capacity=4)
+        for step in range(10):
+            window.observe(0.5, trace_id=f"t-{step}")
+        traces = [e.trace_id for e in window.exemplars()]
+        assert traces == ["t-6", "t-7", "t-8", "t-9"]
+
+    def test_exemplar_timestamps_use_window_clock(self):
+        clock = FakeClock()
+        clock.now = 42.0
+        window = WindowedHistogram(clock=clock)
+        window.observe(0.5, trace_id="t")
+        assert window.exemplars()[0].ts == pytest.approx(42.0)

@@ -1,0 +1,293 @@
+"""SLO engine: spec parsing (dicts, flat policies, TOML and the
+mini-TOML fallback), windowed good/bad accounting, multi-window
+burn-rate alert transitions on a fake clock, exemplar journal events."""
+
+import io
+
+import pytest
+
+from repro.errors import InvalidArgumentError
+from repro.obs.events import EventJournal
+from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import (
+    DEFAULT_POLICIES,
+    BurnPolicy,
+    SloEngine,
+    SloSpec,
+    WindowedCounter,
+    _mini_toml_slo,
+    build_engine,
+    load_slo_file,
+    parse_slo_specs,
+    parse_slo_toml,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestSpecParsing:
+    def test_defaults(self):
+        spec = SloSpec("api", "latency", target=0.99,
+                       threshold_seconds=0.01)
+        assert spec.error_budget == pytest.approx(0.01)
+        assert spec.policies == DEFAULT_POLICIES
+        assert spec.matches("put", "gold")
+        assert spec.matches("get", "batch")
+
+    def test_op_and_tenant_filters(self):
+        spec = SloSpec("writes", "latency", threshold_seconds=0.01,
+                       op="put", tenant="gold")
+        assert spec.matches("put", "gold")
+        assert not spec.matches("get", "gold")
+        assert not spec.matches("put", "batch")
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(InvalidArgumentError):
+            SloSpec("bad", "latency", threshold_seconds=None)
+
+    def test_target_bounds(self):
+        for target in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(InvalidArgumentError):
+                SloSpec("bad", "availability", target=target)
+
+    def test_from_dict_flat_policy_keys(self):
+        spec = SloSpec.from_dict({
+            "name": "api", "objective": "latency", "target": 0.999,
+            "threshold_seconds": 0.005, "fast_short": 2.0,
+            "fast_factor": 8.0})
+        fast = spec.policies[0]
+        assert fast.name == "fast"
+        assert fast.short_seconds == 2.0
+        assert fast.factor == 8.0
+        # untouched keys keep the Google-SRE default
+        assert fast.long_seconds == DEFAULT_POLICIES[0].long_seconds
+        assert spec.policies[1] == DEFAULT_POLICIES[1]
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(InvalidArgumentError, match="unknown"):
+            SloSpec.from_dict({"name": "x", "objective": "availability",
+                               "target": 0.9, "typo_key": 1})
+
+    def test_inline_dict_policies(self):
+        spec = SloSpec("x", "latency", threshold_seconds=0.1, policies=[
+            {"name": "only", "short_seconds": 1.0, "long_seconds": 5.0,
+             "factor": 2.0}])
+        assert isinstance(spec.policies[0], BurnPolicy)
+        assert spec.policies[0].long_seconds == 5.0
+
+    def test_policy_window_order_enforced(self):
+        with pytest.raises(InvalidArgumentError):
+            BurnPolicy("bad", short_seconds=10.0, long_seconds=1.0,
+                       factor=2.0)
+
+    def test_parse_specs_rejects_duplicates(self):
+        with pytest.raises(InvalidArgumentError, match="duplicate"):
+            parse_slo_specs([
+                {"name": "a", "objective": "availability", "target": 0.9},
+                {"name": "a", "objective": "availability", "target": 0.5},
+            ])
+
+
+SLO_TOML = """
+# the SLO file format: one [[slo]] table per objective
+[[slo]]
+name = "put-latency"
+objective = "latency"
+target = 0.999
+threshold_seconds = 0.005
+op = "put"
+fast_short = 60.0
+
+[[slo]]
+name = "availability"
+objective = "availability"
+target = 0.99
+tenant = "gold"
+"""
+
+
+class TestTomlParsing:
+    def test_parse_slo_toml(self):
+        specs = parse_slo_toml(SLO_TOML)
+        assert [s.name for s in specs] == ["put-latency", "availability"]
+        assert specs[0].threshold_seconds == 0.005
+        assert specs[0].policies[0].short_seconds == 60.0
+        assert specs[1].tenant == "gold"
+
+    def test_mini_parser_matches_tomllib_subset(self):
+        # The 3.10 fallback must agree with tomllib on the scalar subset.
+        tables = _mini_toml_slo(SLO_TOML)
+        specs = parse_slo_specs(tables)
+        assert [s.name for s in specs] == ["put-latency", "availability"]
+        assert specs[0].policies[0].short_seconds == 60.0
+
+    def test_mini_parser_rejects_nested_tables(self):
+        with pytest.raises(InvalidArgumentError, match=r"\[\[slo\]\]"):
+            _mini_toml_slo("[server]\nport = 1\n")
+
+    def test_mini_parser_rejects_key_outside_table(self):
+        with pytest.raises(InvalidArgumentError, match="outside"):
+            _mini_toml_slo("name = 'x'\n")
+
+    def test_load_slo_file(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(SLO_TOML)
+        specs = load_slo_file(str(path))
+        assert len(specs) == 2
+
+
+class TestWindowedCounter:
+    def test_windowed_totals(self):
+        clock = FakeClock()
+        counter = WindowedCounter(horizon_seconds=60.0, slice_seconds=1.0,
+                                  clock=clock)
+        counter.add(good=5, bad=1)
+        clock.now = 30.0
+        counter.add(good=3)
+        assert counter.totals(60.0) == (8, 1)
+        # A 10 s window only sees the recent slice.
+        assert counter.totals(10.0) == (3, 0)
+
+    def test_slices_expire_past_horizon(self):
+        clock = FakeClock()
+        counter = WindowedCounter(horizon_seconds=10.0, slice_seconds=1.0,
+                                  clock=clock)
+        counter.add(bad=7)
+        clock.now = 100.0
+        counter.add(good=1)
+        assert counter.totals(10.0) == (1, 0)
+
+    def test_bad_fraction_none_when_empty(self):
+        counter = WindowedCounter(10.0, 1.0, FakeClock())
+        assert counter.bad_fraction(10.0) is None
+        counter.add(good=1, bad=1)
+        assert counter.bad_fraction(10.0) == pytest.approx(0.5)
+
+
+def make_engine(clock, registry=None, journal=None):
+    spec = SloSpec("api", "latency", target=0.99,
+                   threshold_seconds=0.010, op="put", policies=[
+                       {"name": "fast", "short_seconds": 10.0,
+                        "long_seconds": 60.0, "factor": 5.0}])
+    return SloEngine((spec,), registry=registry, events=journal,
+                     clock=clock, eval_interval=1.0)
+
+
+class TestSloEngine:
+    def test_good_traffic_never_fires(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        for step in range(100):
+            clock.now = step * 0.5
+            engine.record("put", 0.001, tenant="gold")
+        engine.evaluate()
+        assert engine.firing() == []
+        assert engine.alert_log == []
+
+    def test_bad_storm_fires_then_resolves(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        # Burn: every op blows the 10 ms threshold -> bad fraction 1.0,
+        # burn = 1.0 / 0.01 = 100 >> factor 5 on both windows.
+        for step in range(40):
+            clock.now = step * 0.5
+            engine.record("put", 0.5, tenant="gold")
+        assert engine.firing() == [("api", "gold", "fast")]
+        # Recovery: 20 s of good traffic empties the short window while
+        # the long window still remembers the storm.
+        for step in range(60):
+            clock.now = 20.0 + step * 0.5
+            engine.record("put", 0.001, tenant="gold")
+        assert engine.firing() == []
+        states = [a["state"] for a in engine.alert_log]
+        assert states == ["firing", "resolved"]
+        firing = engine.alert_log[0]
+        assert firing["slo"] == "api"
+        assert firing["tenant"] == "gold"
+        assert firing["policy"] == "fast"
+        assert firing["burn_short"] >= 5.0
+        assert firing["burn_long"] >= 5.0
+
+    def test_tenants_burn_independently(self):
+        clock = FakeClock()
+        engine = make_engine(clock)
+        for step in range(40):
+            clock.now = step * 0.5
+            engine.record("put", 0.5, tenant="noisy")
+            engine.record("put", 0.001, tenant="quiet")
+        assert engine.firing() == [("api", "noisy", "fast")]
+        assert engine.tenants() == ["noisy", "quiet"]
+
+    def test_alert_and_exemplar_events_in_journal(self):
+        clock = FakeClock()
+        sink = io.StringIO()
+        journal = EventJournal(sink=sink, keep_events=True)
+        engine = make_engine(clock, journal=journal)
+        for step in range(40):
+            clock.now = step * 0.5
+            engine.record("put", 0.5, tenant="gold",
+                          trace_id=f"trace-{step}")
+        alerts = [e for e in journal.events if e["type"] == "slo_alert"]
+        exemplars = [e for e in journal.events if e["type"] == "exemplar"]
+        assert len(alerts) == 1
+        assert alerts[0]["state"] == "firing"
+        assert exemplars, "bad tail ops with traces must emit exemplars"
+        # Rate limited: far fewer exemplars than bad ops.
+        assert len(exemplars) < 40
+        assert exemplars[0]["trace"] == "trace-0"
+        assert exemplars[0]["threshold"] == pytest.approx(0.010)
+
+    def test_gauges_published(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        engine = make_engine(clock, registry=registry)
+        for step in range(40):
+            clock.now = step * 0.5
+            engine.record("put", 0.5, tenant="gold")
+        engine.evaluate()
+        snapshot = registry.snapshot()
+        burns = snapshot["slo_burn_rate"]
+        assert any(dict(key).get("window") == "short" for key in burns)
+        budget = snapshot["slo_error_budget_remaining"]
+        assert list(budget.values()) == [0.0]
+        events = snapshot["slo_events_total"]
+        assert sum(events.values()) == 40
+
+    def test_threshold_for_picks_tightest_match(self):
+        specs = (
+            SloSpec("loose", "latency", threshold_seconds=1.0, op="*"),
+            SloSpec("tight", "latency", threshold_seconds=0.01, op="put"),
+            SloSpec("avail", "availability", target=0.9),
+        )
+        engine = SloEngine(specs, clock=FakeClock())
+        assert engine.threshold_for("put") == pytest.approx(0.01)
+        assert engine.threshold_for("get") == pytest.approx(1.0)
+
+    def test_availability_objective_ignores_latency(self):
+        spec = SloSpec("up", "availability", target=0.9, policies=[
+            {"name": "only", "short_seconds": 10.0, "long_seconds": 10.0,
+             "factor": 2.0}])
+        clock = FakeClock()
+        engine = SloEngine((spec,), clock=clock)
+        for step in range(20):
+            clock.now = step * 0.5
+            # Slow but successful: availability objective stays green.
+            engine.record("get", 99.0, ok=True)
+        assert engine.firing() == []
+        for step in range(20):
+            clock.now = 10.0 + step * 0.5
+            engine.record("get", 0.001, ok=False)
+        assert engine.firing() == [("up", "default", "only")]
+
+    def test_build_engine_empty_specs(self):
+        assert build_engine(()) is None
+        assert build_engine(None) is None
+        assert build_engine(
+            ({"name": "x", "objective": "availability",
+              "target": 0.9},)) is not None

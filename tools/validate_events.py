@@ -18,6 +18,14 @@ Checks:
   ``flush_finish``; ``input_bytes``/``output_bytes`` on
   ``compaction_finish``).
 
+Unknown event types are *tolerated* by default (counted and reported,
+but seq/ts discipline is still enforced on them) so journals written by
+newer code still validate.  ``--strict`` rejects unknown types and
+additionally requires the SLO observatory payloads: ``slo_alert`` must
+carry ``slo``/``tenant``/``policy``/``state``/``burn_short``/
+``burn_long`` and ``exemplar`` must carry ``slo``/``tenant``/``trace``/
+``value``.
+
 Exit status 0 when the journal passes, 1 with a report when it does not.
 """
 
@@ -35,6 +43,7 @@ EVENT_TYPES = frozenset({
     "compaction_start", "compaction_finish",
     "stall_start", "stall_finish",
     "fault", "retry", "fallback",
+    "slo_alert", "exemplar",
 })
 
 #: ``start`` event type -> matching ``finish`` type.
@@ -51,8 +60,15 @@ REQUIRED_FIELDS = {
                           "output_bytes"),
 }
 
+#: Extra payload requirements enforced only under ``--strict``.
+STRICT_REQUIRED_FIELDS = {
+    "slo_alert": ("slo", "tenant", "policy", "state",
+                  "burn_short", "burn_long"),
+    "exemplar": ("slo", "tenant", "trace", "value"),
+}
 
-def validate(events: list[dict]) -> list[str]:
+
+def validate(events: list[dict], strict: bool = False) -> list[str]:
     errors: list[str] = []
     if not events:
         return ["empty journal"]
@@ -72,10 +88,16 @@ def validate(events: list[dict]) -> list[str]:
             errors.append(f"{where}: schema version {event.get('v')!r} "
                           f"(expected {SCHEMA_VERSION})")
         etype = event.get("type")
-        if etype not in EVENT_TYPES:
-            errors.append(f"{where}: unknown event type {etype!r}")
-            continue
-        counts[etype] = counts.get(etype, 0) + 1
+        known = etype in EVENT_TYPES
+        if not known:
+            if strict or not isinstance(etype, str):
+                errors.append(f"{where}: unknown event type {etype!r}")
+                continue
+            # Tolerant mode: a journal from newer code still validates;
+            # seq/ts discipline is enforced below regardless.
+            counts["<unknown>"] = counts.get("<unknown>", 0) + 1
+        else:
+            counts[etype] = counts.get(etype, 0) + 1
         seq = event.get("seq")
         ts = event.get("ts")
         if not isinstance(seq, int) or seq < 1:
@@ -119,6 +141,11 @@ def validate(events: list[dict]) -> list[str]:
                 if required not in event:
                     errors.append(
                         f"{where}: {etype} missing field {required!r}")
+        if strict:
+            for required in STRICT_REQUIRED_FIELDS.get(etype, ()):
+                if required not in event:
+                    errors.append(
+                        f"{where}: {etype} missing field {required!r}")
 
     for finish, pending in sorted(open_pairs.items()):
         if pending > 0:
@@ -135,6 +162,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail unless at least one event of TYPE is "
                              "present (repeatable, e.g. --require "
                              "flush_finish)")
+    parser.add_argument("--strict", action="store_true",
+                        help="reject unknown event types and require the "
+                             "slo_alert / exemplar payload fields")
     args = parser.parse_args(argv)
 
     events: list[dict] = []
@@ -154,7 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"FAIL: cannot read {args.journal}: {error}", file=sys.stderr)
         return 1
 
-    errors = validate(events)
+    errors = validate(events, strict=args.strict)
     present = {e.get("type") for e in events if isinstance(e, dict)}
     for required in args.require:
         if required not in present:
@@ -166,8 +196,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  - {error}", file=sys.stderr)
         return 1
     segments = sum(1 for e in events if e.get("type") == "journal_open")
+    unknown = sum(1 for e in events
+                  if isinstance(e, dict)
+                  and e.get("type") not in EVENT_TYPES)
+    extra = f", {unknown} unknown-type (tolerated)" if unknown else ""
     print(f"OK: {args.journal}: {len(events)} events in {segments} "
-          f"segment(s), seq gap-free, ts monotone, pairs balanced")
+          f"segment(s), seq gap-free, ts monotone, pairs balanced"
+          f"{extra}")
     return 0
 
 
