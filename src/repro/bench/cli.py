@@ -42,6 +42,7 @@ from repro import obs
 from repro.bench import (
     ablation,
     driver,
+    fsync,
     hotpath,
     near_storage,
     slo,
@@ -82,6 +83,7 @@ EXPERIMENTS = {
     "fig16": fig16.run,
     "ablation": ablation.run,
     "driver": driver.run,
+    "fsync": fsync.run,
     "hotpath": hotpath.run,
     "near_storage": near_storage.run,
     "slo": slo.run,
@@ -93,7 +95,7 @@ EXPERIMENTS = {
 ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
-             "write_pause", "slo", "driver", "hotpath")
+             "write_pause", "slo", "driver", "fsync", "hotpath")
 
 #: BENCH_*.json schema version understood by tools/check_regression.py.
 BENCH_SCHEMA = 1

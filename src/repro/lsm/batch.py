@@ -44,6 +44,11 @@ class WriteBatch:
     def clear(self) -> None:
         self._records.clear()
 
+    def extend(self, other: "WriteBatch") -> None:
+        """Append ``other``'s records (group-commit splicing: the spliced
+        batch commits as one WAL record with contiguous sequences)."""
+        self._records.extend(other._records)
+
     def __len__(self) -> int:
         return len(self._records)
 

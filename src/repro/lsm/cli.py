@@ -189,6 +189,12 @@ def _print_offload_stats(db: LsmDB) -> None:
           f"{stats.software_tasks} in software")
 
 
+def cmd_serve(args) -> int:
+    from repro.service.cli import cmd_serve as service_serve
+
+    return service_serve(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lsm",
@@ -241,6 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="refresh interval (default 2s)")
     top.add_argument("--iterations", type=int, default=0, metavar="N",
                      help="stop after N refreshes (0 = until ^C)")
+
+    from repro.lsm.options import WAL_SYNC_MODES
+    serve = sub.add_parser(
+        "serve", help="run the sharded KV server over this store "
+                      "(client: python -m repro.service)")
+    serve.add_argument("root", help="directory holding the shard DBs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707)
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=16)
+    serve.add_argument("--wal-sync", default="group",
+                       choices=WAL_SYNC_MODES)
+    serve.add_argument("--stall-threshold", type=float, default=0.5)
+    serve.add_argument("--ready-fd", type=int, default=-1)
+    serve.set_defaults(func=cmd_serve, metrics_out=None, trace_out=None,
+                       events_out=None, overwrite=False)
     return parser
 
 

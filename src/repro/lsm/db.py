@@ -31,6 +31,8 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
+from itertools import islice
 from typing import Callable, Iterator, Optional
 
 from repro.errors import DBStateError, NotFoundError
@@ -161,6 +163,22 @@ class DbStats:
         return f"DbStats({inner})"
 
 
+class _Writer:
+    """One queued commit in the group-commit protocol.
+
+    Writers park in :attr:`LsmDB._writers`; the front writer is the
+    *leader* — it splices the queued batches into one WAL record, pays a
+    single flush+fsync for the group, and marks every member ``done``
+    (with the shared ``error`` if the commit failed)."""
+
+    __slots__ = ("batch", "done", "error")
+
+    def __init__(self, batch: WriteBatch):
+        self.batch = batch
+        self.done = False
+        self.error: Optional[BaseException] = None
+
+
 class _EnvTextSink:
     """Adapts an :class:`repro.lsm.env.WritableFile` to the text-handle
     interface :class:`repro.obs.EventJournal` writes through."""
@@ -270,6 +288,15 @@ class LsmDB:
         #: nest public calls; the background workers never re-enter.
         self._mutex = threading.RLock()
         self._cond = threading.Condition(self._mutex)
+        #: Group-commit writer queue (``wal_sync="group"``): front is
+        #: the leader, the rest wait on ``_writers_cond``.
+        self._writers: deque[_Writer] = deque()
+        self._writers_cond = threading.Condition(self._mutex)
+        #: True while the leader runs WAL I/O outside the mutex; log
+        #: rotation must wait for it (the segment being synced would
+        #: otherwise be closed mid-fsync).
+        self._wal_writing = False
+        self._last_wal_sync = time.monotonic()
         #: Live snapshot sequences → refcount (satellite: snapshot
         #: registry; compaction consults ``min``).
         self._snapshots: dict[int, int] = {}
@@ -391,6 +418,15 @@ class LsmDB:
             if self.env.file_exists(log_file_name(self.dbname, number)):
                 self.env.delete_file(log_file_name(self.dbname, number))
 
+    def _durable_close(self, dest) -> None:
+        """Sync-then-close for files the store's correctness depends on
+        (SSTables, MANIFEST, CURRENT): with any durability mode above
+        ``none``, a power loss must only ever cost WAL tail, never an
+        installed table or the version state pointing at it."""
+        if self.options.wal_sync != "none":
+            dest.sync()
+        dest.close()
+
     def _write_manifest(self) -> None:
         snapshot = bytearray()
         snapshot += encode_fixed64(self.versions.last_sequence)
@@ -409,10 +445,10 @@ class LsmDB:
         dest = self.env.new_writable_file(manifest_name)
         writer = LogWriter(dest)
         writer.add_record(bytes(snapshot))
-        dest.close()
+        self._durable_close(dest)
         current = self.env.new_writable_file(current_file_name(self.dbname))
         current.append(manifest_name.encode())
-        current.close()
+        self._durable_close(current)
         # Retire older manifests.
         for name in self.env.list_dir(self.dbname):
             number = parse_manifest_number(name)
@@ -420,6 +456,10 @@ class LsmDB:
                 self.env.delete_file(f"{self.dbname}/{name}")
 
     def _new_log(self) -> None:
+        # Never retire a segment a group-commit leader is still syncing
+        # (the leader runs WAL I/O outside the mutex).
+        while self._wal_writing:
+            self._writers_cond.wait()
         if self._log_file is not None:
             self._log_file.close()
         self._log_number = self.versions.new_file_number()
@@ -555,31 +595,157 @@ class LsmDB:
 
     def write(self, batch: WriteBatch,
               tenant: Optional[str] = None) -> None:
-        """Commit a batch: WAL append, then memtable insert."""
+        """Commit a batch: WAL append + persist per ``Options.wal_sync``,
+        then memtable insert.  The write is acknowledged (this method
+        returns) only after the WAL bytes have reached the durability
+        point the configured mode promises."""
         self._check_open()
         if not len(batch):
             return
         start = time.perf_counter() if self._op_obs else 0.0
-        with self._mutex:
-            if self._driver is not None:
-                self._check_bg_error()
-                self._make_room_for_write()
-            sequence = self.versions.last_sequence + 1
-            self._c["writes"].inc(len(batch))
-            self._c["write_bytes"].inc(batch.byte_size())
-            self._log.add_record(batch.serialize(sequence))
-            next_seq = batch.apply_to_memtable(self._mem, sequence)
-            self.versions.last_sequence = next_seq - 1
-            if self._driver is not None:
-                if self.versions.needs_compaction():
-                    # Mint a trace context here so the compaction this
-                    # write triggers stitches back to it across the
-                    # driver's queue and worker threads.
-                    self._driver.kick(ctx=self.tracer.mint_context())
-            elif self.auto_compact:
-                self._maybe_maintain()
+        if self.options.wal_sync == "group":
+            self._group_commit(batch)
+        else:
+            with self._mutex:
+                self._write_locked(batch)
         if self._op_obs:
             self._observe_op("write", time.perf_counter() - start, tenant)
+
+    def _write_locked(self, batch: WriteBatch) -> None:
+        """The non-group commit path (mutex held)."""
+        if self._driver is not None:
+            self._check_bg_error()
+            self._make_room_for_write()
+        sequence = self.versions.last_sequence + 1
+        self._c["writes"].inc(len(batch))
+        self._c["write_bytes"].inc(batch.byte_size())
+        self._log.add_record(batch.serialize(sequence))
+        self._persist_wal_locked()
+        next_seq = batch.apply_to_memtable(self._mem, sequence)
+        self.versions.last_sequence = next_seq - 1
+        self._maintain_after_write_locked()
+
+    def _maintain_after_write_locked(self) -> None:
+        if self._driver is not None:
+            if self.versions.needs_compaction():
+                # Mint a trace context here so the compaction this
+                # write triggers stitches back to it across the
+                # driver's queue and worker threads.
+                self._driver.kick(ctx=self.tracer.mint_context())
+        elif self.auto_compact:
+            self._maybe_maintain()
+
+    def _persist_wal_locked(self) -> None:
+        """Push the just-appended WAL record to this mode's durability
+        point before the writer is acknowledged (mutex held)."""
+        mode = self.options.wal_sync
+        if mode == "none":
+            return
+        self._log.flush()
+        if mode == "always":
+            self._sync_wal(self._log_file)
+        elif mode == "interval":
+            if (time.monotonic() - self._last_wal_sync
+                    >= self.options.wal_sync_interval_seconds):
+                self._sync_wal(self._log_file)
+
+    def _sync_wal(self, log_file) -> None:
+        """fsync one WAL segment, timed into ``lsm_wal_sync_seconds``."""
+        started = time.perf_counter()
+        log_file.sync()
+        self._last_wal_sync = time.monotonic()
+        self._m.wal_syncs.inc()
+        self._m.wal_sync_seconds.observe(time.perf_counter() - started)
+
+    def _group_commit(self, batch: WriteBatch) -> None:
+        """LevelDB-style group commit (``wal_sync="group"``).
+
+        Every writer enqueues and waits; the queue front becomes the
+        leader.  The leader splices the queued batches into one WAL
+        record, releases the mutex for the flush+fsync (so new writers
+        can line up into the *next* group meanwhile — that overlap is
+        the whole throughput win), then reacquires it to apply the
+        spliced batch to the memtable and wake the group."""
+        writer = _Writer(batch)
+        with self._mutex:
+            self._writers.append(writer)
+            while not writer.done and self._writers[0] is not writer:
+                self._writers_cond.wait()
+            if writer.done:
+                if writer.error is not None:
+                    raise writer.error
+                return
+            # This thread leads the commit.
+            if self._driver is not None:
+                try:
+                    self._check_bg_error()
+                    self._make_room_for_write()
+                except BaseException as exc:
+                    self._finish_group_locked([writer], exc)
+                    raise
+            group = self._build_group_locked()
+            if len(group) == 1:
+                spliced = group[0].batch
+            else:
+                spliced = WriteBatch()
+                for member in group:
+                    spliced.extend(member.batch)
+            sequence = self.versions.last_sequence + 1
+            record = spliced.serialize(sequence)
+            log, log_file = self._log, self._log_file
+            self._wal_writing = True
+        error: Optional[BaseException] = None
+        try:
+            log.add_record(record)
+            log.flush()
+            self._sync_wal(log_file)
+        except BaseException as exc:
+            error = exc
+        with self._mutex:
+            self._wal_writing = False
+            if error is None:
+                for member in group:
+                    self._c["writes"].inc(len(member.batch))
+                    self._c["write_bytes"].inc(member.batch.byte_size())
+                next_seq = spliced.apply_to_memtable(self._mem, sequence)
+                self.versions.last_sequence = next_seq - 1
+                self._m.group_commit_batches.observe(len(group))
+            self._finish_group_locked(group, error)
+            if error is None:
+                self._maintain_after_write_locked()
+        if error is not None:
+            raise error
+
+    def _build_group_locked(self) -> list[_Writer]:
+        """Collect the leader's group from the queue front (mutex held).
+
+        LevelDB's rule: cap the spliced record at
+        ``Options.group_commit_max_bytes``, and when the leader's own
+        batch is small (≤128 KB) cap growth at +128 KB so a tiny write
+        is never held hostage to a huge group."""
+        front = self._writers[0]
+        group = [front]
+        total = front.batch.byte_size()
+        max_size = self.options.group_commit_max_bytes
+        if total <= 128 * 1024:
+            max_size = min(max_size, total + 128 * 1024)
+        for candidate in islice(self._writers, 1, None):
+            total += candidate.batch.byte_size()
+            if total > max_size:
+                break
+            group.append(candidate)
+        return group
+
+    def _finish_group_locked(self, group: list[_Writer],
+                             error: Optional[BaseException]) -> None:
+        """Pop ``group`` off the queue front, mark everyone done (with
+        the shared error, if any) and wake waiters + log rotators."""
+        for member in group:
+            popped = self._writers.popleft()
+            assert popped is member
+            member.error = error
+            member.done = True
+        self._writers_cond.notify_all()
 
     def _make_room_for_write(self) -> None:
         """LevelDB's ``MakeRoomForWrite``: real throttling for the
@@ -756,7 +922,7 @@ class LsmDB:
             for internal_key, value in self._imm:
                 builder.add(internal_key, value)
             stats = builder.finish()
-            dest.close()
+            self._durable_close(dest)
             meta = FileMetaData(number, stats.file_bytes,
                                 builder.smallest_key, builder.largest_key)
             edit = VersionEdit()
@@ -951,7 +1117,7 @@ class LsmDB:
                     name = table_file_name(self.dbname, number)
                     dest = self.env.new_writable_file(name)
                     dest.append(output.data)
-                    dest.close()
+                    self._durable_close(dest)
                     meta = FileMetaData(number, len(output.data),
                                         output.smallest, output.largest)
                     edit.add_file(spec.output_level, meta)
@@ -1007,7 +1173,7 @@ class LsmDB:
                 for internal_key, value in imm:
                     builder.add(internal_key, value)
                 stats = builder.finish()
-                dest.close()
+                self._durable_close(dest)
             except BaseException:
                 if self.env.file_exists(name):
                     self.env.delete_file(name)
@@ -1373,6 +1539,10 @@ class LsmDB:
         with self._mutex:
             if self._closed:
                 return
+            # Let queued group commits drain: every writer in the queue
+            # has been promised an acknowledgement or an error.
+            while self._writers or self._wal_writing:
+                self._writers_cond.wait(timeout=0.05)
             if self._log_file is not None:
                 self._log_file.close()
             if self._own_journal is not None:

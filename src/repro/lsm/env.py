@@ -30,6 +30,16 @@ class WritableFile(ABC):
     @abstractmethod
     def flush(self) -> None: ...
 
+    def sync(self) -> None:
+        """Force written bytes to stable storage (``fsync``).
+
+        ``flush`` only drains the userspace buffer into the OS page
+        cache — bytes survive a process crash but not a power loss.
+        ``sync`` is the durability point the WAL's fsync policies build
+        on.  Default falls back to ``flush`` for implementations that
+        predate this method."""
+        self.flush()
+
     @abstractmethod
     def close(self) -> None: ...
 
@@ -80,6 +90,9 @@ class _MemWritableFile(WritableFile):
         if not append or name not in store:
             self._store[name] = bytearray()
         self._closed = False
+        #: Number of ``sync()`` calls — the in-memory store is always
+        #: "durable", but tests assert fsync policies through this.
+        self.sync_count = 0
 
     def append(self, data: bytes) -> None:
         if self._closed:
@@ -88,6 +101,9 @@ class _MemWritableFile(WritableFile):
 
     def flush(self) -> None:
         pass
+
+    def sync(self) -> None:
+        self.sync_count += 1
 
     def close(self) -> None:
         self._closed = True
@@ -172,7 +188,9 @@ class MemEnv(Env):
 class _OsWritableFile(WritableFile):
     def __init__(self, name: str, append: bool = False):
         self._file = open(name, "ab" if append else "wb")
-        self._size = 0
+        # An appendable reopen starts past the existing contents; the
+        # WAL seeds its block accounting from this, so it must not lie.
+        self._size = os.path.getsize(name) if append else 0
 
     def append(self, data: bytes) -> None:
         self._file.write(data)
@@ -180,6 +198,10 @@ class _OsWritableFile(WritableFile):
 
     def flush(self) -> None:
         self._file.flush()
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def close(self) -> None:
         self._file.close()

@@ -37,7 +37,10 @@ class LogWriter:
 
     def __init__(self, dest: WritableFile):
         self._dest = dest
-        self._block_offset = 0
+        # Seed from the destination so appending to a non-empty log
+        # (reopened segment) keeps fragment/padding accounting aligned
+        # with the 32 KB block grid the reader walks.
+        self._block_offset = dest.size % BLOCK_SIZE
 
     def add_record(self, data: bytes) -> None:
         """Append one record (possibly fragmented across blocks)."""
@@ -80,6 +83,10 @@ class LogWriter:
 
     def flush(self) -> None:
         self._dest.flush()
+
+    def sync(self) -> None:
+        """Flush then fsync the underlying file (the durability point)."""
+        self._dest.sync()
 
 
 class LogReader:

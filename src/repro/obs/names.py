@@ -24,6 +24,9 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 
+#: Group-commit batch-count buckets (batches per spliced WAL record).
+GROUP_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
 #: (name, kind, help, buckets-or-None)
 FAMILIES: tuple[tuple, ...] = (
     # -- LSM store ----------------------------------------------------
@@ -47,6 +50,16 @@ FAMILIES: tuple[tuple, ...] = (
     ("lsm_write_stalls_total", "counter",
      "Writes that hit the L0 stop trigger (the paper's write pause).",
      None),
+    ("lsm_wal_syncs_total", "counter",
+     "WAL fsyncs issued by the write path (one per commit under "
+     "wal_sync=always, one per spliced group under group, clock-driven "
+     "under interval).", None),
+    ("lsm_wal_sync_seconds", "histogram",
+     "Duration of each WAL flush+fsync on the acknowledgement path.",
+     SECONDS_BUCKETS),
+    ("lsm_group_commit_batches", "histogram",
+     "Writer batches spliced into one WAL record per group commit "
+     "(1 = no batching win).", GROUP_BUCKETS),
     ("lsm_write_stall_seconds", "histogram",
      "Foreground write-path time blocked on maintenance: inline "
      "flush/compaction episodes in synchronous mode, waits on the "
@@ -241,6 +254,12 @@ class LsmMetrics:
             registry, "lsm_block_cache_usage_bytes", **self.labels)
         self.stall_seconds = _histogram(
             registry, "lsm_write_stall_seconds", **self.labels)
+        self.wal_syncs = _counter(
+            registry, "lsm_wal_syncs_total", **self.labels)
+        self.wal_sync_seconds = _histogram(
+            registry, "lsm_wal_sync_seconds", **self.labels)
+        self.group_commit_batches = _histogram(
+            registry, "lsm_group_commit_batches", **self.labels)
         self.snapshots_live = _gauge(
             registry, "lsm_snapshots_live", **self.labels)
         self.snapshot_merges = _counter(

@@ -1,0 +1,22 @@
+"""Sharded key-value service front-end over :mod:`repro.lsm`.
+
+The network layer the paper's compaction engine sits behind in a real
+deployment: a range-sharding router fans keys out across independent
+``LsmDB`` shards, each opened in group-commit mode so concurrent client
+connections amortize one fsync across many acknowledged writes, and a
+per-shard admission gate turns write-stall pressure into ``BUSY``
+responses instead of unbounded queueing.
+
+Public entry points:
+
+* :class:`repro.service.server.KVService` — shard owner + dispatcher.
+* :class:`repro.service.server.KVServer` — TCP front-end.
+* :class:`repro.service.client.KVClient` — blocking client.
+* :class:`repro.service.router.RangeRouter` — key → shard mapping.
+"""
+
+from repro.service.client import KVClient
+from repro.service.router import RangeRouter
+from repro.service.server import KVServer, KVService
+
+__all__ = ["KVClient", "KVServer", "KVService", "RangeRouter"]

@@ -1,0 +1,5 @@
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

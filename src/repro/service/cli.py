@@ -1,0 +1,149 @@
+"""``python -m repro.service`` — run or talk to the sharded KV server.
+
+Server::
+
+    python -m repro.service serve /tmp/kv --port 7707 --shards 4 \
+        --wal-sync group
+
+Client::
+
+    python -m repro.service put    --port 7707 greeting "hello world"
+    python -m repro.service get    --port 7707 greeting
+    python -m repro.service delete --port 7707 greeting
+    python -m repro.service stats  --port 7707
+    python -m repro.service ping   --port 7707
+
+The server opens every shard in the requested WAL sync mode (default
+``group``: one fsync amortized across all concurrently acknowledged
+writes — see ``Options.wal_sync``).  ``--ready-fd N`` writes one line
+(``host port``) to file descriptor ``N`` once the listener is bound,
+for harnesses that need to know the ephemeral port.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.errors import NotFoundError, ReproError
+from repro.lsm.options import Options, WAL_SYNC_MODES
+
+
+def cmd_serve(args) -> int:
+    from repro.service.server import KVServer, KVService
+
+    options = Options(wal_sync=args.wal_sync, event_journal=True)
+    service = KVService(args.root, num_shards=args.shards, options=options,
+                        stall_threshold=args.stall_threshold)
+    server = KVServer(service, host=args.host, port=args.port,
+                      max_workers=args.workers)
+    print(f"serving {args.shards} shard(s) under {args.root} on "
+          f"{server.host}:{server.port} (wal_sync={args.wal_sync})",
+          file=sys.stderr)
+    if args.ready_fd >= 0:
+        with os.fdopen(args.ready_fd, "w") as ready:
+            ready.write(f"{server.host} {server.port}\n")
+    server.serve_forever()
+    return 0
+
+
+def _client(args):
+    from repro.service.client import KVClient
+
+    return KVClient(args.host, args.port, timeout=args.timeout)
+
+
+def cmd_ping(args) -> int:
+    with _client(args) as kv:
+        kv.ping()
+    print("PONG")
+    return 0
+
+
+def cmd_get(args) -> int:
+    with _client(args) as kv:
+        try:
+            value = kv.get(args.key.encode())
+        except NotFoundError:
+            print(f"(not found: {args.key})", file=sys.stderr)
+            return 1
+    sys.stdout.write(value.decode(errors="replace") + "\n")
+    return 0
+
+
+def cmd_put(args) -> int:
+    with _client(args) as kv:
+        kv.put(args.key.encode(), args.value.encode())
+    print("OK")
+    return 0
+
+
+def cmd_delete(args) -> int:
+    with _client(args) as kv:
+        kv.delete(args.key.encode())
+    print("OK")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import json
+
+    with _client(args) as kv:
+        print(json.dumps(kv.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Sharded KV service over the FCAE LSM store.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run the server")
+    serve.add_argument("root", help="directory holding the shard DBs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707,
+                       help="0 picks an ephemeral port (default 7707)")
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--workers", type=int, default=16,
+                       help="handler thread pool size")
+    serve.add_argument("--wal-sync", default="group",
+                       choices=WAL_SYNC_MODES)
+    serve.add_argument("--stall-threshold", type=float, default=0.5,
+                       help="stalled-time fraction that trips BUSY")
+    serve.add_argument("--ready-fd", type=int, default=-1,
+                       help="fd to announce 'host port' on once bound")
+    serve.set_defaults(func=cmd_serve)
+
+    def add_client(name, func, *positionals):
+        cmd = sub.add_parser(name)
+        for positional in positionals:
+            cmd.add_argument(positional)
+        cmd.add_argument("--host", default="127.0.0.1")
+        cmd.add_argument("--port", type=int, default=7707)
+        cmd.add_argument("--timeout", type=float, default=10.0)
+        cmd.set_defaults(func=func)
+
+    add_client("ping", cmd_ping)
+    add_client("get", cmd_get, "key")
+    add_client("put", cmd_put, "key", "value")
+    add_client("delete", cmd_delete, "key")
+    add_client("stats", cmd_stats)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ConnectionError as error:
+        print(f"error: cannot reach server: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

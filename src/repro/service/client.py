@@ -1,0 +1,88 @@
+"""Blocking client for the KV service protocol.
+
+One TCP connection, requests serialized under a lock (the protocol is
+strict request/response, so a connection is a unit of ordering).  Use
+one client per thread — or one per logical stream — for parallelism;
+they are cheap.
+
+::
+
+    with KVClient("127.0.0.1", 7707) as kv:
+        kv.put(b"k", b"v")
+        assert kv.get(b"k") == b"v"
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.errors import NotFoundError, ReproError
+from repro.lsm import WriteBatch
+from repro.service import protocol
+
+
+class ServiceError(ReproError):
+    """The server answered ``ERROR``."""
+
+
+class ServiceBusyError(ReproError):
+    """The server answered ``BUSY`` (shard backpressure; retry later)."""
+
+
+class KVClient:
+    def __init__(self, host: str = "127.0.0.1", port: int = 7707,
+                 timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._lock = threading.Lock()
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "KVClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- calls
+
+    def ping(self) -> None:
+        self._call(protocol.encode_request(protocol.OP_PING))
+
+    def get(self, key: bytes) -> bytes:
+        return self._call(protocol.encode_request(protocol.OP_GET, key))
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self._call(protocol.encode_request(protocol.OP_PUT, key, value))
+
+    def delete(self, key: bytes) -> None:
+        self._call(protocol.encode_request(protocol.OP_DELETE, key))
+
+    def write(self, batch: WriteBatch) -> None:
+        """Commit a batch (atomic per shard it touches)."""
+        self._call(protocol.encode_request(
+            protocol.OP_BATCH, raw=batch.serialize(0)))
+
+    def stats(self) -> dict:
+        body = self._call(protocol.encode_request(protocol.OP_STATS))
+        return json.loads(body.decode())
+
+    # ---------------------------------------------------------- plumbing
+
+    def _call(self, request: bytes) -> bytes:
+        with self._lock:
+            protocol.write_frame(self._sock, request)
+            response = protocol.read_frame(self._sock)
+        if response is None:
+            raise ServiceError("server closed the connection")
+        status, body = protocol.decode_response(response)
+        if status == protocol.OK:
+            return body
+        if status == protocol.NOT_FOUND:
+            raise NotFoundError("key not found")
+        if status == protocol.BUSY:
+            raise ServiceBusyError(body.decode(errors="replace"))
+        raise ServiceError(body.decode(errors="replace"))

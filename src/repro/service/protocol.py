@@ -1,0 +1,162 @@
+"""Length-prefixed wire protocol for the KV service.
+
+Every message — request or response — is one frame::
+
+    u32 length (big-endian) | payload (length bytes)
+
+Request payload::
+
+    u8 op | body
+
+    PING   ->  (empty)
+    GET    ->  varstring key
+    PUT    ->  varstring key | varstring value
+    DELETE ->  varstring key
+    BATCH  ->  WriteBatch wire format (sequence field ignored)
+    STATS  ->  (empty)
+
+Response payload::
+
+    u8 status | body
+
+    OK        -> op-specific body (GET: varstring value; STATS: JSON)
+    NOT_FOUND -> (empty)
+    ERROR     -> UTF-8 message
+    BUSY      -> UTF-8 message (shard backpressure; retry later)
+
+Key/value strings reuse the store's varint length-prefixed encoding
+(:func:`repro.util.coding.put_length_prefixed_slice`), and ``BATCH``
+bodies are literally :meth:`repro.lsm.WriteBatch.serialize` output, so
+the service speaks the same bytes the WAL persists.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+from repro.errors import CorruptionError
+from repro.util.coding import (
+    get_length_prefixed_slice,
+    put_length_prefixed_slice,
+)
+
+# Request opcodes.
+OP_PING = 0
+OP_GET = 1
+OP_PUT = 2
+OP_DELETE = 3
+OP_BATCH = 4
+OP_STATS = 5
+
+OP_NAMES = {
+    OP_PING: "ping", OP_GET: "get", OP_PUT: "put",
+    OP_DELETE: "delete", OP_BATCH: "batch", OP_STATS: "stats",
+}
+
+# Response statuses.
+OK = 0
+NOT_FOUND = 1
+ERROR = 2
+BUSY = 3
+
+STATUS_NAMES = {OK: "ok", NOT_FOUND: "not_found", ERROR: "error",
+                BUSY: "busy"}
+
+#: Frames larger than this are rejected before allocation (64 MiB).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(CorruptionError):
+    """Malformed frame or payload."""
+
+
+# ---------------------------------------------------------------- framing
+
+def write_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def read_frame(sock: socket.socket) -> bytes | None:
+    """Read one frame; None on clean EOF at a frame boundary."""
+    header = _read_exact(sock, _LEN.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    if length == 0:
+        return b""
+    payload = _read_exact(sock, length, eof_ok=False)
+    assert payload is not None
+    return payload
+
+
+def _read_exact(sock: socket.socket, count: int,
+                eof_ok: bool) -> bytes | None:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/"
+                f"{count} bytes)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# --------------------------------------------------------------- requests
+
+def encode_request(op: int, *slices: bytes, raw: bytes = b"") -> bytes:
+    """``u8 op`` + varstring ``slices`` + verbatim ``raw`` tail."""
+    out = bytearray([op])
+    for piece in slices:
+        put_length_prefixed_slice(out, piece)
+    out += raw
+    return bytes(out)
+
+
+def decode_request(payload: bytes) -> tuple[int, bytes]:
+    """Split a request payload into (op, body)."""
+    if not payload:
+        raise ProtocolError("empty request payload")
+    op = payload[0]
+    if op not in OP_NAMES:
+        raise ProtocolError(f"unknown opcode {op}")
+    return op, payload[1:]
+
+
+def decode_slices(body: bytes, count: int) -> list[bytes]:
+    """Decode exactly ``count`` varstrings; the body must be consumed."""
+    out = []
+    pos = 0
+    try:
+        for _ in range(count):
+            piece, pos = get_length_prefixed_slice(body, pos)
+            out.append(piece)
+    except (CorruptionError, IndexError) as error:
+        raise ProtocolError(f"truncated request body: {error}") from error
+    if pos != len(body):
+        raise ProtocolError("trailing bytes after request body")
+    return out
+
+
+# -------------------------------------------------------------- responses
+
+def encode_response(status: int, body: bytes = b"") -> bytes:
+    return bytes([status]) + body
+
+
+def decode_response(payload: bytes) -> tuple[int, bytes]:
+    if not payload:
+        raise ProtocolError("empty response payload")
+    status = payload[0]
+    if status not in STATUS_NAMES:
+        raise ProtocolError(f"unknown status {status}")
+    return status, payload[1:]

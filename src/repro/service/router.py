@@ -1,0 +1,83 @@
+"""Range-sharding router: key → shard index.
+
+Shards own contiguous, non-overlapping key ranges split at ``N-1``
+ordered boundary keys, exactly like a per-shard LSM tree's key space in
+a range-partitioned store: shard ``i`` owns ``[split[i-1], split[i])``
+(first shard unbounded below, last unbounded above).  Range ownership —
+rather than hashing — keeps each shard's writes key-local, which is what
+makes per-shard compaction (and its FPGA offload) see sorted-run overlap
+comparable to a single-tenant store.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterable, Sequence
+
+from repro.errors import InvalidArgumentError
+
+
+class RangeRouter:
+    """Maps keys to shard indices via ordered split keys."""
+
+    def __init__(self, split_keys: Sequence[bytes] = ()):
+        splits = [bytes(k) for k in split_keys]
+        if any(splits[i] >= splits[i + 1] for i in range(len(splits) - 1)):
+            raise InvalidArgumentError(
+                "split keys must be strictly increasing")
+        if any(not k for k in splits):
+            raise InvalidArgumentError("split keys must be non-empty")
+        self._splits = splits
+
+    @classmethod
+    def uniform(cls, num_shards: int, key_byte_width: int = 1
+                ) -> "RangeRouter":
+        """Evenly partition the keyspace by the first key byte(s).
+
+        Good enough for uniformly distributed keys (benchmarks, hashed
+        user keys); skewed keyspaces should pass explicit splits.
+        """
+        if num_shards < 1:
+            raise InvalidArgumentError("num_shards must be >= 1")
+        space = 256 ** key_byte_width
+        splits = []
+        for i in range(1, num_shards):
+            boundary = i * space // num_shards
+            splits.append(boundary.to_bytes(key_byte_width, "big"))
+        return cls(splits)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._splits) + 1
+
+    def shard_for(self, key: bytes) -> int:
+        """Index of the shard owning ``key``."""
+        return bisect_right(self._splits, key)
+
+    def shard_range(self, index: int) -> tuple[bytes | None, bytes | None]:
+        """``(start, end)`` of shard ``index``; None = unbounded."""
+        if not 0 <= index < self.num_shards:
+            raise InvalidArgumentError(
+                f"shard {index} out of range [0, {self.num_shards})")
+        start = self._splits[index - 1] if index > 0 else None
+        end = self._splits[index] if index < len(self._splits) else None
+        return start, end
+
+    def partition(self, keys: Iterable[bytes]) -> dict[int, list[bytes]]:
+        """Group ``keys`` by owning shard (for fan-out planning)."""
+        out: dict[int, list[bytes]] = {}
+        for key in keys:
+            out.setdefault(self.shard_for(key), []).append(key)
+        return out
+
+    def describe(self) -> list[dict]:
+        """One ``{"shard", "start", "end"}`` dict per shard (hex keys)."""
+        return [
+            {
+                "shard": i,
+                "start": start.hex() if start is not None else None,
+                "end": end.hex() if end is not None else None,
+            }
+            for i in range(self.num_shards)
+            for start, end in [self.shard_range(i)]
+        ]

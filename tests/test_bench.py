@@ -144,6 +144,22 @@ class TestYcsbBench:
         assert all(s >= 0.97 for s in speedup.values())
 
 
+class TestFsyncBench:
+    def test_group_commit_beats_always_by_2x(self):
+        from repro.bench import fsync
+        from repro.lsm.options import WAL_SYNC_MODES
+
+        result = fsync.run(scale=0.1)
+        assert result.column("mode") == list(WAL_SYNC_MODES)
+        by_mode = {row[0]: row for row in result.rows}
+        # always pays one fsync per committed write.
+        assert by_mode["always"][result.columns.index("wal_syncs")] == \
+            by_mode["always"][result.columns.index("ops")]
+        # The acceptance bar: >2x group-commit throughput at 8 writers.
+        assert by_mode["group"][result.columns.index("vs_always")] > 2.0
+        assert by_mode["group"][result.columns.index("avg_group")] > 1.0
+
+
 class TestCli:
     def test_registry_complete(self):
         assert set(ALL_ORDER) <= set(EXPERIMENTS)

@@ -86,6 +86,81 @@ class TestFiles:
         assert fs.list_dir(root) == ["a", "b", "c"]
 
 
+class TestAppendable:
+    def test_appendable_preserves_content(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/log")
+        handle.append(b"first|")
+        handle.close()
+        handle = fs.new_appendable_file(f"{root}/log")
+        handle.append(b"second")
+        handle.close()
+        assert fs.read_file(f"{root}/log") == b"first|second"
+
+    def test_appendable_size_seeded_from_existing(self, env):
+        """Regression: OsEnv's appendable handle reported size 0 for a
+        non-empty file, so WAL block-offset accounting restarted from a
+        block boundary it wasn't at."""
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/log")
+        handle.append(b"x" * 100)
+        handle.close()
+        handle = fs.new_appendable_file(f"{root}/log")
+        assert handle.size == 100
+        handle.append(b"y" * 7)
+        assert handle.size == 107
+        handle.close()
+
+    def test_appendable_missing_file_starts_empty(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_appendable_file(f"{root}/fresh")
+        assert handle.size == 0
+        handle.append(b"ab")
+        handle.close()
+        assert fs.read_file(f"{root}/fresh") == b"ab"
+
+
+class TestSync:
+    def test_sync_flushes_and_persists(self, env):
+        fs, root = env
+        fs.create_dir(root)
+        handle = fs.new_writable_file(f"{root}/f")
+        handle.append(b"durable")
+        handle.sync()
+        assert fs.read_file(f"{root}/f") == b"durable"
+        handle.close()
+
+    def test_memenv_counts_syncs(self):
+        fs = MemEnv()
+        handle = fs.new_writable_file("f")
+        handle.append(b"x")
+        handle.sync()
+        handle.sync()
+        assert handle.sync_count == 2
+        handle.close()
+
+
+class TestJournalAppendPath:
+    def test_reopened_db_appends_journal_segment(self, env):
+        """Regression (journal path): reopening a DB must append a new
+        ``journal_open`` segment to EVENTS.jsonl, not clobber or corrupt
+        the first one — exercises the appendable-file size fix on OsEnv."""
+        from repro.lsm import LsmDB, Options
+
+        fs, root = env
+        options = Options(event_journal=True, bloom_bits_per_key=0)
+        db = LsmDB(f"{root}/jdb", options, env=fs)
+        db.put(b"k", b"v")
+        db.close()
+        db = LsmDB(f"{root}/jdb", options, env=fs)
+        assert db.journal_segments() == 2
+        assert db.get(b"k") == b"v"
+        db.close()
+
+
 class TestMemEnvSpecifics:
     def test_append_after_close_raises(self):
         fs = MemEnv()

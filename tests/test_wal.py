@@ -84,6 +84,49 @@ class TestRecovery:
             list(LogReader(frame, strict=True))
 
 
+class TestAppendSeeding:
+    """Regression: a LogWriter opened on a non-empty log assumed it was
+    at a block boundary (``_block_offset = 0``), so records appended
+    near a real block tail produced misaligned fragments that replay
+    dropped or mis-framed."""
+
+    @pytest.mark.parametrize(
+        "first_len",
+        [1, 100, BLOCK_SIZE - HEADER_SIZE - 3, BLOCK_SIZE - HEADER_SIZE,
+         BLOCK_SIZE, BLOCK_SIZE * 2 + 7],
+    )
+    def test_append_to_existing_log_replays_all(self, first_len):
+        env = MemEnv()
+        dest = env.new_writable_file("log")
+        first = b"a" * first_len
+        LogWriter(dest).add_record(first)
+        dest.close()
+
+        dest = env.new_appendable_file("log")
+        writer = LogWriter(dest)
+        appended = [b"b" * 10, b"c" * (BLOCK_SIZE + 5), b"d"]
+        for record in appended:
+            writer.add_record(record)
+        dest.close()
+
+        assert list(LogReader(env.read_file("log"))) == [first] + appended
+
+    def test_block_offset_seeded_from_dest_size(self):
+        env = MemEnv()
+        dest = env.new_writable_file("log")
+        dest.append(b"x" * (BLOCK_SIZE + 123))
+        writer = LogWriter(dest)
+        assert writer._block_offset == 123
+
+    def test_sync_reaches_destination(self):
+        env = MemEnv()
+        dest = env.new_writable_file("log")
+        writer = LogWriter(dest)
+        writer.add_record(b"r")
+        writer.sync()
+        assert dest.sync_count == 1
+
+
 class TestBatchedWrites:
     def test_interleaved_sizes(self):
         records = [bytes([i % 256]) * (i * 97 % 5000) for i in range(1, 80)]
