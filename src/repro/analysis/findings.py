@@ -1,0 +1,129 @@
+"""Finding model + waiver parsing shared by every static pass.
+
+A finding is one rule violation at one source location.  Waivers are
+inline comments of the form::
+
+    some_call()  # lint: waive[LD003] fsync cost is the sync-mode contract
+
+A waiver applies to findings of that rule on the same line.  In strict
+mode a waiver without a reason is itself an error.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Finding",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "extract_comments",
+    "parse_waivers",
+    "apply_waivers",
+    "render_text",
+    "to_json",
+]
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+_WAIVE_RE = re.compile(r"#\s*lint:\s*waive\[([A-Z]{2}\d{3})\]\s*(.*)")
+
+
+@dataclass
+class Finding:
+    rule: str           # "LD001", "CT002", ...
+    slug: str           # "unguarded-locked-call"
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = SEVERITY_ERROR
+    waived: bool = False
+    waive_reason: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+
+@dataclass
+class Waiver:
+    rule: str
+    line: int
+    reason: str
+    used: bool = False
+
+
+def extract_comments(source: str) -> Dict[int, List[str]]:
+    """line number -> comment strings on that line.  Tokenize-based so
+    ``#`` inside string literals never parses as a comment."""
+    comments: Dict[int, List[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments.setdefault(tok.start[0], []).append(tok.string)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_waivers(comments: Dict[int, List[str]]) -> List[Waiver]:
+    waivers: List[Waiver] = []
+    for line, texts in comments.items():
+        for text in texts:
+            match = _WAIVE_RE.search(text)
+            if match:
+                waivers.append(Waiver(rule=match.group(1), line=line,
+                                      reason=match.group(2).strip()))
+    return waivers
+
+
+def apply_waivers(findings: Iterable[Finding],
+                  waivers: List[Waiver]) -> List[Finding]:
+    """Mark findings matched by a same-line same-rule waiver."""
+    by_key: Dict[Tuple[str, int], Waiver] = {
+        (w.rule, w.line): w for w in waivers}
+    out = []
+    for finding in findings:
+        waiver = by_key.get((finding.rule, finding.line))
+        if waiver is not None:
+            finding.waived = True
+            finding.waive_reason = waiver.reason
+            waiver.used = True
+        out.append(finding)
+    return out
+
+
+def render_text(findings: List[Finding]) -> str:
+    lines = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        tag = f.severity
+        if f.waived:
+            tag = f"waived ({f.waive_reason})" if f.waive_reason else "waived"
+        lines.append(f"{f.location()}: {f.rule} [{tag}] {f.message}")
+    return "\n".join(lines)
+
+
+def to_json(findings: List[Finding]) -> str:
+    payload = [
+        {
+            "rule": f.rule,
+            "slug": f.slug,
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "severity": f.severity,
+            "message": f.message,
+            "waived": f.waived,
+            "waive_reason": f.waive_reason,
+        }
+        for f in sorted(findings,
+                        key=lambda f: (f.path, f.line, f.col, f.rule))
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

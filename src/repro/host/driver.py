@@ -23,7 +23,7 @@ Scheduling protocol (all shared state is guarded by the DB mutex):
   ``LsmDB.run_compaction``), notify throttled writers, and re-kick.
 
 Failures never reach a writer as an exception from ``put``: a worker
-records the first error via ``LsmDB._set_background_error`` and the
+records the first error via ``LsmDB._set_background_error_locked`` and the
 write path surfaces it as :class:`~repro.errors.DBStateError`.  Device
 faults normally never get that far — the scheduler's retry/fallback
 absorbs them (see :mod:`repro.host.scheduler`).
@@ -35,6 +35,7 @@ import queue
 import threading
 import time
 
+from repro.analysis import watchdog as lockwatch
 from repro.lsm.options import L0_STOP_TRIGGER
 from repro.lsm.version import CompactionSpec
 from repro.obs.names import DriverMetrics
@@ -62,7 +63,7 @@ class CompactionDriver:
         self._busy: set[int] = set()
         #: Lazily created pool for sub-compaction partitions.
         self._partition_pool = None
-        self._pool_lock = threading.Lock()
+        self._pool_lock = lockwatch.make_lock("driver.pool")
         self._m = DriverMetrics(db.metrics,
                                 inst=db.metrics.instance_label())
         self._threads = [
@@ -136,7 +137,7 @@ class CompactionDriver:
                     db._background_flush()
             except Exception as error:  # noqa: BLE001 — reported, not lost
                 with db._mutex:
-                    db._set_background_error(error)
+                    db._set_background_error_locked(error)
             finally:
                 self._flush_q.task_done()
                 with db._mutex:
@@ -155,7 +156,7 @@ class CompactionDriver:
                     self._run_one(None if level == _ANY_LEVEL else level)
             except Exception as error:  # noqa: BLE001 — reported, not lost
                 with db._mutex:
-                    db._set_background_error(error)
+                    db._set_background_error_locked(error)
             finally:
                 self._tasks.task_done()
                 with db._mutex:

@@ -35,7 +35,6 @@ from repro.lsm.sstable import (
 )
 from repro.util.coding import encode_fixed32
 from repro.util.crc32c import crc32c, mask_crc
-from repro.util.varint import decode_varint64
 
 
 @dataclass(frozen=True)

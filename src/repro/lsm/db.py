@@ -29,12 +29,12 @@ materialized memtable contents when a driver is live) before iterating.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from itertools import islice
 from typing import Callable, Iterator, Optional
 
+from repro.analysis import watchdog as lockwatch
 from repro.errors import DBStateError, NotFoundError
 from repro.lsm.batch import WriteBatch
 from repro.lsm.cache import LRUCache
@@ -51,7 +51,6 @@ from repro.lsm.filenames import (
     manifest_file_name,
     parse_log_number,
     parse_manifest_number,
-    parse_table_number,
     table_file_name,
 )
 from repro.lsm.internal import (
@@ -286,22 +285,23 @@ class LsmDB:
         self.stats = DbStats(self._m)
         #: Re-entrant so the synchronous mode's inline maintenance can
         #: nest public calls; the background workers never re-enter.
-        self._mutex = threading.RLock()
-        self._cond = threading.Condition(self._mutex)
+        #: Instrumented by the lock watchdog when REPRO_LOCK_WATCHDOG=1.
+        self._mutex = lockwatch.make_rlock("lsm.mutex")
+        self._cond = lockwatch.make_condition(self._mutex)
         #: Group-commit writer queue (``wal_sync="group"``): front is
         #: the leader, the rest wait on ``_writers_cond``.
-        self._writers: deque[_Writer] = deque()
-        self._writers_cond = threading.Condition(self._mutex)
+        self._writers: deque[_Writer] = deque()  # guarded_by: _mutex
+        self._writers_cond = lockwatch.make_condition(self._mutex)
         #: True while the leader runs WAL I/O outside the mutex; log
         #: rotation must wait for it (the segment being synced would
         #: otherwise be closed mid-fsync).
-        self._wal_writing = False
+        self._wal_writing = False  # guarded_by: _mutex
         self._last_wal_sync = time.monotonic()
         #: Live snapshot sequences → refcount (satellite: snapshot
         #: registry; compaction consults ``min``).
-        self._snapshots: dict[int, int] = {}
+        self._snapshots: dict[int, int] = {}  # guarded_by: _mutex
         #: First unrecoverable background failure; surfaced to writers.
-        self._bg_error: Optional[BaseException] = None
+        self._bg_error: Optional[BaseException] = None  # guarded_by: _mutex
         #: Per-write sleep applied once when L0 crosses the slowdown
         #: trigger (LevelDB uses 1ms; kept short for tests).
         self.slowdown_sleep_seconds = 0.001
@@ -322,6 +322,10 @@ class LsmDB:
             else:
                 events = TeeJournal(self._own_journal, installed)
         self.events = resolve_events(events)
+        if lockwatch.enabled():
+            # Route lock-cycle / long-hold reports into this DB's
+            # journal (last opened DB wins; diagnostics, not state).
+            lockwatch.get().attach_journal(self.events)
 
         #: SLO engine (None unless Options.slo_specs is non-empty);
         #: scores get/put/write latencies per tenant and emits
@@ -346,8 +350,9 @@ class LsmDB:
         self._last_stall_trace = None
         self._opened_monotonic = time.monotonic()
 
-        self._recover()
-        self._new_log()
+        with self._mutex:
+            self._recover_locked()
+            self._new_log_locked()
 
         self._driver = None
         if background_compaction:
@@ -358,14 +363,14 @@ class LsmDB:
     # Recovery & manifest
     # ------------------------------------------------------------------
 
-    def _recover(self) -> None:
+    def _recover_locked(self) -> None:
         current = current_file_name(self.dbname)
         if self.env.file_exists(current):
             manifest_name = self.env.read_file(current).decode().strip()
-            self._replay_manifest(manifest_name)
-        self._replay_logs()
+            self._replay_manifest_locked(manifest_name)
+        self._replay_logs_locked()
 
-    def _replay_manifest(self, manifest_name: str) -> None:
+    def _replay_manifest_locked(self, manifest_name: str) -> None:
         data = self.env.read_file(manifest_name)
         snapshot: Optional[bytes] = None
         for record in LogReader(data):
@@ -393,9 +398,9 @@ class LsmDB:
         self.versions.reuse_file_number(next_file - 1)
         for level in range(NUM_LEVELS):
             for meta in self.versions.current.files[level]:
-                self._open_reader(meta)
+                self._open_reader_locked(meta)
 
-    def _replay_logs(self) -> None:
+    def _replay_logs_locked(self) -> None:
         log_numbers = sorted(
             number for name in self.env.list_dir(self.dbname)
             if (number := parse_log_number(name)) is not None)
@@ -409,11 +414,11 @@ class LsmDB:
             self.versions.reuse_file_number(number)
             if (self._mem.approximate_memory_usage
                     >= self.options.write_buffer_size):
-                self._flush_memtable()
+                self._flush_memtable_locked()
         if len(self._mem):
             # Like LevelDB's RecoverLogFile: recovered writes go straight
             # to a level-0 table so retiring the old WAL cannot lose them.
-            self._flush_memtable()
+            self._flush_memtable_locked()
         for number in log_numbers:
             if self.env.file_exists(log_file_name(self.dbname, number)):
                 self.env.delete_file(log_file_name(self.dbname, number))
@@ -455,7 +460,7 @@ class LsmDB:
             if number is not None and number != manifest_number:
                 self.env.delete_file(f"{self.dbname}/{name}")
 
-    def _new_log(self) -> None:
+    def _new_log_locked(self) -> None:
         # Never retire a segment a group-commit leader is still syncing
         # (the leader runs WAL I/O outside the mutex).
         while self._wal_writing:
@@ -580,13 +585,13 @@ class LsmDB:
         """The DB's :class:`repro.obs.slo.SloEngine`, or None."""
         return self._slo
 
-    def _check_bg_error(self) -> None:
+    def _check_bg_error_locked(self) -> None:
         if self._bg_error is not None:
             raise DBStateError(
                 f"background maintenance failed: {self._bg_error!r}"
             ) from self._bg_error
 
-    def _set_background_error(self, error: BaseException) -> None:
+    def _set_background_error_locked(self, error: BaseException) -> None:
         """Record the first background failure (mutex held) and wake any
         throttled writers so they surface it instead of hanging."""
         if self._bg_error is None:
@@ -614,8 +619,8 @@ class LsmDB:
     def _write_locked(self, batch: WriteBatch) -> None:
         """The non-group commit path (mutex held)."""
         if self._driver is not None:
-            self._check_bg_error()
-            self._make_room_for_write()
+            self._check_bg_error_locked()
+            self._make_room_for_write_locked()
         sequence = self.versions.last_sequence + 1
         self._c["writes"].inc(len(batch))
         self._c["write_bytes"].inc(batch.byte_size())
@@ -633,7 +638,7 @@ class LsmDB:
                 # driver's queue and worker threads.
                 self._driver.kick(ctx=self.tracer.mint_context())
         elif self.auto_compact:
-            self._maybe_maintain()
+            self._maybe_maintain_locked()
 
     def _persist_wal_locked(self) -> None:
         """Push the just-appended WAL record to this mode's durability
@@ -678,8 +683,8 @@ class LsmDB:
             # This thread leads the commit.
             if self._driver is not None:
                 try:
-                    self._check_bg_error()
-                    self._make_room_for_write()
+                    self._check_bg_error_locked()
+                    self._make_room_for_write_locked()
                 except BaseException as exc:
                     self._finish_group_locked([writer], exc)
                     raise
@@ -747,7 +752,7 @@ class LsmDB:
             member.done = True
         self._writers_cond.notify_all()
 
-    def _make_room_for_write(self) -> None:
+    def _make_room_for_write_locked(self) -> None:
         """LevelDB's ``MakeRoomForWrite``: real throttling for the
         background mode (mutex held).
 
@@ -760,7 +765,7 @@ class LsmDB:
         """
         allow_delay = True
         while True:
-            self._check_bg_error()
+            self._check_bg_error_locked()
             mem_full = (self._mem.approximate_memory_usage
                         >= self.options.write_buffer_size)
             l0_files = self.versions.current.num_files(0)
@@ -772,12 +777,12 @@ class LsmDB:
                     continue
                 return
             if self._imm is not None:
-                self._stall_until(
+                self._stall_until_locked(
                     lambda: self._imm is None,
                     kick=self._driver.kick_flush, reason="imm_full")
                 continue
             if l0_files >= L0_STOP_TRIGGER:
-                self._stall_until(
+                self._stall_until_locked(
                     lambda: (self.versions.current.num_files(0)
                              < L0_STOP_TRIGGER),
                     kick=lambda ctx=None: self._driver.kick(level=0,
@@ -787,7 +792,7 @@ class LsmDB:
             self._swap_memtable_locked()
             return
 
-    def _stall_until(self, predicate, kick, reason: str) -> None:
+    def _stall_until_locked(self, predicate, kick, reason: str) -> None:
         """Block the writer until ``predicate`` holds (mutex held); the
         whole episode is one stall observation.
 
@@ -818,7 +823,7 @@ class LsmDB:
                          seconds=waited, **trace_fields)
         if ctx is not None:
             self._last_stall_trace = ctx.trace_id
-        self._check_bg_error()
+        self._check_bg_error_locked()
 
     def _swap_memtable_locked(self) -> None:
         """Make the active memtable immutable, rotate the WAL, and queue
@@ -827,10 +832,10 @@ class LsmDB:
         self._mem = MemTable(self.icmp)
         # New writes land in a fresh log; the old segment is retired only
         # after the immutable memtable reaches level 0.
-        self._new_log()
+        self._new_log_locked()
         self._driver.kick_flush(ctx=self.tracer.mint_context())
 
-    def _maybe_maintain(self) -> None:
+    def _maybe_maintain_locked(self) -> None:
         """Inline maintenance for the synchronous mode.  Every episode
         that does work blocks the foreground write, so its duration feeds
         the same stall histogram the background mode's waits do — that is
@@ -852,7 +857,7 @@ class LsmDB:
                         break
                     self.run_compaction(spec)
                 did_work = True
-            self._flush_memtable()
+            self._flush_memtable_locked()
             did_work = True
         while self.versions.needs_compaction():
             if not self.compact_once():
@@ -873,38 +878,38 @@ class LsmDB:
                     while self._imm is not None and self._bg_error is None:
                         self._driver.kick_flush()
                         self._cond.wait(timeout=0.05)
-                    self._check_bg_error()
+                    self._check_bg_error_locked()
                     if len(self._mem):
                         self._swap_memtable_locked()
                 while self._imm is not None and self._bg_error is None:
                     self._driver.kick_flush()
                     self._cond.wait(timeout=0.05)
-                self._check_bg_error()
+                self._check_bg_error_locked()
                 return
             if len(self._mem):
-                self._flush_memtable()
+                self._flush_memtable_locked()
 
-    def _flush_memtable(self) -> None:
+    def _flush_memtable_locked(self) -> None:
         if not len(self._mem):
             return
         with self.tracer.span("flush", db=self.dbname) as span:
             self._imm = self._mem
             self._mem = MemTable(self.icmp)
             try:
-                self._build_imm_table(span)
+                self._build_imm_table_locked(span)
             except BaseException:
-                self._restore_imm_after_failed_flush()
+                self._restore_imm_after_failed_flush_locked()
                 raise
             self._imm = None
             self._write_manifest()
             if self._log is not None:
                 # No active WAL during recovery replay: rotating there
                 # would retire segments that have not been replayed yet.
-                self._new_log()
+                self._new_log_locked()
                 self._retire_old_logs()
-            self._refresh_level_gauges()
+            self._refresh_level_gauges_locked()
 
-    def _build_imm_table(self, span) -> None:
+    def _build_imm_table_locked(self, span) -> None:
         """Dump ``_imm`` to a level-0 table and install it in the version
         set.  On failure the partial table file is removed and the caller
         restores the memtable."""
@@ -928,7 +933,7 @@ class LsmDB:
             edit = VersionEdit()
             edit.add_file(0, meta)
             self.versions.apply(edit)
-            self._open_reader(meta)
+            self._open_reader_locked(meta)
         except BaseException:
             if self.env.file_exists(name):
                 self.env.delete_file(name)
@@ -944,7 +949,7 @@ class LsmDB:
             write_bytes=int(self._c["write_bytes"].value),
             **trace_fields)
 
-    def _restore_imm_after_failed_flush(self) -> None:
+    def _restore_imm_after_failed_flush_locked(self) -> None:
         """A failed flush must not strand writes: fold whatever reached
         the fresh active memtable back on top of the immutable one and
         reinstate it as ``_mem``, so every committed write stays readable
@@ -972,7 +977,7 @@ class LsmDB:
     # Compaction
     # ------------------------------------------------------------------
 
-    def _open_reader(self, meta: FileMetaData) -> TableReader:
+    def _open_reader_locked(self, meta: FileMetaData) -> TableReader:
         if meta.number not in self._readers:
             data = self.env.read_file(table_file_name(self.dbname, meta.number))
             self._readers[meta.number] = TableReader(
@@ -1060,8 +1065,8 @@ class LsmDB:
             input_bytes=spec.total_input_bytes, **trace_fields)
         start = time.perf_counter()
         with self._mutex:
-            input_tables = [self._open_reader(m) for m in spec.inputs]
-            parent_tables = [self._open_reader(m) for m in spec.parents]
+            input_tables = [self._open_reader_locked(m) for m in spec.inputs]
+            parent_tables = [self._open_reader_locked(m) for m in spec.parents]
             if spec.level == 0:
                 # Newest-first so the merge meets newer versions first
                 # (the internal-key order already guarantees it; this
@@ -1070,7 +1075,7 @@ class LsmDB:
                                key=lambda p: p[0].number, reverse=True)
                 input_tables = [t for _, t in pairs]
             drop = self.versions.is_bottommost_level_for(spec)
-            smallest_snapshot = self._smallest_live_snapshot()
+            smallest_snapshot = self._smallest_live_snapshot_locked()
 
         if smallest_snapshot is not None:
             # Live snapshots: route to the snapshot-preserving CPU merge
@@ -1084,6 +1089,34 @@ class LsmDB:
         else:
             outputs = self._executor(spec, input_tables, parent_tables, drop)
             backend = self._executor_backend()
+
+        # Write and durably close the output tables *before* taking the
+        # mutex: fsyncing N tables under the DB lock would stall every
+        # writer for the whole disk flush (the exact bug class the
+        # lock-discipline lint's LD003/LD004 rules exist to catch — the
+        # analyzer found this running under the mutex).  Nothing
+        # references the new file numbers until the version edit below
+        # installs them, so only the number allocation needs the lock.
+        new_metas: list[FileMetaData] = []
+        try:
+            for output in outputs:
+                with self._mutex:
+                    number = self.versions.new_file_number()
+                name = table_file_name(self.dbname, number)
+                dest = self.env.new_writable_file(name)
+                dest.append(output.data)
+                self._durable_close(dest)
+                new_metas.append(FileMetaData(
+                    number, len(output.data),
+                    output.smallest, output.largest))
+        except BaseException:
+            # Uninstalled outputs are garbage: remove what was written
+            # so a failed compaction leaves no orphan tables behind.
+            for meta in new_metas:
+                name = table_file_name(self.dbname, meta.number)
+                if self.env.file_exists(name):
+                    self.env.delete_file(name)
+            raise
 
         with self._mutex:
             output_bytes = sum(len(o.data) for o in outputs)
@@ -1111,26 +1144,17 @@ class LsmDB:
                     edit.delete_file(spec.level, meta.number)
                 for meta in spec.parents:
                     edit.delete_file(spec.output_level, meta.number)
-                new_metas: list[FileMetaData] = []
-                for output in outputs:
-                    number = self.versions.new_file_number()
-                    name = table_file_name(self.dbname, number)
-                    dest = self.env.new_writable_file(name)
-                    dest.append(output.data)
-                    self._durable_close(dest)
-                    meta = FileMetaData(number, len(output.data),
-                                        output.smallest, output.largest)
+                for meta in new_metas:
                     edit.add_file(spec.output_level, meta)
-                    new_metas.append(meta)
                 self.versions.apply(edit)
                 for meta in new_metas:
-                    self._open_reader(meta)
+                    self._open_reader_locked(meta)
                 for old in spec.inputs + spec.parents:
                     self._readers.pop(old.number, None)
                     self.env.delete_file(
                         table_file_name(self.dbname, old.number))
                 self._write_manifest()
-            self._refresh_level_gauges()
+            self._refresh_level_gauges_locked()
             self._cond.notify_all()
         return new_metas
 
@@ -1185,7 +1209,7 @@ class LsmDB:
                 edit = VersionEdit()
                 edit.add_file(0, meta)
                 self.versions.apply(edit)
-                self._open_reader(meta)
+                self._open_reader_locked(meta)
                 self._c["flushes"].inc()
                 self._c["flush_bytes"].inc(stats.file_bytes)
                 self._m.add_level_write(0, stats.file_bytes)
@@ -1199,7 +1223,7 @@ class LsmDB:
                 self._imm = None
                 self._write_manifest()
                 self._retire_old_logs()
-                self._refresh_level_gauges()
+                self._refresh_level_gauges_locked()
                 self._cond.notify_all()
         if self.versions.needs_compaction():
             # Still inside the flush's activated context: the compaction
@@ -1220,7 +1244,7 @@ class LsmDB:
                         break
                     self._driver.kick(ctx=self.tracer.mint_context())
                     self._cond.wait(timeout=0.05)
-                self._check_bg_error()
+                self._check_bg_error_locked()
             return
         while self.versions.needs_compaction():
             if not self.compact_once():
@@ -1262,7 +1286,7 @@ class LsmDB:
                 self._snapshots[snapshot.sequence] = count - 1
             self._m.snapshots_live.set(sum(self._snapshots.values()))
 
-    def _smallest_live_snapshot(self) -> Optional[int]:
+    def _smallest_live_snapshot_locked(self) -> Optional[int]:
         """Sequence of the oldest live snapshot (mutex held), or None."""
         return min(self._snapshots) if self._snapshots else None
 
@@ -1280,7 +1304,7 @@ class LsmDB:
             sequence = (snapshot.sequence if snapshot is not None
                         else self.versions.last_sequence)
             try:
-                return self._get_at(key, sequence)
+                return self._get_at_locked(key, sequence)
             finally:
                 if self._op_obs:
                     # NotFoundError is a successful lookup of an absent
@@ -1288,7 +1312,7 @@ class LsmDB:
                     self._observe_op("get",
                                      time.perf_counter() - start, tenant)
 
-    def _get_at(self, key: bytes, snapshot: int) -> bytes:
+    def _get_at_locked(self, key: bytes, snapshot: int) -> bytes:
         self._c["reads"].inc()
         try:
             value = self._mem.get(key, snapshot)
@@ -1307,7 +1331,7 @@ class LsmDB:
                 return value
         lookup = encode_internal_key(key, snapshot, 0x1)
         for _level, meta in self.versions.current.files_for_key(key):
-            reader = self._open_reader(meta)
+            reader = self._open_reader_locked(meta)
             if not reader.key_may_match(key):
                 continue
             entry = reader.get(lookup)
@@ -1368,7 +1392,7 @@ class LsmDB:
                 else:
                     ordered = files
                 for meta in ordered:
-                    reader = self._open_reader(meta)
+                    reader = self._open_reader_locked(meta)
                     if lookup is not None:
                         sources.append(reader.iter_from(lookup))
                     else:
@@ -1403,7 +1427,7 @@ class LsmDB:
             return [self.versions.current.level_bytes(level)
                     for level in range(NUM_LEVELS)]
 
-    def _refresh_level_gauges(self) -> None:
+    def _refresh_level_gauges_locked(self) -> None:
         """Publish per-level file counts, sizes and amplification gauges
         after shape changes (mutex held)."""
         for level in range(NUM_LEVELS):
@@ -1526,7 +1550,7 @@ class LsmDB:
             for level in range(NUM_LEVELS):
                 for meta in self.versions.current.files[level]:
                     if meta.number == number:
-                        return self._open_reader(meta)
+                        return self._open_reader_locked(meta)
         raise NotFoundError(f"table {number}")
 
     def close(self) -> None:

@@ -34,17 +34,19 @@ a latency violation back to the compaction/stall span that caused it
 from __future__ import annotations
 
 import json
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import IO, Optional
 
+from repro.analysis import watchdog as lockwatch
 from repro.errors import InvalidArgumentError
 
 #: Journal schema version stamped on every line.
 SCHEMA_VERSION = 1
 
-#: Every event type the journal accepts.
+#: Every event type the journal accepts.  Must stay equal to the
+#: schema table in ``tools/validate_events.py`` — the analyzer's CT004
+#: check enforces the equality in CI.
 EVENT_TYPES = frozenset({
     "journal_open",
     "flush_start", "flush_finish",
@@ -52,6 +54,8 @@ EVENT_TYPES = frozenset({
     "stall_start", "stall_finish",
     "fault", "retry", "fallback",
     "slo_alert", "exemplar",
+    # Lock watchdog reports (repro.analysis.watchdog).
+    "lock_cycle", "lock_long_hold",
 })
 
 #: ``start`` event type -> matching ``finish`` type.
@@ -87,7 +91,7 @@ class EventJournal:
     def __init__(self, sink_path: Optional[str] = None,
                  sink: Optional[IO[str]] = None, clock=None,
                  keep_events: bool = False):
-        self._lock = threading.Lock()
+        self._lock = lockwatch.make_lock("obs.journal")
         self._seq = 0
         self._last_ts = float("-inf")
         self._clock = clock if clock is not None else time.time

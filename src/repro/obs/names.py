@@ -142,6 +142,18 @@ FAMILIES: tuple[tuple, ...] = (
     ("slo_alerts_total", "counter",
      "Burn-rate alert transitions by slo/tenant/policy/state "
      "(firing|resolved).", None),
+    # -- Lock watchdog (repro.analysis.watchdog) ----------------------
+    ("lockwatch_acquires", "gauge",
+     "Instrumented lock acquisitions observed by the lock-order "
+     "watchdog.", None),
+    ("lockwatch_edges", "gauge",
+     "Distinct held->acquired edges in the watchdog's lock-order "
+     "graph.", None),
+    ("lockwatch_cycles", "gauge",
+     "Lock-order cycles detected (potential ABBA deadlocks); any "
+     "non-zero value is a bug.", None),
+    ("lockwatch_long_holds", "gauge",
+     "Lock holds exceeding the watchdog's long-hold threshold.", None),
     # -- Background compaction driver (paper Fig 6's task queue) ------
     ("driver_queue_depth", "gauge",
      "Compaction tasks queued for the driver's units.", None),

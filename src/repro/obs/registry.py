@@ -22,6 +22,7 @@ import threading
 from bisect import bisect_left
 from typing import Iterable, Optional, Sequence
 
+from repro.analysis import watchdog as lockwatch
 from repro.errors import InvalidArgumentError
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -224,16 +225,17 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
-        self._families: dict[str, MetricFamily] = {}
+        self._lock = lockwatch.make_rlock("obs.registry")
+        self._families: dict[str, MetricFamily] = {}  # guarded_by: _lock, reads
         self._instances = itertools.count()
 
     # ------------------------------------------------------------------
     # Family / child creation
     # ------------------------------------------------------------------
 
-    def _family(self, name: str, kind: str, help_text: str,
-                buckets: Optional[Sequence[float]] = None) -> MetricFamily:
+    def _family_locked(self, name: str, kind: str, help_text: str,
+                       buckets: Optional[Sequence[float]] = None
+                       ) -> MetricFamily:
         _check_name(name)
         family = self._families.get(name)
         if family is None:
@@ -250,7 +252,7 @@ class MetricsRegistry:
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         with self._lock:
-            family = self._family(name, "counter", help)
+            family = self._family_locked(name, "counter", help)
             key = _label_key(labels)
             child = family.children.get(key)
             if child is None:
@@ -260,7 +262,7 @@ class MetricsRegistry:
 
     def gauge(self, name: str, help: str = "", **labels) -> Gauge:
         with self._lock:
-            family = self._family(name, "gauge", help)
+            family = self._family_locked(name, "gauge", help)
             key = _label_key(labels)
             child = family.children.get(key)
             if child is None:
@@ -276,7 +278,7 @@ class MetricsRegistry:
         if callback is None:
             raise InvalidArgumentError("callback_gauge requires a callback")
         with self._lock:
-            family = self._family(name, "gauge", help)
+            family = self._family_locked(name, "gauge", help)
             key = _label_key(labels)
             child = family.children.get(key)
             if isinstance(child, CallbackGauge):
@@ -290,7 +292,7 @@ class MetricsRegistry:
                   buckets: Optional[Sequence[float]] = None,
                   **labels) -> Histogram:
         with self._lock:
-            family = self._family(name, "histogram", help,
+            family = self._family_locked(name, "histogram", help,
                                   buckets or SECONDS_BUCKETS)
             key = _label_key(labels)
             child = family.children.get(key)
@@ -306,7 +308,7 @@ class MetricsRegistry:
         if kind not in ("counter", "gauge", "histogram"):
             raise InvalidArgumentError(f"unknown metric kind {kind!r}")
         with self._lock:
-            self._family(name, kind, help, buckets)
+            self._family_locked(name, kind, help, buckets)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -324,22 +326,24 @@ class MetricsRegistry:
 
     def get_value(self, name: str, **labels) -> float:
         """Value of one counter/gauge child (0.0 when absent)."""
-        family = self._families.get(name)
-        if family is None:
-            return 0.0
-        child = family.children.get(_label_key(labels))
-        if child is None:
-            return 0.0
-        value = child.value  # type: ignore[union-attr]
-        return 0.0 if value is None else value
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            child = family.children.get(_label_key(labels))
+            if child is None:
+                return 0.0
+            value = child.value  # type: ignore[union-attr]
+            return 0.0 if value is None else value
 
     def sum_family(self, name: str) -> float:
         """Sum of all children of a counter/gauge family."""
-        family = self._families.get(name)
-        if family is None:
-            return 0.0
-        values = (child.value  # type: ignore[union-attr]
-                  for child in family.children.values())
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return 0.0
+            values = [child.value  # type: ignore[union-attr]
+                      for child in family.children.values()]
         return sum(v for v in values if v is not None)
 
     def snapshot(self) -> dict:

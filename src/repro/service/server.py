@@ -26,6 +26,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
+from repro.analysis import watchdog as lockwatch
 from repro.errors import InvalidArgumentError, NotFoundError, ReproError
 from repro.lsm import LsmDB, Options, WriteBatch
 from repro.lsm.env import Env, OsEnv
@@ -42,7 +43,7 @@ class ShardGate:
         self._db = db
         self.stall_threshold = stall_threshold
         self.window_seconds = window_seconds
-        self._lock = threading.Lock()
+        self._lock = lockwatch.make_lock("service.gate")
         self._last_time = time.monotonic()
         self._last_stalled = db._m.stall_seconds.sum
         self._busy = False
@@ -142,12 +143,15 @@ class KVService:
                 "stall_seconds": db._m.stall_seconds.sum,
                 "busy_rejections": self.gates[i].rejections,
             })
-        return {
+        out = {
             "root": self.root,
             "num_shards": len(self.shards),
             "wal_sync": self.options.wal_sync,
             "shards": shards,
         }
+        if lockwatch.enabled():
+            out["lockwatch"] = lockwatch.get().report()
+        return out
 
     def close(self) -> None:
         if self._closed:
@@ -238,7 +242,7 @@ class KVServer:
         self._accept_thread: Optional[threading.Thread] = None
         self._running = threading.Event()
         self._conns: set[socket.socket] = set()
-        self._conns_lock = threading.Lock()
+        self._conns_lock = lockwatch.make_lock("service.conns")
 
     def start(self) -> None:
         self._running.set()

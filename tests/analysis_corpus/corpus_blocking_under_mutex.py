@@ -1,0 +1,20 @@
+"""LD003: a blocking call made while holding a mutex."""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._budget = 0  # guarded_by: _mutex
+
+    def refill_broken(self):
+        with self._mutex:
+            time.sleep(0.01)  # VIOLATION LD003
+            self._budget += 1
+
+    def refill_ok(self):
+        time.sleep(0.01)
+        with self._mutex:
+            self._budget += 1

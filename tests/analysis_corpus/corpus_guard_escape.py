@@ -1,0 +1,16 @@
+"""LD002: mutating a guarded attribute without holding its mutex."""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._pending = []  # guarded_by: _mutex
+
+    def push_ok(self, item):
+        with self._mutex:
+            self._pending.append(item)
+
+    def push_broken(self, item):
+        self._pending.append(item)  # VIOLATION LD002

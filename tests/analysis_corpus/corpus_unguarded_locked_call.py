@@ -1,0 +1,19 @@
+"""LD001: a ``*_locked`` method called without holding the mutex."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._items = []
+
+    def _append_locked(self, item):
+        self._items.append(item)
+
+    def add_ok(self, item):
+        with self._mutex:
+            self._append_locked(item)
+
+    def add_broken(self, item):
+        self._append_locked(item)  # VIOLATION LD001

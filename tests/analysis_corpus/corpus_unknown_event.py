@@ -1,0 +1,6 @@
+"""CT002: a journal event type unknown to the validator schema."""
+
+
+def record(journal):
+    journal.emit("flush_start", level=0)
+    journal.emit("flush_strat", level=0)  # VIOLATION CT002

@@ -1,0 +1,6 @@
+"""CT001: a metric name missing from repro.obs.names.FAMILIES."""
+
+
+def publish(registry):
+    registry.counter("lsm_writes_total").inc()
+    registry.counter("lsm_wirtes_total").inc()  # VIOLATION CT001

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro.analysis import watchdog as lockwatch
 from repro.lsm.compaction import _BufferFile
 from repro.lsm.internal import (
     InternalKeyComparator,
@@ -15,6 +16,44 @@ from repro.lsm.internal import (
 )
 from repro.lsm.options import Options
 from repro.lsm.sstable import TableBuilder
+
+
+#: Concurrency-heavy modules where the lock-order watchdog rides along:
+#: every test in these files runs with instrumented locks, and teardown
+#: asserts the acquisition graph stayed acyclic.
+_WATCHDOG_MODULES = {
+    "test_driver",
+    "test_durability",
+    "test_obs_concurrency",
+    "test_service",
+}
+
+
+@pytest.fixture(autouse=True)
+def _lock_watchdog(request):
+    """Enable the runtime lock-order watchdog for concurrency tests.
+
+    The watchdog wrappers are created lazily (``lockwatch.make_lock``),
+    so enabling here instruments every DB/driver/server the test builds.
+    A detected lock-order cycle fails the test at teardown even if the
+    interleaving never actually deadlocked on this run.
+    """
+    module = request.node.module.__name__.rsplit(".", 1)[-1]
+    if module not in _WATCHDOG_MODULES:
+        yield
+        return
+    was_enabled = lockwatch.enabled()
+    lockwatch.enable()
+    lockwatch.reset()
+    try:
+        yield
+        cycles = lockwatch.get().cycles()
+        assert not cycles, (
+            f"lock-order cycles detected by watchdog: {cycles}")
+    finally:
+        lockwatch.reset()
+        if not was_enabled:
+            lockwatch.disable()
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ tombstones when asked".
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

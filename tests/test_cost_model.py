@@ -1,6 +1,5 @@
 """Analytic cost model: the paper's Tables II/III and §V-D1 predicate."""
 
-import pytest
 
 from repro.fpga.config import FpgaConfig
 from repro.fpga import cost_model as cm

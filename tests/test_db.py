@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.errors import DBStateError, NotFoundError
-from repro.lsm import LsmDB, Options, WriteBatch
+from repro.lsm import LsmDB, WriteBatch
 from repro.lsm.env import MemEnv
 from repro.lsm.options import NUM_LEVELS
 

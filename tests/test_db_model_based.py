@@ -5,7 +5,6 @@ reopens — with either the CPU or the FPGA compaction executor."""
 import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
-    Bundle,
     RuleBasedStateMachine,
     initialize,
     invariant,

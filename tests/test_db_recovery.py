@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import NotFoundError
-from repro.lsm import LsmDB, Options
+from repro.lsm import LsmDB
 from repro.lsm.env import MemEnv
 
 

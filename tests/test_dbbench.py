@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import InvalidArgumentError, NotFoundError
+from repro.errors import InvalidArgumentError
 from repro.lsm import LsmDB, Options
 from repro.lsm.env import MemEnv
 from repro.workloads.dbbench import DbBench, FillMode

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import FpgaResourceError
-from repro.fpga.config import CONFIG_2_INPUT, CONFIG_9_INPUT, FpgaConfig
+from repro.fpga.config import CONFIG_2_INPUT, CONFIG_9_INPUT
 from repro.fpga.engine import CompactionEngine
 from repro.lsm.compaction import compact
 from repro.lsm.internal import (
@@ -19,7 +19,7 @@ from repro.lsm.internal import (
 )
 from repro.util.comparator import BytewiseComparator
 
-from tests.conftest import build_table_image, make_entries
+from tests.conftest import build_table_image
 
 ICMP = InternalKeyComparator(BytewiseComparator())
 

@@ -13,7 +13,7 @@ from repro.fpga.config import CONFIG_2_INPUT
 from repro.fpga.decoder import SSTableLayout
 from repro.fpga.dram import Dram
 from repro.fpga.engine import CompactionEngine
-from repro.lsm import LsmDB, Options
+from repro.lsm import LsmDB
 from repro.lsm.env import MemEnv
 from repro.lsm.filenames import table_file_name
 from repro.lsm.internal import InternalKeyComparator

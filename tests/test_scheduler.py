@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import FpgaProtocolError, NotFoundError
+from repro.errors import FpgaProtocolError
 from repro.fpga.config import CONFIG_2_INPUT, CONFIG_9_INPUT
 from repro.host.device import FcaeDevice
 from repro.host.scheduler import CompactionScheduler

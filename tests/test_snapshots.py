@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DBStateError, NotFoundError
-from repro.lsm import LsmDB, Options
+from repro.lsm import LsmDB
 from repro.lsm.db import Snapshot
 from repro.lsm.env import MemEnv
 
@@ -105,14 +105,14 @@ class TestSnapshotRegistry:
         snap.close()
         assert snap.released
         snap.close()  # no-op
-        assert db._smallest_live_snapshot() is None
+        assert db._smallest_live_snapshot_locked() is None
 
     def test_context_manager_releases(self, db):
         db.put(b"k", b"v")
         with db.snapshot() as snap:
-            assert db._smallest_live_snapshot() == snap.sequence
+            assert db._smallest_live_snapshot_locked() == snap.sequence
         assert snap.released
-        assert db._smallest_live_snapshot() is None
+        assert db._smallest_live_snapshot_locked() is None
 
     def test_refcounted_same_sequence(self, db):
         db.put(b"k", b"v")
@@ -120,17 +120,17 @@ class TestSnapshotRegistry:
         second = db.snapshot()
         assert first.sequence == second.sequence
         first.close()
-        assert db._smallest_live_snapshot() == second.sequence
+        assert db._smallest_live_snapshot_locked() == second.sequence
         second.close()
-        assert db._smallest_live_snapshot() is None
+        assert db._smallest_live_snapshot_locked() is None
 
     def test_smallest_wins(self, db):
         old = db.snapshot()
         db.put(b"x", b"1")
         new = db.snapshot()
-        assert db._smallest_live_snapshot() == old.sequence
+        assert db._smallest_live_snapshot_locked() == old.sequence
         old.close()
-        assert db._smallest_live_snapshot() == new.sequence
+        assert db._smallest_live_snapshot_locked() == new.sequence
         new.close()
 
     def test_live_gauge(self, db):

@@ -2,7 +2,6 @@
 round-trip through build/read, under both compression modes, and point
 lookups always find exactly what iteration yields."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env python3
+"""Repo lint entry point: runs the concurrency-contract analyzer.
+
+Equivalent to ``PYTHONPATH=src python -m repro.analysis`` but runnable
+from a bare checkout::
+
+    python tools/lint.py --strict src/
+
+Exit code 0 means no unwaived error findings (warnings don't fail).
+"""
+
+import os
+import sys
+
+_REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -137,6 +137,20 @@ def main() -> int:
             for key, why in lost[:10]:
                 print(f"  {key.decode()}: {why}")
             return 1
+        # When the lock-order watchdog is on (REPRO_LOCK_WATCHDOG=1,
+        # inherited by the server process), the replay above re-ran
+        # recovery + group commit under instrumented locks: any ordering
+        # cycle the drill provoked shows up in the stats payload.
+        with KVClient("127.0.0.1", port2) as kv:
+            lockwatch = kv.stats().get("lockwatch")
+        if lockwatch is not None:
+            cycles = lockwatch.get("cycles", [])
+            if cycles:
+                print(f"FAIL: lock watchdog observed ordering cycles: "
+                      f"{cycles}")
+                return 1
+            print(f"lock watchdog: {sum(lockwatch['acquires'].values())} "
+                  f"acquires, {lockwatch['edges']} order edges, 0 cycles")
         print(f"OK: all {total_acked} acknowledged writes survived "
               f"kill -9")
         return 0

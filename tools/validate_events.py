@@ -37,35 +37,57 @@ import sys
 
 SCHEMA_VERSION = 1
 
-EVENT_TYPES = frozenset({
-    "journal_open",
-    "flush_start", "flush_finish",
-    "compaction_start", "compaction_finish",
-    "stall_start", "stall_finish",
-    "fault", "retry", "fallback",
-    "slo_alert", "exemplar",
-})
+#: The event-type schema table — single source of truth, imported by
+#: ``repro.analysis`` (CT002/CT004) so the analyzer and this validator
+#: can never drift apart.  Each entry::
+#:
+#:     type -> {"pairs_with": finish type or None,
+#:              "required": fields checked on every such event,
+#:              "strict_required": fields checked only under --strict}
+EVENT_SCHEMA = {
+    "journal_open": {},
+    "flush_start": {"pairs_with": "flush_finish"},
+    "flush_finish": {"required": ("bytes",)},
+    "compaction_start": {"pairs_with": "compaction_finish"},
+    "compaction_finish": {"required": ("level", "output_level",
+                                       "input_bytes", "output_bytes")},
+    "stall_start": {"pairs_with": "stall_finish"},
+    "stall_finish": {},
+    "fault": {},
+    "retry": {},
+    "fallback": {},
+    "slo_alert": {"strict_required": ("slo", "tenant", "policy", "state",
+                                      "burn_short", "burn_long")},
+    "exemplar": {"strict_required": ("slo", "tenant", "trace", "value")},
+    # Lock watchdog reports (repro.analysis.watchdog): a detected
+    # lock-order cycle and a long-hold outlier.
+    "lock_cycle": {"strict_required": ("locks", "closing_edge",
+                                       "thread")},
+    "lock_long_hold": {"strict_required": ("lock", "seconds", "thread")},
+}
+
+
+def event_schema() -> dict:
+    """Exported schema table for external consumers (the analyzer)."""
+    return {etype: dict(spec) for etype, spec in EVENT_SCHEMA.items()}
+
+
+EVENT_TYPES = frozenset(EVENT_SCHEMA)
 
 #: ``start`` event type -> matching ``finish`` type.
-PAIRED_TYPES = {
-    "flush_start": "flush_finish",
-    "compaction_start": "compaction_finish",
-    "stall_start": "stall_finish",
-}
+PAIRED_TYPES = {etype: spec["pairs_with"]
+                for etype, spec in EVENT_SCHEMA.items()
+                if spec.get("pairs_with")}
 
 #: Required payload fields per finish type.
-REQUIRED_FIELDS = {
-    "flush_finish": ("bytes",),
-    "compaction_finish": ("level", "output_level", "input_bytes",
-                          "output_bytes"),
-}
+REQUIRED_FIELDS = {etype: spec["required"]
+                   for etype, spec in EVENT_SCHEMA.items()
+                   if spec.get("required")}
 
 #: Extra payload requirements enforced only under ``--strict``.
-STRICT_REQUIRED_FIELDS = {
-    "slo_alert": ("slo", "tenant", "policy", "state",
-                  "burn_short", "burn_long"),
-    "exemplar": ("slo", "tenant", "trace", "value"),
-}
+STRICT_REQUIRED_FIELDS = {etype: spec["strict_required"]
+                          for etype, spec in EVENT_SCHEMA.items()
+                          if spec.get("strict_required")}
 
 
 def validate(events: list[dict], strict: bool = False) -> list[str]:
