@@ -8,6 +8,11 @@ against the committed *seed* (pre-optimization) baseline in
 * ``block_decode`` — >= 3x faster than seed (bulk zero-copy decode)
 * ``cpu_merge_4way`` — >= 1.5x faster than seed (whole-path effect)
 
+``batch_merge_4way`` is additionally gated *within the same run*: the
+vectorized batched merge must beat the streaming CPU merge on the same
+workload (skipped without numpy, where the batch engine degrades to the
+chunked pure-python fallback).
+
 Every other row only has to be *no slower* than seed (within noise).
 The baseline file is the contract: re-baselining means deliberately
 committing new numbers, not silently absorbing a regression.
@@ -37,6 +42,12 @@ SPEEDUP_FLOORS = {
 #: Ungated rows may be up to this much slower than seed before failing
 #: (wall-clock noise allowance on a shared CI box).
 NOISE_REL_TOL = 0.35
+
+#: Same-run floor: the vectorized batched merge vs the streaming CPU
+#: merge on the hotpath workload (~96 B values; the margin widens with
+#: value size — see BENCH_backends.json).  Measured ~1.5x; gated at
+#: 1.25x for shared-runner noise.
+BATCH_MERGE_MIN_SPEEDUP = 1.25
 
 #: The disabled flight-recorder's per-op residue (NullJournal call +
 #: windows-off guard) must stay below this fraction of the bare put/get
@@ -76,6 +87,20 @@ def test_speedup_floor(measured, bench, floor):
     assert speedup >= floor, (
         f"{bench}: {speedup:.2f}x over seed ({base[bench]}us -> "
         f"{run[bench]}us), floor is {floor}x")
+
+
+def test_batch_merge_beats_cpu_merge(measured):
+    from repro.host.batch_merge import BatchMergeEngine
+
+    if not BatchMergeEngine(hotpath.OPTIONS, hotpath.ICMP).vectorized:
+        pytest.skip("numpy absent: batch engine runs the pure-python "
+                    "fallback, the floor gates the vectorized path")
+    _, run = measured
+    ratio = run["cpu_merge_4way"] / run["batch_merge_4way"]
+    assert ratio >= BATCH_MERGE_MIN_SPEEDUP, (
+        f"batch_merge_4way only {ratio:.2f}x faster than cpu_merge_4way "
+        f"({run['cpu_merge_4way']}us vs {run['batch_merge_4way']}us), "
+        f"floor is {BATCH_MERGE_MIN_SPEEDUP}x")
 
 
 def test_obs_overhead_near_zero_when_disabled(measured):

@@ -41,6 +41,7 @@ import time
 from repro import obs
 from repro.bench import (
     ablation,
+    backends,
     driver,
     fsync,
     hotpath,
@@ -82,6 +83,7 @@ EXPERIMENTS = {
     "fig15d": fig15.run_d,
     "fig16": fig16.run,
     "ablation": ablation.run,
+    "backends": backends.run,
     "driver": driver.run,
     "fsync": fsync.run,
     "hotpath": hotpath.run,
@@ -95,7 +97,8 @@ EXPERIMENTS = {
 ALL_ORDER = ("table5", "fig9", "fig10", "table6", "fig11", "table7",
              "fig12", "fig13", "fig14", "table8", "fig15a", "fig15b",
              "fig15c", "fig15d", "fig16", "ablation", "near_storage", "tiered",
-             "write_pause", "slo", "driver", "fsync", "hotpath")
+             "write_pause", "slo", "driver", "fsync", "hotpath",
+             "backends")
 
 #: BENCH_*.json schema version understood by tools/check_regression.py.
 BENCH_SCHEMA = 1

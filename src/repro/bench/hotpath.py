@@ -30,6 +30,7 @@ from statistics import median
 
 from repro.bench.common import ExperimentResult, scaled, two_input_config
 from repro.fpga.engine import CompactionEngine, simulate_synthetic
+from repro.host.batch_merge import BatchMergeEngine
 from repro.lsm.block import Block, BlockBuilder
 from repro.lsm.compaction import _BufferFile, compact, table_sources
 from repro.lsm.db import LsmDB
@@ -208,6 +209,17 @@ def run(scale: float = 1.0) -> ExperimentResult:
         assert stats.input_pairs == 4 * n_merge
 
     _add(result, "cpu_merge_4way", merge_4way, merge_bytes,
+         repeat, warmup)
+
+    # -- the same merge through the batched (LUDA-style) engine --------
+    batch_engine = BatchMergeEngine(OPTIONS, ICMP)
+
+    def batch_4way():
+        stats = batch_engine.compact([[r] for r in merge_readers],
+                                     drop_deletions=True)
+        assert stats.input_pairs == 4 * n_merge
+
+    _add(result, "batch_merge_4way", batch_4way, merge_bytes,
          repeat, warmup)
 
     # -- pipeline timing simulator -------------------------------------

@@ -165,3 +165,87 @@ def serialized_speed_mbps(config: FpgaConfig, user_key_length: int,
     cycles = serialized_pair_cycles(config, key_length, value_length)
     pair_bytes = user_key_length + value_length + pair_overhead_bytes
     return pair_bytes / config.cycles_to_seconds(cycles) / 1e6
+
+
+# ---------------------------------------------------------------------
+# Backend wall-clock models (host-side routing)
+# ---------------------------------------------------------------------
+#
+# The analytic models above price the *modeled hardware*; routing between
+# host executors instead needs the wall time each backend will spend in
+# this process.  All three backends fit the same affine law
+#
+#     seconds = fixed + pairs * per_pair + bytes * per_byte
+#
+# because each is a fixed setup (iterator/array marshalling) plus
+# per-entry work (heap pops or array rows) plus per-byte work (copies,
+# CRCs, block encoding).  Constants are calibrated against the
+# ``bench backends`` sweep on the reference container; they only need to
+# rank backends correctly, not predict absolute times.
+
+
+@dataclass(frozen=True)
+class WallCostModel:
+    """Affine wall-clock estimate for one merge-compaction executor."""
+
+    fixed_seconds: float
+    per_pair_seconds: float
+    per_byte_seconds: float
+
+    def merge_seconds(self, input_bytes: int, num_pairs: int) -> float:
+        return (self.fixed_seconds
+                + num_pairs * self.per_pair_seconds
+                + input_bytes * self.per_byte_seconds)
+
+
+@dataclass(frozen=True)
+class BatchCostModel:
+    """Wall model of the LUDA-style batched merge (`repro.host.batch_merge`).
+
+    The vectorized path pays a fixed marshalling cost (array allocation,
+    lexsort setup) and then proceeds at a per-byte vectorized rate, with
+    a small per-row term for the residual Python block/builder loops.
+    The fallback constants describe the pure-Python chunked path used
+    when numpy is absent — slightly worse than the streaming CPU merge,
+    so cost-model routing never picks ``batch`` without numpy.
+    """
+
+    marshal_fixed_seconds: float = 2.5e-3
+    per_pair_seconds: float = 3.6e-6
+    per_byte_seconds: float = 12.0e-9
+    fallback_fixed_seconds: float = 0.5e-3
+    fallback_per_pair_seconds: float = 11.5e-6
+    fallback_per_byte_seconds: float = 26.0e-9
+
+    def merge_seconds(self, input_bytes: int, num_pairs: int,
+                      vectorized: bool = True) -> float:
+        if vectorized:
+            return (self.marshal_fixed_seconds
+                    + num_pairs * self.per_pair_seconds
+                    + input_bytes * self.per_byte_seconds)
+        return (self.fallback_fixed_seconds
+                + num_pairs * self.fallback_per_pair_seconds
+                + input_bytes * self.fallback_per_byte_seconds)
+
+
+#: Streaming CPU merge (`repro.lsm.compaction.compact`): heap pop, parse
+#: and builder add per pair, plus per-byte block/CRC work.
+CPU_WALL_MODEL = WallCostModel(fixed_seconds=0.3e-3,
+                               per_pair_seconds=10.7e-6,
+                               per_byte_seconds=19.0e-9)
+
+#: Pipeline-sim device (`repro.host.device.FcaeDevice`): the functional
+#: merge plus the behavioral timing pass and DMA/marshal bookkeeping.
+FPGA_SIM_WALL_MODEL = WallCostModel(fixed_seconds=2.0e-3,
+                                    per_pair_seconds=14.0e-6,
+                                    per_byte_seconds=22.0e-9)
+
+
+def estimate_pairs(input_bytes: int, user_key_length: int,
+                   value_length: int,
+                   pair_overhead_bytes: int = 3) -> int:
+    """Entries a compaction of ``input_bytes`` holds, from the workload's
+    configured key/value lengths (block headers ~3 bytes/entry)."""
+    pair_bytes = (internal_key_length(user_key_length) + value_length
+                  + pair_overhead_bytes)
+    return max(1, input_bytes // pair_bytes)

@@ -6,17 +6,30 @@
 * :mod:`repro.host.pcie` — PCIe gen3 x16 DMA transfer model.
 * :mod:`repro.host.device` — :class:`FcaeDevice`: marshal -> DMA ->
   kernel -> DMA -> install, with a per-phase timing breakdown.
-* :mod:`repro.host.scheduler` — the compaction-thread workflow of Fig 6:
-  offload merge compactions whose input count fits the engine's ``N``,
-  fall back to software otherwise (including on injected device faults,
-  after bounded retries), and account for the flush/kernel overlap the
-  co-design enables.
+* :mod:`repro.host.scheduler` — the compaction-thread workflow of Fig 6,
+  generalised to N accelerator backends: route each task to the forced
+  or argmin-cost backend, fall back to the CPU merge on injected device
+  faults after bounded retries, and account for the flush/kernel
+  overlap the co-design enables.
+* :mod:`repro.host.accelerator` — the :class:`AcceleratorBackend`
+  interface and the cpu / fpga-sim / batch registry.
+* :mod:`repro.host.batch_merge` — the LUDA-style vectorized batched
+  merge engine (decode-all, numpy merge order, bulk re-encode).
 * :mod:`repro.host.driver` — the asynchronous compaction driver: flush
   worker plus ``num_units`` unit workers behind a bounded task queue.
 * :mod:`repro.host.faults` — deterministic fault injection for the
   offload path.
 """
 
+from repro.host.accelerator import (
+    AcceleratorBackend,
+    BackendResult,
+    BatchBackend,
+    CpuBackend,
+    FpgaSimBackend,
+    make_backends,
+)
+from repro.host.batch_merge import BatchMergeEngine
 from repro.host.device import DeviceResult, FcaeDevice
 from repro.host.driver import CompactionDriver
 from repro.host.faults import FaultInjector
@@ -26,11 +39,18 @@ from repro.host.scheduler import CompactionScheduler, SchedulerStats
 from repro.host.splice import SplitTable, combine_regions, split_table_image
 
 __all__ = [
+    "AcceleratorBackend",
+    "BackendResult",
+    "BatchBackend",
+    "BatchMergeEngine",
     "CompactionDriver",
     "CompactionScheduler",
+    "CpuBackend",
     "DeviceResult",
     "FaultInjector",
     "FcaeDevice",
+    "FpgaSimBackend",
+    "make_backends",
     "NearStorageDevice",
     "NearStorageResult",
     "PcieModel",

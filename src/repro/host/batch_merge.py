@@ -1,0 +1,349 @@
+"""LUDA-style batched merge backend (the ``batch`` accelerator).
+
+Where the FPGA pipeline streams pairs through fixed-function decode /
+compare / encode stages, LUDA (arXiv 2004.03054) batches: decode *all*
+input entries into contiguous arrays, compute the merge order and the
+validity of every entry at once with data-parallel primitives, then bulk
+re-encode the survivors.  This module is that engine on numpy:
+
+1. **Bulk decode** — walk each input table's index block, checksum every
+   data block in one :func:`repro.util.crc32c.crc32c_many` call, and
+   materialize (internal key, value) lists per the normal block codec.
+2. **Vectorized merge** — pad the user keys into one ``(n, W)`` byte
+   matrix viewed as big-endian u64 columns; ``np.lexsort`` over (key
+   columns, key length, inverted trailer) yields exactly the internal-key
+   order.  Shadowed entries are consecutive rows with equal user keys;
+   tombstones are rows whose trailer type byte is ``TYPE_DELETION`` —
+   both reduce to boolean masks (LUDA's validity check).
+3. **Bulk encode** — replay the survivors through the standard
+   :class:`~repro.lsm.sstable.TableBuilder` cut rules with the block
+   trailer CRCs deferred, then batch-fill every CRC at the end (block
+   offsets never depend on checksum values).
+
+The output is byte-identical to :func:`repro.lsm.compaction.compact`
+over the same tables — the equality suite in ``tests/test_accelerator.py``
+holds this across compression, bloom filters and value sizes.
+
+Without numpy (the same optional-dependency idiom as
+``repro.util.crc32c``), or for workloads the vectorized path cannot
+express (non-bytewise comparators, snapshot-preserving merges), the
+engine degrades to a pure-Python *chunked* pipeline: blocks are decoded
+into bounded batches of ``Options.batch_merge_chunk`` entries per input
+stream and merged through the ordinary streaming validity check —
+byte-identical by construction, scalar speed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.lsm.block import Block
+from repro.lsm.compaction import (
+    CompactionStats,
+    OutputTable,
+    _BufferFile,
+    merge_entries,
+)
+from repro.lsm.internal import (
+    InternalKeyComparator,
+    MARK_FIELDS_SIZE,
+    TYPE_DELETION,
+)
+from repro.lsm.options import Options
+from repro.lsm.sstable import (
+    BLOCK_TRAILER_SIZE,
+    COMPRESSION_NONE,
+    COMPRESSION_SNAPPY,
+    BlockHandle,
+    TableBuilder,
+    _read_block,
+)
+from repro.compress import snappy
+from repro.util.coding import decode_fixed32, encode_fixed32
+from repro.util.crc32c import crc32c_many, mask_crc, unmask_crc
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+
+class _DeferredCrcTableBuilder(TableBuilder):
+    """A :class:`TableBuilder` that writes zeroed block-trailer CRCs.
+
+    Every other byte of the image — compression decision, handles,
+    separators, footer — is produced by the inherited logic, so the
+    final image is byte-identical to the standard builder's once
+    :func:`fill_deferred_crcs` patches the checksums in.
+    """
+
+    def __init__(self, options: Options, dest: _BufferFile,
+                 comparator) -> None:
+        super().__init__(options, dest, comparator)
+        #: (payload offset, payload length including the type byte)
+        self.deferred_crcs: list[tuple[int, int]] = []
+        self._crc_dest = dest
+
+    def _write_block(self, contents: bytes) -> BlockHandle:
+        if self._options.compression == "snappy":
+            compressed = snappy.compress(contents)
+            if len(compressed) < len(contents) - len(contents) // 8:
+                payload, block_type = compressed, COMPRESSION_SNAPPY
+            else:
+                payload, block_type = contents, COMPRESSION_NONE
+        else:
+            payload, block_type = contents, COMPRESSION_NONE
+        handle = BlockHandle(self._offset, len(payload))
+        self._dest.append(payload)
+        self._dest.append(bytes((block_type,)))
+        self._dest.append(b"\x00\x00\x00\x00")
+        self.deferred_crcs.append((handle.offset, len(payload) + 1))
+        self._offset += len(payload) + BLOCK_TRAILER_SIZE
+        return handle
+
+
+def fill_deferred_crcs(builders: list[_DeferredCrcTableBuilder]) -> None:
+    """Batch-compute and patch every deferred trailer CRC."""
+    regions = []
+    for builder in builders:
+        view = memoryview(builder._crc_dest.data)
+        regions.extend(view[offset:offset + length]
+                       for offset, length in builder.deferred_crcs)
+    crcs = crc32c_many(regions)
+    del regions  # release memoryviews before mutating the bytearrays
+    pos = 0
+    for builder in builders:
+        data = builder._crc_dest.data
+        for offset, length in builder.deferred_crcs:
+            data[offset + length:offset + length + 4] = encode_fixed32(
+                mask_crc(crcs[pos]))
+            pos += 1
+
+
+class BatchMergeEngine:
+    """Merge-compaction executor over whole-input arrays.
+
+    ``streams`` follows :meth:`repro.host.device.FcaeDevice.compact`'s
+    convention: a list of input streams, each a list of TableReaders
+    whose concatenation is sorted.  The vectorized path ignores the
+    stream structure entirely — a global sort does not care which run a
+    row came from.
+    """
+
+    def __init__(self, options: Options,
+                 comparator: InternalKeyComparator,
+                 force_fallback: bool = False):
+        self.options = options
+        self.comparator = comparator
+        self.force_fallback = force_fallback
+
+    @property
+    def vectorized(self) -> bool:
+        """True when compactions will take the numpy path."""
+        return (_np is not None and not self.force_fallback
+                and getattr(self.comparator, "_bytewise", False))
+
+    def compact(self, streams: list[list], drop_deletions: bool,
+                smallest_snapshot: Optional[int] = None) -> CompactionStats:
+        tables = [t for stream in streams for t in stream]
+        if self.vectorized and smallest_snapshot is None:
+            return self._compact_vectorized(tables, drop_deletions)
+        return self._compact_fallback(streams, drop_deletions,
+                                      smallest_snapshot)
+
+    # ------------------------------------------------------------------
+    # Vectorized path
+    # ------------------------------------------------------------------
+
+    def _compact_vectorized(self, tables: list,
+                            drop_deletions: bool) -> CompactionStats:
+        keys, values = self._bulk_decode(tables)
+        stats = CompactionStats()
+        n = len(keys)
+        if n == 0:
+            return stats
+        survivors, dropped_shadowed, dropped_tombstones = _merge_order(
+            keys, drop_deletions)
+        stats.input_pairs = n
+        stats.dropped_shadowed = dropped_shadowed
+        stats.dropped_tombstones = dropped_tombstones
+        stats.output_pairs = len(survivors)
+        stats.input_bytes = sum(map(len, keys)) + sum(map(len, values))
+        stats.outputs = self._bulk_encode(keys, values, survivors)
+        stats.output_bytes = sum(
+            len(keys[i]) + len(values[i]) for i in survivors)
+        return stats
+
+    def _bulk_decode(self, tables: list) -> tuple[list, list]:
+        """Decode every entry of every table; checksums are verified for
+        all blocks in one batched CRC pass."""
+        contents: list = []
+        pending_crc: list = []  # (region, stored crc)
+        for table in tables:
+            data = table.image
+            view = memoryview(data)
+            for _, handle in table.index_entries():
+                end = handle.offset + handle.size + BLOCK_TRAILER_SIZE
+                if end > len(data):
+                    raise CorruptionError("block handle overruns file")
+                if self.options.paranoid_checks:
+                    stored = unmask_crc(decode_fixed32(
+                        data, handle.offset + handle.size + 1))
+                    pending_crc.append((view[
+                        handle.offset:handle.offset + handle.size + 1],
+                        stored))
+                block_type = data[handle.offset + handle.size]
+                payload = data[handle.offset:handle.offset + handle.size]
+                if block_type == COMPRESSION_NONE:
+                    contents.append(payload)
+                elif block_type == COMPRESSION_SNAPPY:
+                    contents.append(snappy.decompress(payload))
+                else:
+                    raise CorruptionError(
+                        f"unknown block compression type {block_type}")
+        if pending_crc:
+            checked = crc32c_many([region for region, _ in pending_crc])
+            for computed, (_, stored) in zip(checked, pending_crc):
+                if computed != stored:
+                    raise CorruptionError("block checksum mismatch")
+        keys: list = []
+        values: list = []
+        for image in contents:
+            for key, value in Block(image):
+                keys.append(key)
+                values.append(value)
+        return keys, values
+
+    def _bulk_encode(self, keys: list, values: list,
+                     survivors) -> list[OutputTable]:
+        """Re-encode survivors with deferred, batch-filled block CRCs."""
+        options, comparator = self.options, self.comparator
+        sstable_size = options.sstable_size
+        outputs: list[OutputTable] = []
+        finished: list[_DeferredCrcTableBuilder] = []
+        dest: Optional[_BufferFile] = None
+        builder: Optional[_DeferredCrcTableBuilder] = None
+
+        def finish_current() -> None:
+            nonlocal dest, builder
+            if builder is None or builder.smallest_key is None:
+                dest, builder = None, None
+                return
+            table_stats = builder.finish()
+            outputs.append(OutputTable(
+                data=dest,  # placeholder: bytes taken after CRC fill
+                smallest=builder.smallest_key,
+                largest=builder.largest_key,
+                stats=table_stats,
+            ))
+            finished.append(builder)
+            dest, builder = None, None
+
+        for i in survivors:
+            if builder is None:
+                dest = _BufferFile()
+                builder = _DeferredCrcTableBuilder(options, dest, comparator)
+            builder.add(keys[i], values[i])
+            if builder.file_size >= sstable_size:
+                finish_current()
+        finish_current()
+        fill_deferred_crcs(finished)
+        for output in outputs:
+            output.data = bytes(output.data.data)
+        return outputs
+
+    # ------------------------------------------------------------------
+    # Pure-Python chunked fallback
+    # ------------------------------------------------------------------
+
+    def _compact_fallback(self, streams: list[list], drop_deletions: bool,
+                          smallest_snapshot: Optional[int]
+                          ) -> CompactionStats:
+        chunk = self.options.batch_merge_chunk
+        sources = [self._chunked_stream(stream, chunk)
+                   for stream in streams if stream]
+        stats = CompactionStats()
+        survivors = merge_entries(sources, self.comparator, drop_deletions,
+                                  stats, smallest_snapshot=smallest_snapshot)
+        stats.outputs = self._build_outputs_deferred(survivors)
+        return stats
+
+    def _chunked_stream(self, tables: list, chunk: int) -> Iterator:
+        """Bulk-decode a concatenated run, ``chunk`` entries at a time."""
+        batch: list = []
+        for table in tables:
+            data = table.image
+            for _, handle in table.index_entries():
+                contents = _read_block(data, handle,
+                                       self.options.paranoid_checks)
+                batch.extend(Block(contents))
+                if len(batch) >= chunk:
+                    yield from batch
+                    batch.clear()
+        yield from batch
+
+    def _build_outputs_deferred(self, entries) -> list[OutputTable]:
+        """The fallback encoder: same deferred-CRC builder, fed from the
+        streaming survivor iterator."""
+        survivors: list[int] = []
+        keys: list = []
+        values: list = []
+        for key, value in entries:
+            survivors.append(len(keys))
+            keys.append(key)
+            values.append(value)
+        return self._bulk_encode(keys, values, survivors)
+
+
+def _merge_order(keys: list, drop_deletions: bool):
+    """Vectorized merge order + validity masks over internal keys.
+
+    Returns (survivor indices into ``keys`` in output order, shadowed
+    count, dropped-tombstone count).
+    """
+    n = len(keys)
+    lens = _np.fromiter(map(len, keys), dtype=_np.int64, count=n)
+    if int(lens.min()) < MARK_FIELDS_SIZE:
+        raise CorruptionError("internal key shorter than mark fields")
+    ulens = lens - MARK_FIELDS_SIZE
+    flat = _np.frombuffer(b"".join(keys), dtype=_np.uint8)
+    starts = _np.zeros(n, dtype=_np.int64)
+    starts[1:] = _np.cumsum(lens)[:-1]
+
+    # User keys, right-zero-padded into big-endian u64 columns: the
+    # column-major compare order equals bytewise order, with equal-prefix
+    # ties broken by key length (a proper prefix sorts first).
+    maxw = int(ulens.max())
+    width = maxw + (-maxw) % 8
+    mat = _np.zeros((n, width), dtype=_np.uint8)
+    col = _np.arange(maxw)
+    umask = col[None, :] < ulens[:, None]
+    idx = starts[:, None] + col[None, :]
+    mat[:, :maxw][umask] = flat[idx[umask]]
+    ucols = mat.view(">u8")
+
+    # Trailer = fixed64 LE (sequence << 8 | type) at each key's end.
+    tr_idx = (starts + ulens)[:, None] + _np.arange(8)[None, :]
+    powers = _np.uint64(1) << (_np.uint64(8)
+                               * _np.arange(8, dtype=_np.uint64))
+    trailer = flat[tr_idx].astype(_np.uint64) @ powers
+
+    # Internal-key order: user key asc, then sequence/type desc.
+    sort_keys = [_np.iinfo(_np.uint64).max - trailer, ulens]
+    sort_keys += [ucols[:, j] for j in range(ucols.shape[1] - 1, -1, -1)]
+    order = _np.lexsort(tuple(sort_keys))
+
+    s_cols = ucols[order]
+    s_ulen = ulens[order]
+    shadowed = _np.zeros(n, dtype=bool)
+    if n > 1:
+        shadowed[1:] = ((s_cols[1:] == s_cols[:-1]).all(axis=1)
+                        & (s_ulen[1:] == s_ulen[:-1]))
+    keep = ~shadowed
+    dropped_tombstones = 0
+    if drop_deletions:
+        is_deletion = (trailer[order] & _np.uint64(0xFF)) == TYPE_DELETION
+        dropped_tombstones = int((keep & is_deletion).sum())
+        keep &= ~is_deletion
+    return (order[keep], int(shadowed.sum()), dropped_tombstones)

@@ -115,7 +115,8 @@ class FcaeDevice:
         if self.fault_injector is not None:
             self.fault_injector.check(
                 sum(len(t) for tables in inputs for t in tables
-                    if hasattr(t, "__len__")))
+                    if hasattr(t, "__len__")),
+                backend="fpga-sim")
 
         timeline = obs.current_timeline()
         # The trace id propagated through the driver's task queue: stamp

@@ -18,6 +18,12 @@ fault to a writer" guarantee) can be exercised deterministically:
 Counters distinguish deterministic schedules from the random DMA faults;
 ``injected_faults`` is the total, which fault-injection tests compare to
 ``scheduler_fallbacks_total``.
+
+One injector can serve several accelerator backends (the scheduler
+shares the device's injector with the batch backend): each ``check``
+call carries a ``backend`` tag, ``faults_by_backend`` splits the injected
+totals per backend, and the raised error remembers its source backend in
+``error.backend`` so fallback events can record the source→target pair.
 """
 
 from __future__ import annotations
@@ -54,32 +60,39 @@ class FaultInjector:
         self.tasks_seen = 0
         self.injected_faults = 0
         self.faults_by_kind = {"protocol": 0, "timeout": 0, "dma": 0}
+        self.faults_by_backend: dict[str, int] = {}
 
-    def check(self, input_bytes: int = 0) -> None:
-        """Called by the device at the start of each offload; raises the
-        scheduled fault, if any."""
+    def check(self, input_bytes: int = 0,
+              backend: str = "fpga-sim") -> None:
+        """Called by a backend at the start of each offload; raises the
+        scheduled fault, if any, tagged with the offloading backend."""
         with self._lock:
             self.tasks_seen += 1
             task = self.tasks_seen
             if (self.protocol_error_every
                     and task % self.protocol_error_every == 0):
                 kind, error = "protocol", FpgaProtocolError(
-                    f"injected protocol error on task {task}")
+                    f"injected protocol error on task {task} "
+                    f"({backend})")
             elif self.timeout_every and task % self.timeout_every == 0:
                 kind, error = "timeout", FpgaTimeoutError(
-                    f"injected timeout on task {task}")
+                    f"injected timeout on task {task} ({backend})")
             elif (self.dma_error_rate
                     and self._rng.random() < self.dma_error_rate):
                 kind, error = "dma", FpgaDmaError(
                     f"injected DMA failure on task {task} "
-                    f"({input_bytes} bytes)")
+                    f"({input_bytes} bytes, {backend})")
             else:
                 return
             self.injected_faults += 1
             self.faults_by_kind[kind] += 1
+            self.faults_by_backend[backend] = (
+                self.faults_by_backend.get(backend, 0) + 1)
+        error.backend = backend
         raise error
 
     def __repr__(self) -> str:
         return (f"FaultInjector(seen={self.tasks_seen}, "
                 f"injected={self.injected_faults}, "
-                f"by_kind={self.faults_by_kind})")
+                f"by_kind={self.faults_by_kind}, "
+                f"by_backend={self.faults_by_backend})")

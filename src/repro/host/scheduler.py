@@ -1,23 +1,31 @@
-"""Compaction-thread workflow (paper Fig 6).
+"""Compaction-thread workflow (paper Fig 6, generalized to N backends).
 
 The scheduler is an :class:`LsmDB`-compatible compaction executor that
-routes each merge compaction:
+routes each merge compaction to one of the registered
+:mod:`repro.host.accelerator` backends per ``Options.accelerator``:
 
-* to the **FPGA** when the compaction's input-stream count fits the
-  engine (``fpga_input_count() <= N``) — for level >= 1 that count is at
-  most 2 (the sorted level concatenates into one input); for level 0 it
-  is the number of overlapping L0 files plus one;
-* to **software** otherwise ("when S_0 > N - 1, the compaction task will
-  be processed completely by the software").
+* ``"fpga-sim"`` (default) keeps the paper's Fig 6 policy: offload to
+  the pipeline-sim device when the compaction's input-stream count fits
+  the engine (``fpga_input_count() <= N``) — for level >= 1 that count
+  is at most 2 (the sorted level concatenates into one input); for
+  level 0 it is the number of overlapping L0 files plus one — and run
+  the software merge otherwise ("when S_0 > N - 1, the compaction task
+  will be processed completely by the software");
+* ``"cpu"`` / ``"batch"`` force one executor;
+* ``"auto"`` picks the argmin of the backends' wall-clock cost models
+  (:func:`pick_backend`), excluding backends that cannot run the task.
 
-It verifies every FPGA result against the storage contract (sorted,
-disjoint output ranges) and publishes the statistics the experiments
-report — task/byte routing, per-phase time, the PCIe share — into a
-:class:`repro.obs.MetricsRegistry`; :class:`SchedulerStats` is a
-read-only view over those metrics.  Each routed task also emits a
-``compaction.route`` trace span with modeled per-phase children
-(marshal → pcie_in → kernel → pcie_out, or software), so a JSONL trace
-reconstructs exactly where offload time went.
+Accelerator results are verified against the storage contract (sorted,
+disjoint output ranges), and recoverable faults from *any* accelerator
+go through bounded retry + backoff before failing over to the CPU merge
+— output bytes are identical either way, so fallback never changes the
+key space.  Statistics land in a :class:`repro.obs.MetricsRegistry` —
+legacy fpga/software route counters, the per-backend
+``scheduler_backend_*`` families, per-phase time, the PCIe share —
+with :class:`SchedulerStats` as a read-only view.  Each routed task
+also emits a ``compaction.route`` trace span with per-phase children
+(marshal → pcie_in → kernel → pcie_out, software, or batch), so a JSONL
+trace reconstructs exactly where offload time went.
 """
 
 from __future__ import annotations
@@ -28,8 +36,13 @@ from typing import Optional
 
 from repro import obs
 from repro.errors import FpgaDmaError, FpgaProtocolError, FpgaTimeoutError
+from repro.host.accelerator import (
+    AcceleratorBackend,
+    BackendResult,
+    make_backends,
+)
 from repro.host.device import FcaeDevice
-from repro.lsm.compaction import OutputTable, compact, make_compaction_sources
+from repro.lsm.compaction import OutputTable
 from repro.lsm.internal import InternalKeyComparator
 from repro.lsm.options import Options
 from repro.lsm.version import CompactionSpec
@@ -48,10 +61,15 @@ from repro.sim.cpu import CpuCostModel
 class SchedulerStats:
     """Routing and timing view over the scheduler's registry metrics.
 
-    Field names are unchanged from the historical dataclass; values are
-    re-read from the registry on each access.  ``as_dict`` /
-    :meth:`merge` let exposition and multi-scheduler reports iterate
-    fields instead of hand-copying them.
+    The canonical routing accounting is per *backend* (cpu | fpga-sim |
+    batch): :attr:`backend_tasks` / :attr:`backend_input_bytes` /
+    :attr:`backend_seconds` mirror the ``scheduler_backend_*`` metric
+    families.  The historical fpga/software field names remain as
+    aliases over the legacy route counters (fpga = the fpga-sim backend,
+    software = every in-process merge), so ``repro.stats`` and the
+    dashboard keep working; values are re-read from the registry on each
+    access.  ``as_dict`` / :meth:`merge` let exposition and
+    multi-scheduler reports iterate fields instead of hand-copying them.
     """
 
     #: Integer routing fields and float phase-timing fields, in
@@ -66,7 +84,26 @@ class SchedulerStats:
     def __init__(self, metrics: SchedulerMetrics):
         self._metrics = metrics
 
-    # -- raw fields ----------------------------------------------------
+    # -- per-backend family --------------------------------------------
+
+    @property
+    def backend_tasks(self) -> dict[str, int]:
+        """Tasks executed per backend (``scheduler_backend_tasks_total``)."""
+        return {backend: int(counter.value) for backend, counter
+                in self._metrics.backend_tasks.items()}
+
+    @property
+    def backend_input_bytes(self) -> dict[str, int]:
+        return {backend: int(counter.value) for backend, counter
+                in self._metrics.backend_input_bytes.items()}
+
+    @property
+    def backend_seconds(self) -> dict[str, float]:
+        """Measured wall seconds per backend."""
+        return {backend: counter.value for backend, counter
+                in self._metrics.backend_seconds.items()}
+
+    # -- legacy aliases (fpga = fpga-sim, software = cpu + batch) ------
 
     @property
     def fpga_tasks(self) -> int:
@@ -164,11 +201,17 @@ class CompactionScheduler:
                  retry_backoff_seconds: float = 0.0,
                  fallback_to_software: bool = True,
                  task_window_seconds: float = 60.0,
-                 tenant: str = "system"):
+                 tenant: str = "system",
+                 backends: Optional[dict[str, AcceleratorBackend]] = None):
         self.device = device
         self.options = options or device.options
         self.comparator = InternalKeyComparator(self.options.comparator)
         self.cpu_model = cpu_model or device.cpu_model
+        self.backends = backends or make_backends(
+            device, self.options, self.comparator, self.cpu_model)
+        if "cpu" not in self.backends:
+            raise ValueError("backend registry must include 'cpu' "
+                             "(the terminal fallback target)")
         self.verify_outputs = verify_outputs
         self.max_retries = max(0, max_retries)
         self.retry_backoff_seconds = max(0.0, retry_backoff_seconds)
@@ -197,62 +240,99 @@ class CompactionScheduler:
             tenant=tenant)
 
     def last_route(self) -> Optional[str]:
-        """Route of the last task completed on the calling thread:
-        ``"fpga"``, ``"software"`` or ``"fallback"``."""
+        """Backend that ran the last task completed on the calling
+        thread: ``"cpu"``, ``"fpga-sim"``, ``"batch"`` — or
+        ``"fallback"`` when a faulting accelerator degraded to the CPU
+        merge."""
         return getattr(self._local, "route", None)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
 
+    def pick_backend(self, spec: CompactionSpec) -> str:
+        """Backend ``spec`` will route to under ``Options.accelerator``.
+
+        Forced modes return their backend (``"fpga-sim"`` degrades to
+        ``"cpu"`` when the input-stream count exceeds the engine's N —
+        Fig 6's branch); ``"auto"`` returns the argmin of the capable
+        backends' wall-clock cost estimates.
+        """
+        mode = self.options.accelerator
+        if mode == "auto":
+            capable = [backend for backend in self.backends.values()
+                       if backend.can_run(spec)]
+            return min(capable,
+                       key=lambda b: b.estimate_seconds(spec)).name
+        backend = self.backends[mode if mode in self.backends else "cpu"]
+        if not backend.can_run(spec):
+            return "cpu"
+        return backend.name
+
     def should_offload(self, spec: CompactionSpec) -> bool:
         """Fig 6's branch: FPGA iff the input-stream count fits N."""
-        return spec.fpga_input_count() <= self.device.config.num_inputs
+        return self.backends["fpga-sim"].can_run(spec)
+
+    def estimate_costs(self, spec: CompactionSpec) -> dict[str, float]:
+        """Wall-clock estimate per capable backend (routing's inputs)."""
+        return {name: backend.estimate_seconds(spec)
+                for name, backend in self.backends.items()
+                if backend.can_run(spec)}
 
     def __call__(self, spec: CompactionSpec, input_tables: list,
                  parent_tables: list,
                  drop_deletions: bool) -> list[OutputTable]:
-        offload = self.should_offload(spec)
-        route = "fpga" if offload else "software"
-        self._m.tasks[route].inc()
+        name = self.pick_backend(spec)
+        backend = self.backends[name]
+        self._m.tasks[self._legacy_route(name)].inc()
+        self._m.backend_tasks[name].inc()
         self._m.task_input_bytes.observe(spec.total_input_bytes)
-        self._local.route = route
+        self._local.route = name
         start = time.perf_counter()
         try:
             with self.tracer.span(
-                    "compaction.route", route=route, level=spec.level,
+                    "compaction.route", route=name, level=spec.level,
                     input_streams=spec.fpga_input_count()) as span:
-                if offload:
-                    return self._run_fpga_with_recovery(
-                        spec, input_tables, parent_tables, drop_deletions,
-                        span)
-                return self._run_software(spec, input_tables, parent_tables,
-                                          drop_deletions)
+                if name == "cpu":
+                    # The reference merge has no device faults to absorb.
+                    return self._run_backend(backend, spec, input_tables,
+                                             parent_tables, drop_deletions)
+                return self._run_with_recovery(
+                    backend, spec, input_tables, parent_tables,
+                    drop_deletions, span)
         finally:
             self.task_window.observe(time.perf_counter() - start)
 
-    def _run_fpga_with_recovery(self, spec: CompactionSpec,
-                                input_tables: list, parent_tables: list,
-                                drop_deletions: bool,
-                                span) -> list[OutputTable]:
-        """Offload with bounded retry + backoff; degrade to the software
-        merge when the device keeps failing (LUDA's CPU fallback)."""
+    @staticmethod
+    def _legacy_route(backend_name: str) -> str:
+        """Fold backend names onto the historical fpga/software routes."""
+        return "fpga" if backend_name == "fpga-sim" else "software"
+
+    def _run_with_recovery(self, backend: AcceleratorBackend,
+                           spec: CompactionSpec,
+                           input_tables: list, parent_tables: list,
+                           drop_deletions: bool,
+                           span) -> list[OutputTable]:
+        """Offload with bounded retry + backoff; degrade to the CPU
+        merge when the accelerator keeps failing (LUDA's CPU fallback).
+        Every backend produces byte-identical tables, so failover
+        preserves the key space exactly."""
         attempt = 0
         while True:
             try:
-                return self._run_fpga(spec, input_tables, parent_tables,
-                                      drop_deletions)
+                return self._run_backend(backend, spec, input_tables,
+                                         parent_tables, drop_deletions)
             except self.RECOVERABLE_FAULTS as error:
                 kind = self._fault_kind(error)
                 self._m.faults[kind].inc()
                 self.events.emit("fault", kind=kind, level=spec.level,
-                                 attempt=attempt + 1)
+                                 attempt=attempt + 1, backend=backend.name)
                 span.set(fault=kind, attempts=attempt + 1)
                 if attempt < self.max_retries:
                     attempt += 1
                     self._m.retries.inc()
                     self.events.emit("retry", kind=kind, level=spec.level,
-                                     attempt=attempt)
+                                     attempt=attempt, backend=backend.name)
                     if self.retry_backoff_seconds:
                         time.sleep(self.retry_backoff_seconds
                                    * (2 ** (attempt - 1)))
@@ -260,11 +340,13 @@ class CompactionScheduler:
                 if not self.fallback_to_software:
                     raise
                 self._m.fallbacks.inc()
-                self.events.emit("fallback", kind=kind, level=spec.level)
+                self.events.emit("fallback", kind=kind, level=spec.level,
+                                 source=backend.name, target="cpu")
                 span.set(fallback=True)
                 self._local.route = "fallback"
-                return self._run_software(spec, input_tables,
-                                          parent_tables, drop_deletions)
+                return self._run_backend(self.backends["cpu"], spec,
+                                         input_tables, parent_tables,
+                                         drop_deletions)
 
     @staticmethod
     def _fault_kind(error: Exception) -> str:
@@ -275,64 +357,37 @@ class CompactionScheduler:
         return "protocol"
 
     # ------------------------------------------------------------------
-    # Paths
+    # Execution
     # ------------------------------------------------------------------
 
-    def _run_fpga(self, spec: CompactionSpec, input_tables: list,
-                  parent_tables: list,
-                  drop_deletions: bool) -> list[OutputTable]:
-        if spec.level == 0:
-            streams = [[t] for t in input_tables]
-        else:
-            streams = [input_tables] if input_tables else []
-        if parent_tables:
-            streams.append(parent_tables)
-        result = self.device.compact(streams, drop_deletions)
-        self._m.input_bytes["fpga"].inc(result.input_bytes)
-        phases = (("marshal", result.host_marshal_seconds),
-                  ("pcie_in", result.pcie_in_seconds),
-                  ("kernel", result.kernel_seconds),
-                  ("pcie_out", result.pcie_out_seconds))
-        for phase, seconds in phases:
+    def _run_backend(self, backend: AcceleratorBackend,
+                     spec: CompactionSpec, input_tables: list,
+                     parent_tables: list,
+                     drop_deletions: bool) -> list[OutputTable]:
+        result: BackendResult = backend.run(spec, input_tables,
+                                            parent_tables, drop_deletions)
+        route = self._legacy_route(backend.name)
+        self._m.input_bytes[route].inc(result.input_bytes)
+        self._m.backend_input_bytes[backend.name].inc(result.input_bytes)
+        self._m.backend_seconds[backend.name].inc(result.wall_seconds)
+        for phase, seconds in result.phase_seconds.items():
             self._m.phase_seconds[phase].inc(seconds)
             self.tracer.phase(f"phase:{phase}", seconds)
-        if self.verify_outputs:
+        modeled = result.phase_seconds.get("software")
+        if modeled is not None:
+            timeline = obs.current_timeline()
+            if timeline is not None:
+                # Software merges join the unified trace on the host
+                # track, on the modeled harness-CPU clock.
+                t0 = timeline.cursor_us
+                timeline.interval(
+                    "host", "scheduler", "software_merge", t0,
+                    t0 + modeled * 1e6,
+                    {"bytes": spec.total_input_bytes, "level": spec.level})
+                timeline.advance_to(t0 + modeled * 1e6)
+        if self.verify_outputs and backend.name != "cpu":
             self._verify(result.outputs)
         return result.outputs
-
-    def _run_software(self, spec: CompactionSpec, input_tables: list,
-                      parent_tables: list,
-                      drop_deletions: bool) -> list[OutputTable]:
-        if self.options.max_subcompactions > 1:
-            from repro.lsm.subcompaction import subcompact
-
-            stats = subcompact(spec.level, input_tables, parent_tables,
-                               self.options, self.comparator,
-                               drop_deletions)
-        else:
-            sources = make_compaction_sources(spec.level, input_tables,
-                                              parent_tables)
-            stats = compact(sources, self.options, self.comparator,
-                            drop_deletions)
-        self._m.input_bytes["software"].inc(spec.total_input_bytes)
-        seconds = self.cpu_model.compaction_seconds(
-            spec.total_input_bytes,
-            self.options.key_length,
-            self.options.value_length,
-            num_inputs=max(2, spec.fpga_input_count()),
-        )
-        self._m.phase_seconds["software"].inc(seconds)
-        self.tracer.phase("phase:software", seconds)
-        timeline = obs.current_timeline()
-        if timeline is not None:
-            # Software merges join the unified trace on the host track.
-            t0 = timeline.cursor_us
-            timeline.interval(
-                "host", "scheduler", "software_merge", t0,
-                t0 + seconds * 1e6,
-                {"bytes": spec.total_input_bytes, "level": spec.level})
-            timeline.advance_to(t0 + seconds * 1e6)
-        return stats.outputs
 
     # ------------------------------------------------------------------
     # Contract checks

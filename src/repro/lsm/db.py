@@ -1015,10 +1015,11 @@ class LsmDB:
     def _executor_backend(self) -> str:
         """Which backend ran the merge just executed on this thread.
 
-        The scheduler records its route (fpga|software|fallback) in
-        thread-local state precisely so this read is safe with multiple
-        compaction units; executors without ``last_route`` are the plain
-        CPU reference merge."""
+        The scheduler records the executing backend's name
+        (cpu|fpga-sim|batch, or "fallback" after a fault-forced CPU
+        merge) in thread-local state precisely so this read is safe with
+        multiple compaction units; executors without ``last_route`` are
+        the plain CPU reference merge."""
         last_route = getattr(self._executor, "last_route", None)
         if callable(last_route):
             return last_route() or "cpu"

@@ -24,6 +24,11 @@ events for flushes and compactions carry the cumulative user
 ``write_bytes`` at that moment, so :func:`replay` can recompute
 write-amplification without having seen the individual writes.
 
+``fault``/``retry`` carry the ``backend`` that raised the injected
+fault; ``fallback`` records the degradation pair (``source`` backend →
+``target``, always ``cpu``) — the validator's strict mode requires both
+fields.
+
 ``slo_alert`` records a burn-rate alert transition (fields: ``slo``,
 ``tenant``, ``policy``, ``state`` firing/resolved, ``burn_short``,
 ``burn_long``); ``exemplar`` records a tail sample whose trace id links

@@ -108,7 +108,14 @@ FAMILIES: tuple[tuple, ...] = (
      "Compaction input bytes by route.", None),
     ("scheduler_phase_seconds_total", "counter",
      "Modeled seconds per offload phase "
-     "(marshal|pcie_in|kernel|pcie_out|software).", None),
+     "(marshal|pcie_in|kernel|pcie_out|software|batch).", None),
+    ("scheduler_backend_tasks_total", "counter",
+     "Merge compactions by executor backend (cpu|fpga-sim|batch).", None),
+    ("scheduler_backend_input_bytes_total", "counter",
+     "Compaction input bytes by executor backend.", None),
+    ("scheduler_backend_seconds_total", "counter",
+     "Measured wall-clock seconds executing merges, by backend — the "
+     "quantity the routing cost models estimate.", None),
     ("scheduler_task_input_bytes", "histogram",
      "Distribution of per-task compaction input sizes.", BYTES_BUCKETS),
     ("scheduler_faults_total", "counter",
@@ -341,7 +348,9 @@ class SchedulerMetrics:
     """The compaction scheduler's bound children."""
 
     ROUTES = ("fpga", "software")
-    PHASES = ("marshal", "pcie_in", "kernel", "pcie_out", "software")
+    PHASES = ("marshal", "pcie_in", "kernel", "pcie_out", "software",
+              "batch")
+    BACKENDS = ("cpu", "fpga-sim", "batch")
 
     def __init__(self, registry: MetricsRegistry, inst: str):
         self.registry = registry
@@ -352,6 +361,16 @@ class SchedulerMetrics:
         self.input_bytes = {route: _counter(
             registry, "scheduler_input_bytes_total", route=route,
             **self.labels) for route in self.ROUTES}
+        self.backend_tasks = {backend: _counter(
+            registry, "scheduler_backend_tasks_total", backend=backend,
+            **self.labels) for backend in self.BACKENDS}
+        self.backend_input_bytes = {backend: _counter(
+            registry, "scheduler_backend_input_bytes_total",
+            backend=backend, **self.labels)
+            for backend in self.BACKENDS}
+        self.backend_seconds = {backend: _counter(
+            registry, "scheduler_backend_seconds_total", backend=backend,
+            **self.labels) for backend in self.BACKENDS}
         self.phase_seconds = {phase: _counter(
             registry, "scheduler_phase_seconds_total", phase=phase,
             **self.labels) for phase in self.PHASES}

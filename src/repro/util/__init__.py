@@ -12,7 +12,7 @@ from repro.util.coding import (
     put_length_prefixed_slice,
 )
 from repro.util.comparator import BytewiseComparator, Comparator
-from repro.util.crc32c import crc32c, mask_crc, unmask_crc
+from repro.util.crc32c import crc32c, crc32c_many, mask_crc, unmask_crc
 from repro.util.varint import (
     MAX_VARINT32_BYTES,
     MAX_VARINT64_BYTES,
@@ -28,6 +28,7 @@ __all__ = [
     "MAX_VARINT32_BYTES",
     "MAX_VARINT64_BYTES",
     "crc32c",
+    "crc32c_many",
     "decode_fixed32",
     "decode_fixed64",
     "decode_varint32",

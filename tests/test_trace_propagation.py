@@ -107,7 +107,7 @@ class TestDriverPropagation:
         assert "compaction.route" in names
         assert any(name.startswith("phase:") for name in names), names
         route = next(s for s in trace if s.name == "compaction.route")
-        assert route.attrs["route"] == "fpga"
+        assert route.attrs["route"] == "fpga-sim"
 
         chrome = spans_to_chrome_trace([s.to_dict() for s in trace])
         path = tmp_path / "trace.json"

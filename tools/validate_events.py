@@ -55,7 +55,7 @@ EVENT_SCHEMA = {
     "stall_finish": {},
     "fault": {},
     "retry": {},
-    "fallback": {},
+    "fallback": {"strict_required": ("source", "target")},
     "slo_alert": {"strict_required": ("slo", "tenant", "policy", "state",
                                       "burn_short", "burn_long")},
     "exemplar": {"strict_required": ("slo", "tenant", "trace", "value")},
